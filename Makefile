@@ -1,0 +1,26 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments reports stability clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) scripts/generate_experiments_md.py
+
+stability:
+	$(PYTHON) scripts/scale_stability.py
+
+reports: bench experiments
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,30 @@
+"""Bench: Fig. 11 / §5.1 (challenge-server blacklisting)."""
+
+from repro.analysis import blacklisting
+
+from benchmarks.conftest import run_analysis
+
+
+def test_fig11_sec51_blacklisting(benchmark, bench_result, emit_report):
+    stats = run_analysis(
+        benchmark, blacklisting.compute, bench_result.store, bench_result.info
+    )
+    emit_report(
+        "fig11_sec51",
+        blacklisting.render(bench_result.store, bench_result.info),
+    )
+
+    # §5.1: 75 % of servers never appeared in any blacklist.
+    assert 0.6 < stats.never_listed_share < 0.95
+    # A few servers were listed for long stretches (paper: 17-129 of 132
+    # days), while most saw at most brief listings.
+    top = stats.top_listed_days
+    horizon = bench_result.info.horizon_days
+    assert top[0] > 0.15 * horizon
+    assert top[1] > 0.10 * horizon
+    # No meaningful correlation between volume and blacklisting (the
+    # paper's central surprise).
+    assert abs(stats.volume_listing_correlation) < 0.55
+    assert abs(stats.volume_bounce_correlation) < 0.55
+    # The top-3 challenge senders stayed clean (paper: none listed).
+    assert max(stats.top_senders_listed_days(3)) <= 0.15 * horizon

@@ -1,0 +1,24 @@
+"""Bench: Fig. 12 / §5.2 (offline SPF validation of the gray spool)."""
+
+from repro.analysis import spf_study
+from repro.analysis.spf_study import ChallengeFate
+
+from benchmarks.conftest import run_analysis
+
+
+def test_fig12_spf_validation(benchmark, bench_result, emit_report):
+    stats = run_analysis(benchmark, spf_study.compute, bench_result.store)
+    emit_report("fig12", spf_study.render(bench_result.store))
+
+    # Fig. 12 anchors: dropping SPF-fails removes ~9 % of expired and
+    # ~4.1 % of bounced challenges, ~2.5 % of bad challenges overall, at a
+    # cost of ~0.25 % of the solved ones.
+    assert 0.04 < stats.fail_share(ChallengeFate.EXPIRED) < 0.16
+    assert 0.015 < stats.fail_share(ChallengeFate.BOUNCED) < 0.08
+    assert 0.01 < stats.bad_challenge_fail_share < 0.06
+    assert stats.fail_share(ChallengeFate.SOLVED) < 0.02
+    # The ordering that makes SPF attractive: it prunes bad challenges far
+    # more aggressively than good ones.
+    assert stats.bad_challenge_fail_share > 3 * stats.fail_share(
+        ChallengeFate.SOLVED
+    )

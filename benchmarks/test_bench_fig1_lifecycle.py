@@ -1,0 +1,22 @@
+"""Bench: Fig. 1 (weighted lifecycle of incoming emails)."""
+
+from repro.analysis import flow
+
+from benchmarks.conftest import run_analysis
+
+
+def test_fig1_lifecycle(benchmark, bench_result, emit_report):
+    result = run_analysis(benchmark, flow.compute, bench_result.store)
+    emit_report("fig1", flow.build_table(result).render())
+
+    assert flow.conservation_check(result)
+    # Paper per-1000 anchors: 751 dropped / 249 to dispatcher / 31 white /
+    # 48 challenges / ~2 released.
+    assert 650 < result.dropped_at_mta < 820
+    assert 180 < result.to_dispatcher < 350
+    assert 18 < result.white < 50
+    assert 30 < result.challenges_sent < 75
+    assert 1 < result.released_captcha + result.released_digest < 8
+    # The gray spool dwarfs the white spool, and the filters drop most of it.
+    assert result.gray > 4 * result.white
+    assert result.filter_dropped > result.quarantined

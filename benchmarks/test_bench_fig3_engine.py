@@ -1,0 +1,23 @@
+"""Bench: Fig. 3 (message categories at the internal processing engine)."""
+
+from repro.analysis import engine_breakdown
+
+from benchmarks.conftest import run_analysis
+
+
+def test_fig3_engine_breakdown(benchmark, bench_result, emit_report):
+    stats = run_analysis(
+        benchmark, engine_breakdown.compute, bench_result.store
+    )
+    emit_report("fig3", engine_breakdown.build_table(stats).render())
+
+    # Paper's own figures for the filter-drop share of the gray spool span
+    # 54 % (Fig. 3) to 77.5 % (§5.2); we must land inside that corridor.
+    assert 0.5 <= stats.filter_drop_share <= 0.85
+    # RBL is the biggest dropper, antivirus the smallest (Table 1 ordering).
+    shares = stats.filter_shares
+    assert shares["rbl"] > shares["reverse_dns"] > shares["antivirus"]
+    # Challenges for roughly a quarter of gray mail (Fig. 3: 28 %).
+    assert 0.12 < stats.challenged_share < 0.40
+    # Open relays reply with more challenges per message (paper: +9 %).
+    assert stats.open_relay_extra > -0.03

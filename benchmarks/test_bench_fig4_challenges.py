@@ -1,0 +1,33 @@
+"""Bench: Fig. 4(a) delivery status and Fig. 4(b) CAPTCHA attempts."""
+
+from repro.analysis import challenges
+
+from benchmarks.conftest import run_analysis
+
+
+def test_fig4_challenge_statistics(benchmark, bench_result, emit_report):
+    stats = run_analysis(benchmark, challenges.compute, bench_result.store)
+    emit_report(
+        "fig4",
+        "\n\n".join(
+            [
+                challenges.build_delivery_table(stats).render(),
+                challenges.build_web_table(stats).render(),
+                challenges.build_attempts_table(stats).render(),
+            ]
+        ),
+    )
+
+    # Fig. 4(a): roughly half the challenges get delivered; of the
+    # undelivered, non-existent recipients dominate (paper: 71.7 %).
+    assert 0.40 < stats.delivered_share < 0.60
+    assert 0.60 < stats.nonexistent_share_of_undelivered < 0.90
+    # Blacklist-related bounces are a small portion.
+    undelivered = stats.resolved - stats.delivered
+    assert stats.bounced_blacklisted < 0.15 * undelivered
+    # §3.2: ~94 % of delivered challenges never opened; few percent solved.
+    assert stats.never_opened_share > 0.88
+    assert 0.02 < stats.solved_share_of_delivered < 0.12
+    assert 0.015 < stats.solved_share_of_sent < 0.06
+    # Fig. 4(b): nobody ever needed more than five attempts.
+    assert stats.max_attempts <= 5

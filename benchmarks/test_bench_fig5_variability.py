@@ -1,0 +1,32 @@
+"""Bench: Fig. 5 (per-company variability and correlations)."""
+
+from repro.analysis import variability
+from repro.util.stats import median
+
+from benchmarks.conftest import run_analysis
+
+
+def test_fig5_variability(benchmark, bench_result, emit_report):
+    stats = run_analysis(
+        benchmark, variability.compute, bench_result.store, bench_result.info
+    )
+    emit_report(
+        "fig5", variability.render(bench_result.store, bench_result.info)
+    )
+
+    assert len(stats.points) == 47
+    # Paper: reflection stays in 10-25 % across installations...
+    reflections = [p.reflection for p in stats.points]
+    assert 0.05 < min(reflections)
+    assert max(reflections) < 0.35
+    assert 0.10 < median(reflections) < 0.25
+    # ...and is essentially uncorrelated with company size/volume.
+    assert abs(stats.correlation("users", "reflection")) < 0.45
+    assert abs(stats.correlation("emails", "reflection")) < 0.55
+    # White share varies widely between companies.
+    whites = [p.white_share for p in stats.points]
+    assert max(whites) - min(whites) > 0.2
+    # Solved share correlates positively with white share; reflection
+    # anti-correlates with it (paper's two robust signs).
+    assert stats.correlation("white", "captcha") > 0.15
+    assert stats.correlation("white", "reflection") < -0.03

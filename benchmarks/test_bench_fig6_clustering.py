@@ -1,0 +1,40 @@
+"""Bench: Fig. 6 / §4.1 (spam-campaign clustering, spurious deliveries)."""
+
+from repro.analysis import clustering
+
+from benchmarks.conftest import run_analysis
+
+
+def test_fig6_clustering(benchmark, bench_result, emit_report):
+    stats = run_analysis(
+        benchmark, clustering.compute, bench_result.store, bench_result.info
+    )
+    emit_report(
+        "fig6", clustering.render(bench_result.store, bench_result.info)
+    )
+
+    # Plenty of clusters (paper: 1,775 at full scale over 3 months).
+    assert stats.n_clusters > 100
+    # Only a small minority contains a solved challenge (paper: 28/1775).
+    assert 0 < stats.clusters_with_solved < 0.25 * stats.n_clusters
+    # Botnet (low-similarity) clusters dominate; marketing (high-similarity)
+    # clusters exist.
+    assert len(stats.low_similarity_clusters) > len(
+        stats.high_similarity_clusters
+    )
+    assert len(stats.high_similarity_clusters) > 0
+    # High-similarity clusters reach very high solve rates (paper: 97 %).
+    solving_high = [
+        c for c in stats.high_similarity_clusters if c.solved > 0
+    ]
+    assert solving_high
+    assert max(c.solve_rate for c in solving_high) > 0.5
+    # Low-similarity clusters bounce heavily and solve one-or-two at most.
+    low = stats.low_similarity_clusters
+    avg_bounce = sum(c.bounce_rate for c in low) / len(low)
+    assert 0.2 < avg_bounce < 0.55  # paper: 31 %
+    solving_low = [c for c in low if c.solved > 0]
+    if solving_low:
+        assert max(c.solved for c in solving_low) <= 4  # paper: 1-2
+    # §4.1: spurious spam delivery ~1 per 10,000 challenges.
+    assert stats.spurious_rate < 8e-4

@@ -1,0 +1,24 @@
+"""Bench: Fig. 7/8 + §4.2 (delivery delay of quarantined messages)."""
+
+from repro.analysis import delays
+from repro.util.simtime import DAY, HOUR, MINUTE
+from repro.util.stats import cdf_at
+
+from benchmarks.conftest import run_analysis
+
+
+def test_fig7_fig8_delay_cdf(benchmark, bench_result, emit_report):
+    stats = run_analysis(benchmark, delays.compute, bench_result.store)
+    emit_report("fig7_fig8", delays.render(bench_result.store))
+
+    # Fig. 7 anchors: 30 % of captcha releases < 5 min, ~half < 30 min.
+    assert 0.15 < cdf_at(stats.captcha_cdf, 5 * MINUTE) < 0.45
+    assert 0.40 < cdf_at(stats.captcha_cdf, 30 * MINUTE) < 0.75
+    # Fig. 8: solves concentrate below ~4 hours.
+    assert cdf_at(stats.captcha_cdf, 4 * HOUR) > 0.75
+    # Digest releases span 4 h - 3 d.
+    assert cdf_at(stats.digest_cdf, 4 * HOUR) < 0.2
+    assert cdf_at(stats.digest_cdf, 3 * DAY) > 0.6
+    # §4.2: ~94 % of inbox mail delivered instantly; >1-day delays rare.
+    assert stats.instant_share > 0.85
+    assert stats.inbox_delayed_over_1day_share < 0.05

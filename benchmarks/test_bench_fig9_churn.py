@@ -1,0 +1,29 @@
+"""Bench: Fig. 9/10 + §4.3 (whitelist change rate, digest sizes)."""
+
+from repro.analysis import churn
+
+from benchmarks.conftest import run_analysis
+
+
+def test_fig9_fig10_churn(benchmark, bench_result, emit_report):
+    stats = run_analysis(
+        benchmark, churn.compute, bench_result.store, bench_result.info
+    )
+    emit_report("fig9_fig10", churn.render(bench_result.store, bench_result.info))
+
+    # Fig. 9: the 1-10 bin dominates (paper: 51.1 %), with a monotonically
+    # thinning tail to >600.
+    assert stats.bin_shares[0] > 30.0
+    assert stats.bin_shares[0] > stats.bin_shares[1] > stats.bin_shares[3]
+    assert stats.bin_shares[-1] < 2.0
+    # §4.3: only 6.8 % of whitelists gain >=1 entry/day; 0.2 % >=5/day.
+    assert 0.01 < stats.share_ge_1_per_day < 0.20
+    assert stats.share_ge_5_per_day < 0.02
+    assert stats.share_ge_2_per_day < stats.share_ge_1_per_day
+    # ~0.3 new entries per user per day on average.
+    assert 0.1 < stats.additions_per_user_day < 0.7
+    # Fig. 10: three contrasted users with very different digest profiles.
+    examples = churn.pick_digest_examples(bench_result.store)
+    assert len(examples) == 3
+    means = sorted(e.mean for e in examples)
+    assert means[-1] > 3 * means[0]

@@ -1,0 +1,24 @@
+"""Bench: §3.1–3.3 (reflection ratio, backscatter ratio, traffic)."""
+
+from repro.analysis import reflection
+
+from benchmarks.conftest import run_analysis
+
+
+def test_sec3_reflection_backscatter_traffic(benchmark, bench_result, emit_report):
+    stats = run_analysis(benchmark, reflection.compute, bench_result.store)
+    emit_report("sec3_ratios", reflection.build_table(stats).render())
+
+    # §3.1: R = 19.3 % at the CR filter, 4.8 % at MTA-IN.
+    assert 0.13 < stats.reflection_cr < 0.27
+    assert 0.03 < stats.reflection_mta < 0.10
+    # §6: one challenge per ~21 received emails.
+    assert 10 < stats.emails_per_challenge < 35
+    # §3.2: worst-case backscatter beta = 8.7 % / 2.1 %.
+    assert 0.05 < stats.beta_cr < 0.15
+    assert 0.01 < stats.beta_mta < 0.05
+    # ~2 % of gray senders manually whitelisted from the digest.
+    assert 0.002 < stats.digest_whitelist_share < 0.06
+    # §3.3: RT = 2.5 % at the CR filter; <1 % internet-wide.
+    assert 0.015 < stats.rt_cr < 0.04
+    assert stats.rt_mta < 0.015

@@ -1,0 +1,26 @@
+"""Bench: §6 (discussion summary figures)."""
+
+from repro.analysis import discussion
+
+from benchmarks.conftest import run_analysis
+
+
+def test_sec6_discussion_summary(benchmark, bench_result, emit_report):
+    stats = run_analysis(
+        benchmark, discussion.compute, bench_result.store, bench_result.info
+    )
+    emit_report(
+        "sec6", discussion.build_table(stats).render()
+    )
+
+    # "One challenge for every 21 emails it receives."
+    assert 10 < stats.emails_per_challenge < 35
+    # "A traffic increase of less than 1 %." (we tolerate up to 1.5 %)
+    assert stats.traffic_increase < 0.015
+    # "Only about 5 % of them are solved."
+    assert 0.015 < stats.challenges_solved_share < 0.08
+    # Whitelist assumption holds: ~94 % of inbox mail needs no challenge.
+    assert stats.inbox_instant_share > 0.85
+    # Delay concerns a small share of inbox mail, half resolved quickly.
+    assert stats.inbox_quarantined_share < 0.15
+    assert stats.quarantined_under_30min > 0.25

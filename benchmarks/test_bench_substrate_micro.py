@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Not a paper artifact: these measure the building blocks whose throughput
+bounds how large a deployment the simulator can replay (address parsing,
+DNS resolution, dispatcher decisions, event-loop overhead, end-to-end
+message handling).
+"""
+
+import random
+
+from repro.net.addresses import is_well_formed
+from repro.sim.engine import Simulator
+from repro.core.message import MessageKind, SenderClass, make_message
+
+from tests.helpers import CONTACT, CONTACT_DOMAIN, USER_ADDRESS, make_micro_env
+
+
+def test_address_parsing_throughput(benchmark):
+    addresses = [
+        f"user{i}.last@sub{i % 7}.example{i % 13}.com" for i in range(1000)
+    ]
+
+    def parse_all():
+        return sum(1 for a in addresses if is_well_formed(a))
+
+    assert benchmark(parse_all) == 1000
+
+
+def test_dns_resolution_throughput(benchmark):
+    env = make_micro_env()
+
+    def resolve_many():
+        hits = 0
+        for _ in range(1000):
+            hits += env.resolver.resolves(CONTACT_DOMAIN)
+        return hits
+
+    assert benchmark(resolve_many) == 1000
+
+
+def test_event_loop_throughput(benchmark):
+    def run_10k_events():
+        simulator = Simulator()
+        count = [0]
+        for i in range(10_000):
+            simulator.schedule(float(i), lambda: count.__setitem__(0, count[0] + 1))
+        simulator.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_inbound_pipeline_throughput(benchmark):
+    """Full MTA-IN → dispatcher → spool path, mixed white/gray traffic."""
+    env = make_micro_env()
+    env.installation.seed_whitelist(USER_ADDRESS, [CONTACT])
+    rng = random.Random(0)
+    messages = []
+    for i in range(2_000):
+        if i % 3 == 0:
+            sender = CONTACT  # white path
+        else:
+            sender = f"stranger{rng.randrange(500)}@{CONTACT_DOMAIN}"
+        messages.append(
+            make_message(
+                0.0,
+                sender,
+                USER_ADDRESS,
+                subject="w " * 11,
+                size=5_000,
+                client_ip="10.1.0.1",
+                kind=MessageKind.SPAM,
+                sender_class=SenderClass.REAL,
+            )
+        )
+
+    def handle_all():
+        for message in messages:
+            env.installation.handle_inbound(message)
+        return len(env.store.mta)
+
+    benchmark.pedantic(handle_all, rounds=3, iterations=1)
+    assert len(env.store.mta) >= 2_000

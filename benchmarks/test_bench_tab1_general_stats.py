@@ -1,0 +1,28 @@
+"""Bench: Table 1 (general statistics of the collected data)."""
+
+from repro.analysis import general_stats
+
+from benchmarks.conftest import run_analysis
+
+
+def test_tab1_general_stats(benchmark, bench_result, emit_report):
+    stats = run_analysis(
+        benchmark, general_stats.compute, bench_result.store, bench_result.info
+    )
+    emit_report("tab1", general_stats.build_table(stats).render())
+
+    assert stats.companies == 47
+    assert stats.open_relays == 13
+    # Accounting identities of Table 1.
+    assert (
+        stats.white + stats.black + stats.gray + stats.dropped_at_mta
+        == stats.total_incoming
+    )
+    assert stats.challenges_sent <= stats.gray
+    assert stats.solved_captchas <= stats.challenges_sent
+    # Ratio anchors (paper): black/white ~ 0.13, challenges/gray ~ 0.37
+    # in Table 1 accounting; loose bands here.
+    assert 0.05 < stats.black / stats.white < 0.4
+    assert stats.dropped_reverse_dns + stats.dropped_rbl > (
+        10 * stats.dropped_antivirus
+    )

@@ -1,0 +1,24 @@
+"""Bench: §2 drop table + Fig. 2 (MTA-IN email treatment)."""
+
+from repro.analysis import mta_breakdown
+from repro.core.mta_in import DropReason
+
+from benchmarks.conftest import run_analysis
+
+
+def test_tab_drop_and_fig2(benchmark, bench_result, emit_report):
+    stats = run_analysis(benchmark, mta_breakdown.compute, bench_result.store)
+    emit_report("tab_drop_fig2", mta_breakdown.build_table(stats).render())
+
+    # Paper: unknown recipient 62.36 % of incoming dominates every other
+    # reason by an order of magnitude.
+    shares = stats.drop_shares
+    assert 0.5 < shares[DropReason.UNKNOWN_RECIPIENT] < 0.8
+    assert 0.02 < shares[DropReason.UNRESOLVABLE_DOMAIN] < 0.08
+    assert 0.01 < shares[DropReason.NO_RELAY] < 0.05
+    assert shares[DropReason.MALFORMED] < 0.005
+    assert shares[DropReason.SENDER_REJECTED] < 0.005
+    # Paper: 249/1000 reach the CR filter at closed relays; open relays
+    # pass most messages onward.
+    assert 0.18 < stats.closed_pass_rate < 0.35
+    assert stats.open_pass_rate > 1.5 * stats.closed_pass_rate

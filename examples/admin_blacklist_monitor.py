@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Administrator view: challenge-server blacklisting (§5.1).
+
+Replays the paper's two measurement methods over a simulated deployment:
+
+1. the bounce-log method — per company, the ratio between challenges sent
+   and blacklist-related delivery errors;
+2. the probe method — the 4-hourly DNSBL probe of every outbound server
+   IP, summarised as listed-days per server.
+
+It then quantifies the benefit of the dual-MTA configuration a third of
+the paper's installations used: when the *challenge* IP gets blacklisted,
+ordinary user mail keeps flowing from the untainted user-MTA IP.
+
+Usage::
+
+    python examples/admin_blacklist_monitor.py [--preset tiny|small|bench]
+"""
+
+import argparse
+from collections import defaultdict
+
+from repro.analysis import blacklisting
+from repro.experiments import run_simulation
+from repro.util.render import TextTable
+from repro.util.simtime import DAY
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="small")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print(f"Simulating preset={args.preset!r} ...")
+    result = run_simulation(args.preset, seed=args.seed)
+    print(blacklisting.render(result.store, result.info))
+
+    # Dual-MTA mitigation: compare listed-days of challenge IPs vs the
+    # user-mail IPs of the same dual-configured companies.
+    listed_days = defaultdict(set)
+    for probe in result.store.probes:
+        if probe.listed:
+            listed_days[probe.ip].add(int(probe.t // DAY))
+
+    table = TextTable(
+        headers=[
+            "company",
+            "config",
+            "challenge IP listed-days",
+            "user-mail IP listed-days",
+        ],
+        title="Dual-MTA mitigation (Sec. 5.1): damage stays on the challenge IP",
+    )
+    shown = 0
+    for company_id, installation in sorted(result.installations.items()):
+        config = installation.config
+        challenge_days = len(listed_days.get(config.challenge_ip, ()))
+        user_days = len(listed_days.get(config.mta_out_ip, ()))
+        if challenge_days == 0 and user_days == 0:
+            continue
+        table.add_row(
+            company_id,
+            "dual" if config.dual_outbound else "single",
+            challenge_days,
+            user_days if config.dual_outbound else "(same IP)",
+        )
+        shown += 1
+    if shown:
+        print()
+        print(table.render())
+    else:
+        print("\n(no server was blacklisted during this run)")
+
+    # Probe timeline of the worst server.
+    worst_ip = max(
+        {p.ip for p in result.store.probes},
+        key=lambda ip: len(listed_days.get(ip, ())),
+    )
+    if listed_days.get(worst_ip):
+        days = sorted(listed_days[worst_ip])
+        print(
+            f"\nWorst server {worst_ip}: listed on {len(days)} days "
+            f"(days {days[0]}..{days[-1]} of {result.info.horizon_days:.0f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

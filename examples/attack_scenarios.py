@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Attacks the paper scoped out, evaluated end-to-end (§6 / Limitations).
+
+Two adversarial scenarios against one victim company:
+
+1. **Trap bombing** — the attacker forges spam whose envelope senders are
+   spam-trap addresses, so every reflected challenge hits a trap and the
+   victim's challenge server gets blacklisted ("an attacker could
+   intentionally forge malicious messages with the goal of forcing the
+   server to send back the challenge to spam trap addresses", §6).
+2. **Whitelist spoofing** — the attacker forges likely-whitelisted sender
+   addresses, walking spam straight into the inbox ("trying to spoof the
+   sender address using a likely-whitelisted address", §7/Limitations).
+
+For each attack the study compares a baseline run against an attacked run
+of the *same seed* and reports the damage.
+
+Usage::
+
+    python examples/attack_scenarios.py [--preset tiny|small] [--seed N]
+"""
+
+import argparse
+
+from repro.core.message import MessageKind
+from repro.core.spools import Category
+from repro.experiments import run_simulation
+from repro.util.render import TextTable
+from repro.util.simtime import DAY
+from repro.workload.attacks import TrapBombingAttack, WhitelistSpoofingAttack
+
+VICTIM = "c01"
+
+
+def listed_days(result, ip):
+    days = set()
+    for probe in result.store.probes:
+        if probe.ip == ip and probe.listed:
+            days.add(int(probe.t // DAY))
+    return len(days)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="tiny")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rate", type=float, default=120.0,
+                        help="attack messages per day")
+    args = parser.parse_args()
+
+    print("Baseline run ...")
+    baseline = run_simulation(args.preset, seed=args.seed)
+
+    print("Trap-bombing run ...")
+    bombed = run_simulation(
+        args.preset,
+        seed=args.seed,
+        scenarios=[
+            TrapBombingAttack(
+                company_id=VICTIM, messages_per_day=args.rate,
+                start_day=1, duration_days=6,
+            )
+        ],
+    )
+    print("Whitelist-spoofing run ...")
+    spoofed = run_simulation(
+        args.preset,
+        seed=args.seed,
+        scenarios=[
+            WhitelistSpoofingAttack(
+                company_id=VICTIM, messages_per_day=args.rate,
+                start_day=1, duration_days=6, guess_prob=0.5,
+            )
+        ],
+    )
+
+    victim_ip = baseline.installations[VICTIM].challenge_mta.ip
+
+    table = TextTable(
+        headers=["quantity", "baseline", "attacked"],
+        title=f"Trap bombing vs {VICTIM} ({args.rate:.0f} msg/day for 6 days)",
+    )
+    table.add_row(
+        "victim challenge-IP listed-days",
+        listed_days(baseline, victim_ip),
+        listed_days(bombed, victim_ip),
+    )
+    base_bl = sum(
+        1 for o in baseline.store.challenge_outcomes
+        if o.company_id == VICTIM and o.bounce_reason is not None
+        and o.bounce_reason.value == "blacklisted"
+    )
+    bomb_bl = sum(
+        1 for o in bombed.store.challenge_outcomes
+        if o.company_id == VICTIM and o.bounce_reason is not None
+        and o.bounce_reason.value == "blacklisted"
+    )
+    table.add_row("victim blacklist bounces", base_bl, bomb_bl)
+    print()
+    print(table.render())
+
+    # Whitelist spoofing damage: attack spam reaching the inbox.
+    attack_records = [
+        r for r in spoofed.store.dispatch if r.campaign_id == "attack-spoof"
+    ]
+    delivered_white = sum(
+        1 for r in attack_records if r.category is Category.WHITE
+    )
+    table = TextTable(
+        headers=["quantity", "value"],
+        title=f"Whitelist spoofing vs {VICTIM} (guess_prob=0.5)",
+    )
+    table.add_row("attack messages accepted", len(attack_records))
+    table.add_row("delivered straight to inbox (whitelisted)", delivered_white)
+    if attack_records:
+        table.add_row(
+            "inbox hit rate",
+            f"{100.0 * delivered_white / len(attack_records):.1f}%",
+        )
+    baseline_inbox_spam = sum(
+        1
+        for r in baseline.store.dispatch
+        if r.kind is MessageKind.SPAM and r.category is Category.WHITE
+    )
+    table.add_row("(baseline whitelisted spam, whole fleet)", baseline_inbox_spam)
+    print()
+    print(table.render())
+    print(
+        "\nReading: CR systems are 'ineffective by design against targeted"
+        "\nattacks' (Sec. 4.1) — sender knowledge converts directly into"
+        "\ninbox deliveries — and a trap-bombing adversary can force the"
+        "\nchallenge server onto blacklists at modest cost (Sec. 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

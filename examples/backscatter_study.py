@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Backscatter what-if study: how the auxiliary filters shape the
+reflection ratio R (§3.1's "Understanding the Reflection Ratio").
+
+The paper argues that R is bounded by two useless extremes: with no
+auxiliary filters a CR system "would just act as a spam multiplier"
+(R approaching the spam share of traffic), while a perfect internal spam
+filter would leave nothing for the CR mechanism to do. This study runs the
+same deployment under five filter configurations and reports, for each:
+
+* the reflection ratio R at the CR filter;
+* the worst-case backscatter ratio beta;
+* how many challenges were sent, and how many were misdirected
+  (delivered to people who never mailed us, or bounced into the void).
+
+Usage::
+
+    python examples/backscatter_study.py [--preset tiny|small] [--seed N]
+"""
+
+import argparse
+
+from repro.analysis import challenges, reflection
+from repro.core.config import FilterSettings
+from repro.experiments import run_simulation
+from repro.util.render import TextTable
+
+CONFIGS = [
+    ("no filters (naive CR)", FilterSettings(
+        antivirus=False, reverse_dns=False, rbl=False)),
+    ("antivirus only", FilterSettings(reverse_dns=False, rbl=False)),
+    ("antivirus + reverse DNS", FilterSettings(rbl=False)),
+    ("full product (AV+rDNS+RBL)", None),  # per-company defaults
+    ("full product + inline SPF", FilterSettings(spf=True)),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="tiny")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    table = TextTable(
+        headers=[
+            "filter configuration",
+            "R (CR filter)",
+            "beta (worst case)",
+            "challenges sent",
+            "delivered, never solved",
+            "bounced/expired",
+        ],
+        title="Sec. 3.1 what-if — reflection vs auxiliary filtering",
+    )
+    for label, filters in CONFIGS:
+        print(f"running: {label} ...")
+        result = run_simulation(
+            args.preset, seed=args.seed, filters_template=filters
+        )
+        refl = reflection.compute(result.store)
+        stats = challenges.compute(result.store)
+        table.add_row(
+            label,
+            f"{100.0 * refl.reflection_cr:.1f}%",
+            f"{100.0 * refl.beta_cr:.1f}%",
+            refl.challenges,
+            stats.delivered - stats.solved,
+            stats.resolved - stats.delivered,
+        )
+    print()
+    print(table.render())
+    print(
+        "\nReading: without filters the CR system reflects a large share of"
+        "\nits spam load back at (mostly innocent or non-existent) senders;"
+        "\neach added filter trades challenges for silent drops. The paper's"
+        "\ndeployed configuration sits at R ~ 19% — enough reflected"
+        "\nchallenges to be useful, few enough to bound the backscatter."
+    )
+
+
+if __name__ == "__main__":
+    main()

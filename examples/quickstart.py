@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a small CR-protected deployment and print the
+paper's headline statistics.
+
+Runs a 6-company deployment for 10 simulated days (a few seconds of wall
+time), then regenerates the core artifacts of the paper from the logs:
+the MTA drop table (§2), the per-1000 message lifecycle (Fig. 1), the
+challenge statistics (Fig. 4), and the reflection/backscatter ratios
+(§3.1–3.3).
+
+Usage::
+
+    python examples/quickstart.py [--preset tiny|small|bench] [--seed N]
+"""
+
+import argparse
+
+from repro.analysis import challenges, flow, general_stats, mta_breakdown, reflection
+from repro.experiments import run_simulation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="tiny", help="scale preset")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print(f"Simulating preset={args.preset!r} seed={args.seed} ...")
+    result = run_simulation(args.preset, seed=args.seed)
+    store = result.store
+    print(
+        f"done in {result.wall_seconds:.1f}s wall time: "
+        f"{len(store.mta):,} messages through {result.info.n_companies} "
+        f"companies over {result.info.horizon_days:.0f} days\n"
+    )
+
+    print(mta_breakdown.render(store))
+    print()
+    print(flow.render(store))
+    print()
+    print(challenges.render(store))
+    print()
+    print(reflection.render(store))
+    print()
+    print(general_stats.render(store, result.info))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""SPF ablation: from the paper's offline estimate to an inline filter.
+
+§5.2 / Fig. 12 of the paper estimates — offline, over the gray spool —
+what adding an SPF check would buy. This study goes one step further and
+actually *deploys* SPF in the product's filter chain, then compares:
+
+* the offline estimate on the baseline run (the paper's method), and
+* the measured difference between the baseline deployment and one with
+  the inline SPF filter (challenges avoided, solved challenges lost).
+
+Usage::
+
+    python examples/spf_ablation.py [--preset tiny|small] [--seed N]
+"""
+
+import argparse
+
+from repro.analysis import challenges, spf_study
+from repro.core.config import FilterSettings
+from repro.experiments import run_simulation
+from repro.util.render import TextTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="small")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print("Baseline run (no SPF, as deployed in the paper) ...")
+    baseline = run_simulation(args.preset, seed=args.seed)
+    print("Ablation run (inline SPF filter enabled) ...")
+    with_spf = run_simulation(
+        args.preset, seed=args.seed, filters_template=FilterSettings(spf=True)
+    )
+
+    print()
+    print("Paper's method — offline SPF test over the baseline gray spool:")
+    print(spf_study.render(baseline.store))
+
+    base = challenges.compute(baseline.store)
+    spf = challenges.compute(with_spf.store)
+    table = TextTable(
+        headers=["quantity", "baseline", "inline SPF", "change"],
+        title="Deployed ablation — what inline SPF actually changes",
+    )
+
+    def row(label, a, b):
+        change = f"{100.0 * (b - a) / a:+.1f}%" if a else "n/a"
+        table.add_row(label, a, b, change)
+
+    row("challenges sent", base.sent, spf.sent)
+    row("challenges delivered", base.delivered, spf.delivered)
+    row(
+        "bounced (non-existent recipient)",
+        base.bounced_nonexistent,
+        spf.bounced_nonexistent,
+    )
+    row("expired after retries", base.expired, spf.expired)
+    row("challenges solved", base.solved, spf.solved)
+    print()
+    print(table.render())
+    print(
+        "\nReading: inline SPF prunes a few percent of the bad challenges"
+        "\n(bounced/expired) while costing a fraction of a percent of the"
+        "\nsolved ones — matching the offline Fig. 12 estimate. The paper"
+        "\nconcludes the trade-off is favourable but small."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — reproduction of the IMC 2011 challenge-response spam filter study.
+
+This package rebuilds, from scratch, the three layers behind Isacenkova &
+Balzarotti's measurement paper:
+
+* :mod:`repro.core` — the challenge-response (CR) anti-spam product itself
+  (inbound MTA, dispatcher, spools, whitelists, CAPTCHA challenges, digests,
+  auxiliary filters);
+* :mod:`repro.net` and :mod:`repro.blacklistd` — the simulated internet the
+  product lives in (DNS, SMTP routing, remote hosts, spam traps, DNSBLs);
+* :mod:`repro.workload` — a synthetic six-month workload calibrated to the
+  paper's published aggregates;
+* :mod:`repro.analysis` and :mod:`repro.experiments` — the measurement
+  pipeline that regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro.experiments import run_simulation
+    from repro.analysis import general_stats
+
+    result = run_simulation(preset="tiny", seed=7)
+    print(general_stats.build_table(result.store).render())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""Entry point for ``python -m repro``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any
+        # well-behaved unix tool.
+        sys.stderr.close()
+        sys.exit(0)

@@ -1,0 +1,13 @@
+"""The measurement pipeline: log records, the aggregation store, and one
+analysis module per paper table/figure.
+
+This package plays the role of the paper's "Postgres database ... later
+analyzed and correlated by a number of Python scripts" (§2): the simulation
+appends typed log records to a :class:`~repro.analysis.store.LogStore`, and
+each analysis module re-derives a published table or figure *only* from
+those records — never from the workload's ground-truth configuration.
+"""
+
+from repro.analysis.store import LogStore
+
+__all__ = ["LogStore"]

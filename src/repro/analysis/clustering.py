@@ -1,0 +1,237 @@
+"""Figure 6 / §4.1: spam-campaign clustering and spurious deliveries.
+
+The paper clusters gray-spool messages by exact subject (at least 10 words
+long, clusters of at least 50 messages) and splits the clusters by sender
+similarity:
+
+* high sender similarity (few senders / near-identical addresses like
+  ``dept-x.p@scn-1.com``) — newsletters and marketing campaigns; some have
+  solved-challenge rates as high as 97 %;
+* low sender similarity (many senders across many domains) — botnet spam;
+  ~31 % of their challenges bounce for non-existent recipients and at most
+  one or two CAPTCHAs per cluster get solved.
+
+Only 28 of 1,775 clusters contained a solved challenge, and the solved ones
+in low-similarity clusters are the backscatter mechanism behind roughly one
+spurious spam delivery per 10,000 challenges.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.context import DeploymentInfo
+from repro.analysis.store import LogStore
+from repro.core.challenge import WebAction
+from repro.core.message import MessageKind
+from repro.core.spools import Category, ReleaseMechanism
+from repro.net.smtp import BounceReason
+from repro.util.render import ComparisonTable, TextTable
+from repro.util.stats import safe_ratio
+
+#: A cluster counts as "high sender similarity" when this share of its
+#: messages comes from one sender domain (the paper's qualitative split).
+HIGH_SIMILARITY_DOMAIN_SHARE = 0.8
+MIN_SUBJECT_WORDS = 10
+
+
+@dataclass(frozen=True)
+class Cluster:
+    subject: str
+    size: int
+    distinct_senders: int
+    distinct_domains: int
+    dominant_domain_share: float
+    challenges: int
+    solved: int
+    bounced_nonexistent: int
+
+    @property
+    def high_similarity(self) -> bool:
+        return self.dominant_domain_share >= HIGH_SIMILARITY_DOMAIN_SHARE
+
+    @property
+    def solve_rate(self) -> float:
+        return safe_ratio(self.solved, self.challenges)
+
+    @property
+    def bounce_rate(self) -> float:
+        return safe_ratio(self.bounced_nonexistent, self.challenges)
+
+
+@dataclass(frozen=True)
+class ClusteringStats:
+    clusters: Sequence[Cluster]
+    spurious_deliveries: int
+    challenges_sent: int
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def clusters_with_solved(self) -> int:
+        return sum(1 for c in self.clusters if c.solved > 0)
+
+    @property
+    def high_similarity_clusters(self) -> Sequence[Cluster]:
+        return [c for c in self.clusters if c.high_similarity]
+
+    @property
+    def low_similarity_clusters(self) -> Sequence[Cluster]:
+        return [c for c in self.clusters if not c.high_similarity]
+
+    @property
+    def spurious_rate(self) -> float:
+        """Spurious spam deliveries per challenge sent (paper ~1e-4)."""
+        return safe_ratio(self.spurious_deliveries, self.challenges_sent)
+
+
+def compute(store: LogStore, info: DeploymentInfo) -> ClusteringStats:
+    """Cluster quarantined gray messages by exact subject."""
+    min_size = info.min_cluster_size
+
+    # Collect quarantined messages (the gray spool: gray and not
+    # filter-dropped), keyed by subject.
+    by_subject: dict = defaultdict(list)
+    for record in store.dispatch:
+        if record.category is not Category.GRAY or record.filter_drop is not None:
+            continue
+        if len(record.subject.split()) < MIN_SUBJECT_WORDS:
+            continue
+        by_subject[record.subject].append(record)
+
+    solved_ids = {
+        (w.company_id, w.challenge_id)
+        for w in store.web_access
+        if w.action is WebAction.SOLVE
+    }
+    outcome_by_id = {
+        (o.company_id, o.challenge_id): o for o in store.challenge_outcomes
+    }
+
+    clusters = []
+    for subject, records in by_subject.items():
+        if len(records) < min_size:
+            continue
+        senders = {r.env_from for r in records}
+        domain_counts = Counter(
+            r.env_from.rsplit("@", 1)[-1] for r in records
+        )
+        dominant_share = domain_counts.most_common(1)[0][1] / len(records)
+        challenge_ids = {
+            (r.company_id, r.challenge_id)
+            for r in records
+            if r.challenge_id is not None and r.challenge_created
+        }
+        solved = len(challenge_ids & solved_ids)
+        bounced = 0
+        for key in challenge_ids:
+            outcome = outcome_by_id.get(key)
+            if (
+                outcome is not None
+                and outcome.bounce_reason is BounceReason.NONEXISTENT_RECIPIENT
+            ):
+                bounced += 1
+        clusters.append(
+            Cluster(
+                subject=subject,
+                size=len(records),
+                distinct_senders=len(senders),
+                distinct_domains=len(domain_counts),
+                dominant_domain_share=dominant_share,
+                challenges=len(challenge_ids),
+                solved=solved,
+                bounced_nonexistent=bounced,
+            )
+        )
+    clusters.sort(key=lambda c: c.size, reverse=True)
+
+    spurious = sum(
+        1
+        for r in store.releases
+        if r.mechanism is ReleaseMechanism.CAPTCHA and r.kind is MessageKind.SPAM
+    )
+    return ClusteringStats(
+        clusters=clusters,
+        spurious_deliveries=spurious,
+        challenges_sent=len(store.challenges),
+    )
+
+
+def build_table(stats: ClusteringStats, info: DeploymentInfo) -> ComparisonTable:
+    table = ComparisonTable(
+        "Fig. 6 / Sec. 4.1 — gray-spool subject clustering "
+        f"(min cluster size {info.min_cluster_size} at this scale; paper used 50)"
+    )
+    table.add("clusters found (paper: 1775 at full scale)", None, stats.n_clusters)
+    table.add("clusters with >=1 solved challenge (paper: 28/1775)", None,
+              stats.clusters_with_solved)
+    if stats.clusters:
+        sizes = [c.size for c in stats.clusters]
+        table.add("largest cluster size", None, max(sizes))
+    high = stats.high_similarity_clusters
+    low = stats.low_similarity_clusters
+    table.add("high sender-similarity clusters", None, len(high))
+    table.add("low sender-similarity clusters", None, len(low))
+    solving_high = [c for c in high if c.solved > 0]
+    if solving_high:
+        table.add(
+            "max solve rate in high-similarity clusters",
+            97.0,
+            100.0 * max(c.solve_rate for c in solving_high),
+            "%",
+        )
+    if low:
+        avg_bounce = sum(c.bounce_rate for c in low) / len(low)
+        table.add(
+            "avg non-existent bounce rate, low-similarity clusters",
+            31.0,
+            100.0 * avg_bounce,
+            "%",
+        )
+        solving_low = [c for c in low if c.solved > 0]
+        if solving_low:
+            avg_solved = sum(c.solved for c in solving_low) / len(solving_low)
+            table.add(
+                "avg solved per solving low-similarity cluster (paper: 1-2)",
+                1.5,
+                avg_solved,
+            )
+    table.add(
+        "spurious spam deliveries per 10k challenges",
+        1.0,
+        1e4 * stats.spurious_rate,
+    )
+    return table
+
+
+def build_top_clusters_table(stats: ClusteringStats, top: int = 10) -> TextTable:
+    table = TextTable(
+        headers=["size", "senders", "domains", "similarity", "challenges",
+                 "solved", "subject"],
+        title=f"Fig. 6 — top {top} clusters",
+    )
+    for cluster in stats.clusters[:top]:
+        table.add_row(
+            cluster.size,
+            cluster.distinct_senders,
+            cluster.distinct_domains,
+            "high" if cluster.high_similarity else "low",
+            cluster.challenges,
+            cluster.solved,
+            cluster.subject[:48],
+        )
+    return table
+
+
+def render(store: LogStore, info: DeploymentInfo) -> str:
+    stats = compute(store, info)
+    return "\n\n".join(
+        [
+            build_table(stats, info).render(),
+            build_top_clusters_table(stats).render(),
+        ]
+    )

@@ -1,0 +1,229 @@
+"""Per-company drill-down: one installation's complete profile.
+
+The paper reports fleet-wide aggregates; an administrator of a single
+installation wants the same quantities for *their* server: the message
+flow, the challenge fates, the CAPTCHA statistics, digest burden, and the
+blacklisting exposure of their outbound IPs. This report assembles all of
+it from the shared logs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.analysis.context import DeploymentInfo
+from repro.analysis.store import LogStore
+from repro.core.challenge import WebAction
+from repro.core.mta_in import DropReason
+from repro.core.spools import Category, ReleaseMechanism
+from repro.net.smtp import BounceReason, FinalStatus
+from repro.util.render import TextTable
+from repro.util.simtime import DAY
+from repro.util.stats import safe_ratio
+
+
+@dataclass(frozen=True)
+class CompanyProfile:
+    company_id: str
+    users: int
+    open_relay: bool
+    inbound_total: int
+    inbound_per_day: float
+    drop_shares: Mapping[DropReason, float]
+    accepted: int
+    white: int
+    black: int
+    gray: int
+    filter_drops: Mapping[str, int]
+    challenges_sent: int
+    challenges_delivered: int
+    challenges_bounced_nonexistent: int
+    challenges_bounced_blacklisted: int
+    challenges_expired: int
+    captchas_solved: int
+    released_captcha: int
+    released_digest: int
+    mean_digest_size: float
+    listed_days_by_ip: Mapping[str, int]
+
+    @property
+    def reflection(self) -> float:
+        return safe_ratio(self.challenges_sent, self.accepted)
+
+    @property
+    def white_share(self) -> float:
+        return safe_ratio(self.white, self.accepted)
+
+    @property
+    def solved_share(self) -> float:
+        return safe_ratio(self.captchas_solved, self.challenges_sent)
+
+
+def compute(
+    store: LogStore, info: DeploymentInfo, company_id: str
+) -> CompanyProfile:
+    """Build one company's profile from the shared logs.
+
+    Raises ``KeyError`` when the company never appears in the MTA logs.
+    """
+    inbound_total = 0
+    dropped: Counter = Counter()
+    open_relay = False
+    for record in store.mta:
+        if record.company_id != company_id:
+            continue
+        inbound_total += 1
+        open_relay = record.open_relay
+        if record.drop_reason is not None:
+            dropped[record.drop_reason] += 1
+    if inbound_total == 0:
+        raise KeyError(f"no traffic recorded for company {company_id!r}")
+
+    white = black = gray = 0
+    filter_drops: Counter = Counter()
+    for record in store.dispatch:
+        if record.company_id != company_id:
+            continue
+        if record.category is Category.WHITE:
+            white += 1
+        elif record.category is Category.BLACK:
+            black += 1
+        else:
+            gray += 1
+            if record.filter_drop:
+                filter_drops[record.filter_drop] += 1
+
+    challenges_sent = 0
+    server_ips = set()
+    for record in store.challenges:
+        if record.company_id == company_id:
+            challenges_sent += 1
+            server_ips.add(record.server_ip)
+
+    delivered = bounced_nonexistent = bounced_blacklisted = expired = 0
+    for outcome in store.challenge_outcomes:
+        if outcome.company_id != company_id:
+            continue
+        if outcome.status is FinalStatus.DELIVERED:
+            delivered += 1
+        elif outcome.status is FinalStatus.EXPIRED:
+            expired += 1
+        elif outcome.bounce_reason is BounceReason.NONEXISTENT_RECIPIENT:
+            bounced_nonexistent += 1
+        elif outcome.bounce_reason is BounceReason.BLACKLISTED:
+            bounced_blacklisted += 1
+
+    solved = sum(
+        1
+        for w in store.web_access
+        if w.company_id == company_id and w.action is WebAction.SOLVE
+    )
+    released = Counter(
+        r.mechanism
+        for r in store.releases
+        if r.company_id == company_id
+    )
+    digest_sizes = [
+        r.pending_count for r in store.digests if r.company_id == company_id
+    ]
+    listed_days: dict = defaultdict(set)
+    for probe in store.probes:
+        if probe.listed and probe.ip in server_ips:
+            listed_days[probe.ip].add(int(probe.t // DAY))
+
+    accepted = inbound_total - sum(dropped.values())
+    return CompanyProfile(
+        company_id=company_id,
+        users=info.users_per_company.get(company_id, 0),
+        open_relay=open_relay,
+        inbound_total=inbound_total,
+        inbound_per_day=inbound_total / max(info.horizon_days, 1e-9),
+        drop_shares={
+            reason: dropped.get(reason, 0) / inbound_total
+            for reason in DropReason
+        },
+        accepted=accepted,
+        white=white,
+        black=black,
+        gray=gray,
+        filter_drops=dict(filter_drops),
+        challenges_sent=challenges_sent,
+        challenges_delivered=delivered,
+        challenges_bounced_nonexistent=bounced_nonexistent,
+        challenges_bounced_blacklisted=bounced_blacklisted,
+        challenges_expired=expired,
+        captchas_solved=solved,
+        released_captcha=released.get(ReleaseMechanism.CAPTCHA, 0),
+        released_digest=released.get(ReleaseMechanism.DIGEST, 0),
+        mean_digest_size=(
+            sum(digest_sizes) / len(digest_sizes) if digest_sizes else 0.0
+        ),
+        listed_days_by_ip={ip: len(days) for ip, days in listed_days.items()},
+    )
+
+
+def build_table(profile: CompanyProfile) -> TextTable:
+    table = TextTable(
+        headers=["quantity", "value"],
+        title=(
+            f"Installation report — {profile.company_id} "
+            f"({'open relay' if profile.open_relay else 'closed relay'}, "
+            f"{profile.users} protected users)"
+        ),
+    )
+    table.add_row("inbound messages", profile.inbound_total)
+    table.add_row("inbound per day", f"{profile.inbound_per_day:,.0f}")
+    table.add_row(
+        "dropped at MTA",
+        f"{100.0 * sum(profile.drop_shares.values()):.1f}%",
+    )
+    table.add_row("reached dispatcher", profile.accepted)
+    table.add_row(
+        "white / black / gray",
+        f"{profile.white} / {profile.black} / {profile.gray}",
+    )
+    for name, count in sorted(profile.filter_drops.items()):
+        table.add_row(f"gray dropped by {name}", count)
+    table.add_row("challenges sent", profile.challenges_sent)
+    table.add_row(
+        "reflection ratio", f"{100.0 * profile.reflection:.1f}%"
+    )
+    table.add_row(
+        "challenge fates (deliv/550/554/expired)",
+        f"{profile.challenges_delivered} / "
+        f"{profile.challenges_bounced_nonexistent} / "
+        f"{profile.challenges_bounced_blacklisted} / "
+        f"{profile.challenges_expired}",
+    )
+    table.add_row(
+        "CAPTCHAs solved",
+        f"{profile.captchas_solved} ({100.0 * profile.solved_share:.1f}% of sent)",
+    )
+    table.add_row(
+        "released to inbox (captcha/digest)",
+        f"{profile.released_captcha} / {profile.released_digest}",
+    )
+    table.add_row("mean digest size", f"{profile.mean_digest_size:.1f}")
+    if profile.listed_days_by_ip:
+        for ip, days in sorted(profile.listed_days_by_ip.items()):
+            table.add_row(f"server {ip} blacklisted", f"{days} days")
+    else:
+        table.add_row("blacklisting", "never listed")
+    return table
+
+
+def render(
+    store: LogStore, info: DeploymentInfo, company_id: str
+) -> str:
+    return build_table(compute(store, info, company_id)).render()
+
+
+def render_all(
+    store: LogStore, info: DeploymentInfo, limit: Optional[int] = None
+) -> str:
+    """Profiles for every company (or the *limit* largest by traffic)."""
+    volumes: Counter = Counter(r.company_id for r in store.mta)
+    ordered = [company for company, _ in volumes.most_common(limit)]
+    return "\n\n".join(render(store, info, company) for company in ordered)

@@ -1,0 +1,126 @@
+"""Figure 3: message categories at the internal processing engine.
+
+Paper anchors: the auxiliary filters drop on average 54 % of gray emails
+and challenges are generated for 28 % of them (Fig. 3); §5.2 instead quotes
+the filters dropping 77.5 % of the gray spool, and Table 1's per-filter
+counts imply 62.9 % — the paper is internally inconsistent here, so we
+report our measured split against all three anchors. Open relays send ~9 %
+more challenges ("an extra 9%").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.store import LogStore
+from repro.core.spools import Category
+from repro.util.render import ComparisonTable
+from repro.util.stats import safe_ratio
+
+#: Table 1 per-filter drop counts → shares of the gray spool.
+PAPER_FILTER_SHARES = {
+    "reverse_dns": 3_526_506 / 11_590_532,
+    "rbl": 4_973_755 / 11_590_532,
+    "antivirus": 267_630 / 11_590_532,
+}
+
+
+@dataclass(frozen=True)
+class EngineBreakdown:
+    gray_total: int
+    #: Fraction of gray mail dropped by each filter.
+    filter_shares: Mapping[str, float]
+    filter_drop_share: float
+    #: Fraction of gray mail for which a challenge email was sent.
+    challenged_share: float
+    #: Fraction attached to an already-pending challenge (no email sent).
+    suppressed_share: float
+    #: Challenges per engine message, closed vs open relays.
+    challenge_rate_closed: float
+    challenge_rate_open: float
+
+    @property
+    def open_relay_extra(self) -> float:
+        """Relative challenge-rate increase at open relays (paper: +9 %)."""
+        if self.challenge_rate_closed == 0:
+            return 0.0
+        return self.challenge_rate_open / self.challenge_rate_closed - 1.0
+
+
+def compute(store: LogStore) -> EngineBreakdown:
+    gray_total = 0
+    drops: Counter = Counter()
+    challenged = 0
+    suppressed = 0
+    counts = {True: [0, 0], False: [0, 0]}  # open_relay -> [msgs, challenges]
+    for record in store.dispatch:
+        counts[record.open_relay][0] += 1
+        if record.challenge_created:
+            counts[record.open_relay][1] += 1
+        if record.category is not Category.GRAY:
+            continue
+        gray_total += 1
+        if record.filter_drop is not None:
+            drops[record.filter_drop] += 1
+        elif record.challenge_created:
+            challenged += 1
+        else:
+            suppressed += 1
+    filter_shares = {
+        name: safe_ratio(count, gray_total) for name, count in drops.items()
+    }
+    return EngineBreakdown(
+        gray_total=gray_total,
+        filter_shares=filter_shares,
+        filter_drop_share=safe_ratio(sum(drops.values()), gray_total),
+        challenged_share=safe_ratio(challenged, gray_total),
+        suppressed_share=safe_ratio(suppressed, gray_total),
+        challenge_rate_closed=safe_ratio(counts[False][1], counts[False][0]),
+        challenge_rate_open=safe_ratio(counts[True][1], counts[True][0]),
+    )
+
+
+def build_table(breakdown: EngineBreakdown) -> ComparisonTable:
+    table = ComparisonTable(
+        "Fig. 3 — message categories at the internal processing engine "
+        "(shares of the gray spool)"
+    )
+    for name, paper_share in PAPER_FILTER_SHARES.items():
+        table.add(
+            f"dropped by {name} filter",
+            100.0 * paper_share,
+            100.0 * breakdown.filter_shares.get(name, 0.0),
+            "%",
+        )
+    table.add(
+        "dropped by filters, total "
+        "(paper quotes 54% in Fig.3 / 62.9% via Table 1 / 77.5% in Sec 5.2)",
+        62.9,
+        100.0 * breakdown.filter_drop_share,
+        "%",
+    )
+    table.add(
+        "challenge sent (Fig. 3: 28%)",
+        28.0,
+        100.0 * breakdown.challenged_share,
+        "%",
+    )
+    table.add(
+        "attached to pending challenge",
+        None,
+        100.0 * breakdown.suppressed_share,
+        "%",
+    )
+    table.add(
+        "open-relay extra challenge rate",
+        9.0,
+        100.0 * breakdown.open_relay_extra,
+        "%",
+    )
+    return table
+
+
+def render(store: LogStore) -> str:
+    return build_table(compute(store)).render()

@@ -1,0 +1,338 @@
+"""Save/load the measurement database as JSON-lines.
+
+The paper stored its extracted log records in Postgres and analysed them
+later; this module provides the equivalent decoupling — simulate once,
+persist the :class:`~repro.analysis.store.LogStore` (plus the deployment
+metadata), and re-run any analysis offline::
+
+    python -m repro run --preset bench --save run.jsonl
+    python -m repro experiment fig4a --load run.jsonl
+
+Format: one JSON object per line; the first line is a header carrying the
+schema version and the :class:`~repro.analysis.context.DeploymentInfo`;
+every other line is one record tagged with its log type.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.context import DeploymentInfo
+from repro.analysis.records import (
+    ChallengeOutcomeRecord,
+    ChallengeRecord,
+    DigestRecord,
+    DispatchRecord,
+    ExpiryRecord,
+    MtaRecord,
+    OutboundMailRecord,
+    ReleaseRecord,
+    WebAccessRecord,
+    WhitelistChangeRecord,
+)
+from repro.analysis.store import LogStore
+from repro.blacklistd.monitor import ProbeObservation
+from repro.core.challenge import WebAction
+from repro.core.filters.spf import SpfResult
+from repro.core.message import MessageKind, SenderClass
+from repro.core.mta_in import DropReason
+from repro.core.spools import Category, ReleaseMechanism
+from repro.core.whitelist import WhitelistSource
+from repro.net.smtp import BounceReason, FinalStatus
+
+SCHEMA_VERSION = 1
+
+
+class PersistenceError(ValueError):
+    """Raised on malformed or incompatible log files."""
+
+
+@dataclass(frozen=True)
+class LoadedRun:
+    """A persisted run, sufficient for every analysis (store + info)."""
+
+    store: LogStore
+    info: DeploymentInfo
+
+
+def _enum_or_none(enum_cls, value):
+    return None if value is None else enum_cls(value)
+
+
+def _encode_mta(r: MtaRecord) -> dict:
+    return {
+        "c": r.company_id,
+        "t": r.t,
+        "m": r.msg_id,
+        "d": r.drop_reason.value if r.drop_reason else None,
+        "o": r.open_relay,
+        "s": r.size,
+    }
+
+
+def _decode_mta(d: dict) -> MtaRecord:
+    return MtaRecord(
+        d["c"], d["t"], d["m"], _enum_or_none(DropReason, d["d"]), d["o"], d["s"]
+    )
+
+
+def _encode_dispatch(r: DispatchRecord) -> dict:
+    return {
+        "c": r.company_id,
+        "t": r.t,
+        "m": r.msg_id,
+        "u": r.user,
+        "cat": r.category.value,
+        "fd": r.filter_drop,
+        "ch": r.challenge_id,
+        "cc": r.challenge_created,
+        "f": r.env_from,
+        "subj": r.subject,
+        "s": r.size,
+        "spf": r.spf.value,
+        "k": r.kind.value,
+        "sc": r.sender_class.value,
+        "camp": r.campaign_id,
+        "o": r.open_relay,
+        "p": r.protected_user,
+    }
+
+
+def _decode_dispatch(d: dict) -> DispatchRecord:
+    return DispatchRecord(
+        d["c"],
+        d["t"],
+        d["m"],
+        d["u"],
+        Category(d["cat"]),
+        d["fd"],
+        d["ch"],
+        d["cc"],
+        d["f"],
+        d["subj"],
+        d["s"],
+        SpfResult(d["spf"]),
+        MessageKind(d["k"]),
+        SenderClass(d["sc"]),
+        d["camp"],
+        d["o"],
+        d["p"],
+    )
+
+
+def _encode_challenge(r: ChallengeRecord) -> dict:
+    return {
+        "c": r.company_id,
+        "id": r.challenge_id,
+        "t": r.t,
+        "u": r.user,
+        "snd": r.sender,
+        "ip": r.server_ip,
+        "s": r.size,
+    }
+
+
+def _decode_challenge(d: dict) -> ChallengeRecord:
+    return ChallengeRecord(
+        d["c"], d["id"], d["t"], d["u"], d["snd"], d["ip"], d["s"]
+    )
+
+
+def _encode_outcome(r: ChallengeOutcomeRecord) -> dict:
+    return {
+        "c": r.company_id,
+        "id": r.challenge_id,
+        "st": r.status.value,
+        "br": r.bounce_reason.value if r.bounce_reason else None,
+        "a": r.attempts,
+        "t": r.t_final,
+    }
+
+
+def _decode_outcome(d: dict) -> ChallengeOutcomeRecord:
+    return ChallengeOutcomeRecord(
+        d["c"],
+        d["id"],
+        FinalStatus(d["st"]),
+        _enum_or_none(BounceReason, d["br"]),
+        d["a"],
+        d["t"],
+    )
+
+
+def _encode_web(r: WebAccessRecord) -> dict:
+    return {
+        "c": r.company_id,
+        "id": r.challenge_id,
+        "t": r.t,
+        "a": r.action.value,
+        "ok": r.success,
+    }
+
+
+def _decode_web(d: dict) -> WebAccessRecord:
+    return WebAccessRecord(d["c"], d["id"], d["t"], WebAction(d["a"]), d["ok"])
+
+
+def _encode_release(r: ReleaseRecord) -> dict:
+    return {
+        "c": r.company_id,
+        "u": r.user,
+        "m": r.msg_id,
+        "ta": r.t_arrival,
+        "tr": r.t_release,
+        "mech": r.mechanism.value,
+        "k": r.kind.value,
+    }
+
+
+def _decode_release(d: dict) -> ReleaseRecord:
+    return ReleaseRecord(
+        d["c"],
+        d["u"],
+        d["m"],
+        d["ta"],
+        d["tr"],
+        ReleaseMechanism(d["mech"]),
+        MessageKind(d["k"]),
+    )
+
+
+def _encode_whitelist(r: WhitelistChangeRecord) -> dict:
+    return {
+        "c": r.company_id,
+        "u": r.user,
+        "a": r.address,
+        "t": r.t,
+        "src": r.source.value,
+    }
+
+
+def _decode_whitelist(d: dict) -> WhitelistChangeRecord:
+    return WhitelistChangeRecord(
+        d["c"], d["u"], d["a"], d["t"], WhitelistSource(d["src"])
+    )
+
+
+def _encode_digest(r: DigestRecord) -> dict:
+    return {"c": r.company_id, "u": r.user, "d": r.day, "n": r.pending_count}
+
+
+def _decode_digest(d: dict) -> DigestRecord:
+    return DigestRecord(d["c"], d["u"], d["d"], d["n"])
+
+
+def _encode_expiry(r: ExpiryRecord) -> dict:
+    return {"c": r.company_id, "u": r.user, "m": r.msg_id, "t": r.t}
+
+
+def _decode_expiry(d: dict) -> ExpiryRecord:
+    return ExpiryRecord(d["c"], d["u"], d["m"], d["t"])
+
+
+def _encode_outbound(r: OutboundMailRecord) -> dict:
+    return {"c": r.company_id, "t": r.t, "u": r.user, "r": r.rcpt, "s": r.size}
+
+
+def _decode_outbound(d: dict) -> OutboundMailRecord:
+    return OutboundMailRecord(d["c"], d["t"], d["u"], d["r"], d["s"])
+
+
+def _encode_probe(r: ProbeObservation) -> dict:
+    return {"t": r.t, "ip": r.ip, "svc": r.service, "l": r.listed}
+
+
+def _decode_probe(d: dict) -> ProbeObservation:
+    return ProbeObservation(d["t"], d["ip"], d["svc"], d["l"])
+
+
+#: tag -> (store list attribute, encoder, decoder)
+_CODECS: dict = {
+    "mta": ("mta", _encode_mta, _decode_mta),
+    "dispatch": ("dispatch", _encode_dispatch, _decode_dispatch),
+    "challenge": ("challenges", _encode_challenge, _decode_challenge),
+    "outcome": ("challenge_outcomes", _encode_outcome, _decode_outcome),
+    "web": ("web_access", _encode_web, _decode_web),
+    "release": ("releases", _encode_release, _decode_release),
+    "whitelist": ("whitelist_changes", _encode_whitelist, _decode_whitelist),
+    "digest": ("digests", _encode_digest, _decode_digest),
+    "expiry": ("expiries", _encode_expiry, _decode_expiry),
+    "outbound": ("outbound", _encode_outbound, _decode_outbound),
+    "probe": ("probes", _encode_probe, _decode_probe),
+}
+
+
+def save_run(store: LogStore, info: DeploymentInfo, path) -> int:
+    """Write the store + metadata to *path*; returns records written."""
+    written = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {
+            "type": "header",
+            "schema": SCHEMA_VERSION,
+            "info": {
+                "n_companies": info.n_companies,
+                "n_open_relays": info.n_open_relays,
+                "users_per_company": dict(info.users_per_company),
+                "horizon_days": info.horizon_days,
+                "min_cluster_size": info.min_cluster_size,
+                "volume_scale": info.volume_scale,
+            },
+        }
+        handle.write(json.dumps(header) + "\n")
+        for tag, (attribute, encode, _decode) in _CODECS.items():
+            for record in getattr(store, attribute):
+                payload = encode(record)
+                payload["type"] = tag
+                handle.write(json.dumps(payload) + "\n")
+                written += 1
+    return written
+
+
+def load_run(path) -> LoadedRun:
+    """Read a file written by :func:`save_run`."""
+    store = LogStore()
+    info: Optional[DeploymentInfo] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise PersistenceError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            tag = payload.get("type")
+            if tag == "header":
+                if payload.get("schema") != SCHEMA_VERSION:
+                    raise PersistenceError(
+                        f"unsupported schema {payload.get('schema')!r}"
+                    )
+                raw = payload["info"]
+                info = DeploymentInfo(
+                    n_companies=raw["n_companies"],
+                    n_open_relays=raw["n_open_relays"],
+                    users_per_company=raw["users_per_company"],
+                    horizon_days=raw["horizon_days"],
+                    min_cluster_size=raw["min_cluster_size"],
+                    volume_scale=raw["volume_scale"],
+                )
+                continue
+            codec = _CODECS.get(tag)
+            if codec is None:
+                raise PersistenceError(
+                    f"{path}:{line_number}: unknown record type {tag!r}"
+                )
+            attribute, _encode, decode = codec
+            try:
+                getattr(store, attribute).append(decode(payload))
+            except (KeyError, ValueError) as exc:
+                raise PersistenceError(
+                    f"{path}:{line_number}: bad {tag} record: {exc}"
+                ) from exc
+    if info is None:
+        raise PersistenceError(f"{path}: missing header line")
+    return LoadedRun(store=store, info=info)

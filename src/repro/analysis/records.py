@@ -1,0 +1,236 @@
+"""Typed log records — the schema of our simulated measurement database.
+
+Each record type corresponds to one log source the paper collected:
+
+* :class:`MtaRecord` — MTA-IN logs (accept/drop + reason);
+* :class:`DispatchRecord` — CR-engine logs (spool category, filter drops,
+  challenge linkage, plus header-derived metadata: subject, size, SPF);
+* :class:`ChallengeRecord` / :class:`ChallengeOutcomeRecord` — challenge
+  MTA logs (sent challenges and their delivery status);
+* :class:`WebAccessRecord` — the challenge web server's access logs;
+* :class:`ReleaseRecord` — gray→inbox releases (delay measurements);
+* :class:`WhitelistChangeRecord` — whitelist modifications (churn);
+* :class:`DigestRecord` — daily digest sizes;
+* :class:`ExpiryRecord` — quarantine expirations;
+* :class:`OutboundMailRecord` — outgoing user mail;
+* :class:`~repro.blacklistd.monitor.ProbeObservation` — blacklist probes.
+
+Ground-truth fields (``kind``, ``sender_class``, ``campaign_id``) appear on
+``DispatchRecord`` for *evaluation* analyses only — the system itself never
+reads them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.challenge import WebAction
+from repro.core.message import MessageKind, SenderClass
+from repro.core.mta_in import DropReason
+from repro.core.filters.spf import SpfResult
+from repro.core.spools import Category, ReleaseMechanism
+from repro.core.whitelist import WhitelistSource
+from repro.net.smtp import BounceReason, FinalStatus
+
+
+@dataclass
+class MtaRecord:
+    """One message's treatment at MTA-IN."""
+
+    __slots__ = ("company_id", "t", "msg_id", "drop_reason", "open_relay", "size")
+
+    company_id: str
+    t: float
+    msg_id: int
+    #: ``None`` when the message was accepted.
+    drop_reason: Optional[DropReason]
+    open_relay: bool
+    size: int
+
+    @property
+    def accepted(self) -> bool:
+        return self.drop_reason is None
+
+
+@dataclass
+class DispatchRecord:
+    """One accepted message's treatment at the CR dispatcher."""
+
+    __slots__ = (
+        "company_id",
+        "t",
+        "msg_id",
+        "user",
+        "category",
+        "filter_drop",
+        "challenge_id",
+        "challenge_created",
+        "env_from",
+        "subject",
+        "size",
+        "spf",
+        "kind",
+        "sender_class",
+        "campaign_id",
+        "open_relay",
+        "protected_user",
+    )
+
+    company_id: str
+    t: float
+    msg_id: int
+    user: str
+    category: Category
+    #: Name of the filter that dropped a gray message, or ``None``.
+    filter_drop: Optional[str]
+    #: Challenge this message is attached to (gray, unfiltered only).
+    challenge_id: Optional[int]
+    #: True when this message triggered a new challenge email; False when it
+    #: attached to a pending one (suppressed duplicate).
+    challenge_created: bool
+    env_from: str
+    subject: str
+    size: int
+    #: Offline SPF evaluation of gray messages (Fig. 12); NONE for others.
+    spf: SpfResult
+    kind: MessageKind
+    sender_class: SenderClass
+    campaign_id: Optional[str]
+    open_relay: bool
+    protected_user: bool
+
+
+@dataclass
+class ChallengeRecord:
+    """One challenge email handed to the challenge MTA."""
+
+    __slots__ = (
+        "company_id",
+        "challenge_id",
+        "t",
+        "user",
+        "sender",
+        "server_ip",
+        "size",
+    )
+
+    company_id: str
+    challenge_id: int
+    t: float
+    user: str
+    sender: str
+    server_ip: str
+    size: int
+
+
+@dataclass
+class ChallengeOutcomeRecord:
+    """Final delivery status of one challenge email."""
+
+    __slots__ = (
+        "company_id",
+        "challenge_id",
+        "status",
+        "bounce_reason",
+        "attempts",
+        "t_final",
+    )
+
+    company_id: str
+    challenge_id: int
+    status: FinalStatus
+    bounce_reason: Optional[BounceReason]
+    attempts: int
+    t_final: float
+
+
+@dataclass
+class WebAccessRecord:
+    """One hit in the challenge web server's access log."""
+
+    __slots__ = ("company_id", "challenge_id", "t", "action", "success")
+
+    company_id: str
+    challenge_id: int
+    t: float
+    action: WebAction
+    #: For ATTEMPT records: whether the CAPTCHA answer was correct.
+    success: bool
+
+
+@dataclass
+class ReleaseRecord:
+    """A gray message released to the user's inbox."""
+
+    __slots__ = (
+        "company_id",
+        "user",
+        "msg_id",
+        "t_arrival",
+        "t_release",
+        "mechanism",
+        "kind",
+    )
+
+    company_id: str
+    user: str
+    msg_id: int
+    t_arrival: float
+    t_release: float
+    mechanism: ReleaseMechanism
+    kind: MessageKind
+
+    @property
+    def delay(self) -> float:
+        return self.t_release - self.t_arrival
+
+
+@dataclass
+class WhitelistChangeRecord:
+    """One whitelist addition (the churn analyses of §4.3 / Fig. 9)."""
+
+    __slots__ = ("company_id", "user", "address", "t", "source")
+
+    company_id: str
+    user: str
+    address: str
+    t: float
+    source: WhitelistSource
+
+
+@dataclass
+class DigestRecord:
+    """Daily digest size of one user (Fig. 10)."""
+
+    __slots__ = ("company_id", "user", "day", "pending_count")
+
+    company_id: str
+    user: str
+    day: int
+    pending_count: int
+
+
+@dataclass
+class ExpiryRecord:
+    """A gray message dropped after the 30-day quarantine."""
+
+    __slots__ = ("company_id", "user", "msg_id", "t")
+
+    company_id: str
+    user: str
+    msg_id: int
+    t: float
+
+
+@dataclass
+class OutboundMailRecord:
+    """Outgoing mail sent by a protected user."""
+
+    __slots__ = ("company_id", "t", "user", "rcpt", "size")
+
+    company_id: str
+    t: float
+    user: str
+    rcpt: str
+    size: int

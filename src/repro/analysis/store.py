@@ -1,0 +1,131 @@
+"""The aggregation store — our stand-in for the paper's Postgres database.
+
+A :class:`LogStore` holds every log record the simulated deployment emits,
+in insertion (= time) order, plus a few lazily-built indices the analyses
+share. It is append-only during a run; analyses treat it as read-only.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.analysis.records import (
+    ChallengeOutcomeRecord,
+    ChallengeRecord,
+    DigestRecord,
+    DispatchRecord,
+    ExpiryRecord,
+    MtaRecord,
+    OutboundMailRecord,
+    ReleaseRecord,
+    WebAccessRecord,
+    WhitelistChangeRecord,
+)
+from repro.blacklistd.monitor import ProbeObservation
+
+
+class LogStore:
+    """Typed, append-only collection of all measurement logs."""
+
+    def __init__(self) -> None:
+        self.mta: list[MtaRecord] = []
+        self.dispatch: list[DispatchRecord] = []
+        self.challenges: list[ChallengeRecord] = []
+        self.challenge_outcomes: list[ChallengeOutcomeRecord] = []
+        self.web_access: list[WebAccessRecord] = []
+        self.releases: list[ReleaseRecord] = []
+        self.whitelist_changes: list[WhitelistChangeRecord] = []
+        self.digests: list[DigestRecord] = []
+        self.expiries: list[ExpiryRecord] = []
+        self.outbound: list[OutboundMailRecord] = []
+        self.probes: list[ProbeObservation] = []
+        self._outcome_by_challenge: Optional[
+            dict[tuple[str, int], ChallengeOutcomeRecord]
+        ] = None
+        self._web_by_challenge: Optional[
+            dict[tuple[str, int], list[WebAccessRecord]]
+        ] = None
+
+    # -- append helpers (invalidate indices) ----------------------------
+
+    def add_mta(self, record: MtaRecord) -> None:
+        self.mta.append(record)
+
+    def add_dispatch(self, record: DispatchRecord) -> None:
+        self.dispatch.append(record)
+
+    def add_challenge(self, record: ChallengeRecord) -> None:
+        self.challenges.append(record)
+
+    def add_challenge_outcome(self, record: ChallengeOutcomeRecord) -> None:
+        self.challenge_outcomes.append(record)
+        self._outcome_by_challenge = None
+
+    def add_web_access(self, record: WebAccessRecord) -> None:
+        self.web_access.append(record)
+        self._web_by_challenge = None
+
+    def add_release(self, record: ReleaseRecord) -> None:
+        self.releases.append(record)
+
+    def add_whitelist_change(self, record: WhitelistChangeRecord) -> None:
+        self.whitelist_changes.append(record)
+
+    def add_digest(self, record: DigestRecord) -> None:
+        self.digests.append(record)
+
+    def add_expiry(self, record: ExpiryRecord) -> None:
+        self.expiries.append(record)
+
+    def add_outbound(self, record: OutboundMailRecord) -> None:
+        self.outbound.append(record)
+
+    def add_probe(self, record: ProbeObservation) -> None:
+        self.probes.append(record)
+
+    # -- correlation indices --------------------------------------------
+
+    def outcome_of(
+        self, company_id: str, challenge_id: int
+    ) -> Optional[ChallengeOutcomeRecord]:
+        """Delivery outcome of a challenge, or None while still in flight."""
+        if self._outcome_by_challenge is None:
+            self._outcome_by_challenge = {
+                (r.company_id, r.challenge_id): r for r in self.challenge_outcomes
+            }
+        return self._outcome_by_challenge.get((company_id, challenge_id))
+
+    def web_events_of(
+        self, company_id: str, challenge_id: int
+    ) -> list[WebAccessRecord]:
+        if self._web_by_challenge is None:
+            index: dict[tuple[str, int], list[WebAccessRecord]] = defaultdict(list)
+            for record in self.web_access:
+                index[(record.company_id, record.challenge_id)].append(record)
+            self._web_by_challenge = dict(index)
+        return self._web_by_challenge.get((company_id, challenge_id), [])
+
+    def company_ids(self) -> list[str]:
+        """All companies that appear in the MTA logs, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.mta:
+            if record.company_id not in seen:
+                seen[record.company_id] = None
+        return list(seen)
+
+    def summary_counts(self) -> dict[str, int]:
+        """Record counts per log type (debugging / sanity checks)."""
+        return {
+            "mta": len(self.mta),
+            "dispatch": len(self.dispatch),
+            "challenges": len(self.challenges),
+            "challenge_outcomes": len(self.challenge_outcomes),
+            "web_access": len(self.web_access),
+            "releases": len(self.releases),
+            "whitelist_changes": len(self.whitelist_changes),
+            "digests": len(self.digests),
+            "expiries": len(self.expiries),
+            "outbound": len(self.outbound),
+            "probes": len(self.probes),
+        }

@@ -1,0 +1,174 @@
+"""Figure 5: per-company variability and cross-correlations.
+
+The paper's scatter matrix relates five per-company variables — protected
+users, daily email volume, white-spool share, reflection ratio, and solved-
+challenge share — and observes that:
+
+* the reflection ratio is *not* correlated with company size or volume,
+  staying within roughly 10–25 %;
+* the solved-challenge share is nearly constant (2–12 %) and positively
+  correlated with the white share;
+* reflection and white share are mildly anti-correlated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.context import DeploymentInfo
+from repro.analysis.store import LogStore
+from repro.core.challenge import WebAction
+from repro.core.spools import Category
+from repro.util.render import TextTable
+from repro.util.stats import pearson, safe_ratio
+
+VARIABLES = ("users", "emails", "white", "reflection", "captcha")
+
+
+@dataclass(frozen=True)
+class CompanyPoint:
+    """One company's coordinates in the Fig. 5 scatter matrix."""
+
+    company_id: str
+    users: float
+    emails_per_day: float
+    white_share: float
+    reflection: float
+    captcha_share: float
+
+    def coordinate(self, variable: str) -> float:
+        return {
+            "users": self.users,
+            "emails": self.emails_per_day,
+            "white": self.white_share,
+            "reflection": self.reflection,
+            "captcha": self.captcha_share,
+        }[variable]
+
+
+@dataclass(frozen=True)
+class VariabilityStats:
+    points: Sequence[CompanyPoint]
+    #: (var_a, var_b) -> Pearson r, for the lower triangle.
+    correlations: Mapping[tuple, float]
+
+    def correlation(self, a: str, b: str) -> float:
+        if (a, b) in self.correlations:
+            return self.correlations[(a, b)]
+        return self.correlations[(b, a)]
+
+
+def compute(store: LogStore, info: DeploymentInfo) -> VariabilityStats:
+    mta_counts: dict = defaultdict(int)
+    for record in store.mta:
+        mta_counts[record.company_id] += 1
+
+    dispatch_counts: dict = defaultdict(int)
+    white_counts: dict = defaultdict(int)
+    challenge_counts: dict = defaultdict(int)
+    for record in store.dispatch:
+        dispatch_counts[record.company_id] += 1
+        if record.category is Category.WHITE:
+            white_counts[record.company_id] += 1
+        if record.challenge_created:
+            challenge_counts[record.company_id] += 1
+
+    solved_counts: dict = defaultdict(int)
+    for event in store.web_access:
+        if event.action is WebAction.SOLVE:
+            solved_counts[event.company_id] += 1
+
+    points = []
+    for company_id in sorted(mta_counts):
+        dispatched = dispatch_counts.get(company_id, 0)
+        challenges = challenge_counts.get(company_id, 0)
+        points.append(
+            CompanyPoint(
+                company_id=company_id,
+                users=float(info.users_per_company.get(company_id, 0)),
+                emails_per_day=mta_counts[company_id] / info.horizon_days,
+                white_share=safe_ratio(white_counts.get(company_id, 0), dispatched),
+                reflection=safe_ratio(challenges, dispatched),
+                captcha_share=safe_ratio(solved_counts.get(company_id, 0), challenges),
+            )
+        )
+
+    correlations = {}
+    for i, a in enumerate(VARIABLES):
+        for b in VARIABLES[i + 1 :]:
+            xs = [p.coordinate(a) for p in points]
+            ys = [p.coordinate(b) for p in points]
+            correlations[(a, b)] = pearson(xs, ys) if len(points) >= 2 else 0.0
+    return VariabilityStats(points=points, correlations=correlations)
+
+
+#: Qualitative expectations from the paper's Fig. 5 (signs and magnitudes).
+PAPER_EXPECTATIONS = [
+    ("users", "reflection", "no correlation (|r| small)"),
+    ("emails", "reflection", "no correlation (|r| small)"),
+    ("white", "reflection", "small inverse correlation"),
+    ("white", "captcha", "strong positive correlation"),
+]
+
+
+def build_correlation_table(stats: VariabilityStats) -> TextTable:
+    table = TextTable(
+        headers=[""] + list(VARIABLES),
+        title="Fig. 5 — Pearson correlations between per-company variables",
+    )
+    for a in VARIABLES:
+        row = [a]
+        for b in VARIABLES:
+            if a == b:
+                row.append("1.00")
+            else:
+                row.append(f"{stats.correlation(a, b):+.2f}")
+        table.add_row(*row)
+    return table
+
+
+def build_range_table(stats: VariabilityStats) -> TextTable:
+    table = TextTable(
+        headers=["variable", "min", "median", "max", "paper range"],
+        title="Fig. 5 — per-company variable ranges",
+    )
+    from repro.util.stats import median
+
+    paper_ranges = {
+        "users": "mostly <500, few >2000",
+        "emails": "wide spread",
+        "white": "10% .. >70%",
+        "reflection": "10% .. 25%",
+        "captcha": "2% .. 12%",
+    }
+    for variable in VARIABLES:
+        values = [p.coordinate(variable) for p in stats.points]
+        if not values:
+            continue
+        fmt = (lambda v: f"{v:,.0f}") if variable in ("users", "emails") else (
+            lambda v: f"{100.0 * v:.1f}%"
+        )
+        table.add_row(
+            variable,
+            fmt(min(values)),
+            fmt(median(values)),
+            fmt(max(values)),
+            paper_ranges[variable],
+        )
+    return table
+
+
+def render(store: LogStore, info: DeploymentInfo) -> str:
+    stats = compute(store, info)
+    parts = [
+        build_correlation_table(stats).render(),
+        build_range_table(stats).render(),
+        "Paper's qualitative findings:",
+    ]
+    for a, b, expectation in PAPER_EXPECTATIONS:
+        parts.append(
+            f"  corr({a}, {b}) = {stats.correlation(a, b):+.2f}   [{expectation}]"
+        )
+    return "\n\n".join(parts[:2]) + "\n\n" + "\n".join(parts[2:])

@@ -1,0 +1,125 @@
+"""CR vs content-filter comparison (the Erickson et al. claim, quantified).
+
+The paper's §1 cites Erickson et al.: CR solutions "outperform traditional
+systems like SpamAssassin, generating on average 1 % of false positives
+with zero false negatives". This module reruns that comparison on our
+simulated traffic:
+
+* **content filter** — the naive-Bayes baseline, trained on an early slice
+  of the deployment's labelled mail and evaluated on the rest;
+* **CR system** — judged by what actually reached the inbox: a false
+  negative is spam delivered (whitelist hits + spurious releases); a false
+  positive is a legitimate message that never made it (its challenge
+  unsolved, never rescued from the digest, eventually expired or still
+  quarantined at window end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.store import LogStore
+from repro.baselines.naive_bayes import (
+    ClassifierScore,
+    NaiveBayesFilter,
+    score_classifier,
+)
+from repro.core.message import MessageKind
+from repro.core.spools import Category
+from repro.util.render import TextTable
+from repro.util.stats import safe_ratio
+
+
+@dataclass(frozen=True)
+class DefenceComparison:
+    """FP/FN rates of the two defences over the same deployment."""
+
+    bayes: ClassifierScore
+    cr_spam_total: int
+    cr_spam_delivered: int
+    cr_legit_total: int
+    cr_legit_lost: int
+    train_fraction: float
+
+    @property
+    def cr_false_negative_rate(self) -> float:
+        """Spam that reached an inbox despite the CR system."""
+        return safe_ratio(self.cr_spam_delivered, self.cr_spam_total)
+
+    @property
+    def cr_false_positive_rate(self) -> float:
+        """Legitimate mail the CR system never delivered."""
+        return safe_ratio(self.cr_legit_lost, self.cr_legit_total)
+
+
+def compare_defences(
+    store: LogStore, train_fraction: float = 0.3
+) -> DefenceComparison:
+    """Train the Bayes baseline on the first *train_fraction* of accepted
+    mail, evaluate both defences on the remainder."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    records = store.dispatch
+    split = int(len(records) * train_fraction)
+    train, test = records[:split], records[split:]
+
+    bayes = NaiveBayesFilter()
+    bayes.train_from_records(train)
+    bayes_score = score_classifier(test, bayes.classify_record)
+
+    released = {r.msg_id for r in store.releases}
+    spam_total = legit_total = 0
+    spam_delivered = legit_lost = 0
+    for record in test:
+        quarantined = (
+            record.category is Category.GRAY and record.filter_drop is None
+        )
+        delivered = (
+            record.category is Category.WHITE
+            or (quarantined and record.msg_id in released)
+        )
+        if record.kind is MessageKind.SPAM:
+            spam_total += 1
+            if delivered:
+                spam_delivered += 1
+        elif record.kind is MessageKind.LEGIT and record.env_from:
+            # Newsletters/marketing are excluded (whether bulk mail is
+            # "wanted" is user-specific), and so are null-sender bounce
+            # notifications (quarantined by design, not person-to-person
+            # mail): the paper's FP discussion is about real correspondents.
+            legit_total += 1
+            if not delivered:
+                legit_lost += 1
+    return DefenceComparison(
+        bayes=bayes_score,
+        cr_spam_total=spam_total,
+        cr_spam_delivered=spam_delivered,
+        cr_legit_total=legit_total,
+        cr_legit_lost=legit_lost,
+        train_fraction=train_fraction,
+    )
+
+
+def build_table(comparison: DefenceComparison) -> TextTable:
+    table = TextTable(
+        headers=["defence", "false positives (legit lost)", "false negatives (spam in)"],
+        title=(
+            "CR system vs naive-Bayes content filter "
+            "(Erickson et al.: CR ~1% FP, 0% FN)"
+        ),
+    )
+    table.add_row(
+        "naive Bayes (content)",
+        f"{100.0 * comparison.bayes.false_positive_rate:.2f}%",
+        f"{100.0 * comparison.bayes.false_negative_rate:.2f}%",
+    )
+    table.add_row(
+        "challenge-response",
+        f"{100.0 * comparison.cr_false_positive_rate:.2f}%",
+        f"{100.0 * comparison.cr_false_negative_rate:.4f}%",
+    )
+    return table
+
+
+def render(store: LogStore) -> str:
+    return build_table(compare_defences(store)).render()

@@ -1,0 +1,23 @@
+"""The DNSBL ecosystem around the CR product.
+
+Spam traps are honeypot addresses whose only purpose is to catch senders of
+unsolicited mail; DNSBL operators harvest trap hits and publish IP
+blacklists; remote mail servers (and the CR product's own RBL filter)
+consult those lists. A CR installation participates in this ecosystem from
+both sides: its RBL filter *queries* blacklists, while its challenge MTA
+risks *appearing* on them when challenges are reflected to trap addresses
+(§5.1 of the paper).
+"""
+
+from repro.blacklistd.monitor import BlacklistMonitor, ProbeObservation
+from repro.blacklistd.service import DnsblService, ListingPolicy, make_default_services
+from repro.blacklistd.spamtrap import TrapDirectory
+
+__all__ = [
+    "DnsblService",
+    "ListingPolicy",
+    "make_default_services",
+    "TrapDirectory",
+    "BlacklistMonitor",
+    "ProbeObservation",
+]

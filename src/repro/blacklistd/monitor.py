@@ -1,0 +1,83 @@
+"""The 4-hourly blacklist probe of §5.1.
+
+The paper complemented bounce-log analysis with "an automated script that
+periodically checked for the IP addresses of the CR servers in a number of
+services that provide an IP blacklist", every 4 hours for 132 days. This
+module is that script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.blacklistd.service import DnsblService
+from repro.sim.engine import Simulator
+from repro.util.simtime import DAY, HOUR
+
+
+@dataclass(frozen=True)
+class ProbeObservation:
+    """One probe: was *ip* listed by *service* at time *t*?"""
+
+    t: float
+    ip: str
+    service: str
+    listed: bool
+
+
+class BlacklistMonitor:
+    """Periodically queries every (server IP, DNSBL service) pair."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        services: Sequence[DnsblService],
+        server_ips: Sequence[str],
+        interval: float = 4 * HOUR,
+        sink: Optional[Callable[[ProbeObservation], None]] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.services = list(services)
+        self.server_ips = list(server_ips)
+        self.interval = interval
+        self.observations: list[ProbeObservation] = []
+        self._sink = sink
+
+    def start(self, start: float = 0.0, until: Optional[float] = None) -> None:
+        """Arm the recurring probe on the simulator."""
+        self.simulator.schedule_every(
+            self.interval,
+            self.probe_once,
+            start=max(start, self.simulator.now),
+            until=until,
+            label="blacklist-probe",
+        )
+
+    def probe_once(self) -> None:
+        now = self.simulator.now
+        for ip in self.server_ips:
+            for service in self.services:
+                obs = ProbeObservation(
+                    t=now, ip=ip, service=service.name,
+                    listed=service.is_listed(ip, now),
+                )
+                self.observations.append(obs)
+                if self._sink is not None:
+                    self._sink(obs)
+
+    def listed_days(self, ip: str) -> float:
+        """Days on which *ip* was observed listed by at least one service.
+
+        Mirrors the paper's metric "appearing in at least one of the
+        blacklists for N days".
+        """
+        days_listed: set[int] = set()
+        for obs in self.observations:
+            if obs.ip == ip and obs.listed:
+                days_listed.add(int(obs.t // DAY))
+        return float(len(days_listed))
+
+    def never_listed_ips(self) -> list[str]:
+        listed = {obs.ip for obs in self.observations if obs.listed}
+        return [ip for ip in self.server_ips if ip not in listed]

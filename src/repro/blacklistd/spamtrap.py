@@ -1,0 +1,57 @@
+"""Spam-trap address pools.
+
+Each DNSBL operator seeds trap addresses across ordinary-looking domains.
+When any mail — a spam message or a misdirected challenge — is delivered to
+a trap address, the owning operator records a hit against the sending IP.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+
+class TrapDirectory:
+    """Maps trap addresses to the DNSBL service that owns them."""
+
+    def __init__(self) -> None:
+        self._owner_by_address: dict[str, str] = {}
+
+    def add_trap(self, address: str, service_name: str) -> None:
+        self._owner_by_address[address.lower()] = service_name
+
+    def create_traps(
+        self,
+        service_name: str,
+        domains: Iterable[str],
+        per_domain: int,
+        rng: random.Random,
+    ) -> list[str]:
+        """Seed *per_domain* trap mailboxes on each of *domains*.
+
+        Trap local parts look like plausible harvested addresses ("old
+        employee" style), because that is what makes real traps effective.
+        """
+        created: list[str] = []
+        for domain in domains:
+            for _ in range(per_domain):
+                local = "trap-" + "".join(
+                    rng.choice("abcdefghijklmnopqrstuvwxyz0123456789")
+                    for _ in range(8)
+                )
+                address = f"{local}@{domain}"
+                self.add_trap(address, service_name)
+                created.append(address)
+        return created
+
+    def is_trap(self, address: str) -> bool:
+        return address.lower() in self._owner_by_address
+
+    def owner_of(self, address: str) -> Optional[str]:
+        return self._owner_by_address.get(address.lower())
+
+    def addresses(self) -> list[str]:
+        return list(self._owner_by_address)
+
+    def __len__(self) -> int:
+        return len(self._owner_by_address)

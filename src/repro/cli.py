@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate a deployment and print summary statistics;
+* ``experiment`` — regenerate one (or all) of the paper's tables/figures;
+* ``list`` — list available experiments and scale presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+from repro.experiments import run_simulation
+from repro.experiments.registry import (
+    CANONICAL_ORDER,
+    EXPERIMENTS,
+    run_experiment,
+)
+from repro.workload.scale import preset_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of the IMC 2011 challenge-response spam filter "
+            "measurement study."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    run_parser = subparsers.add_parser(
+        "run", help="simulate a deployment and print summary statistics"
+    )
+    _add_sim_args(run_parser)
+    run_parser.add_argument(
+        "--save",
+        metavar="PATH",
+        help="persist the measurement logs to a JSONL file",
+    )
+
+    exp_parser = subparsers.add_parser(
+        "experiment", help="regenerate paper tables/figures"
+    )
+    _add_sim_args(exp_parser)
+    exp_parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="EXP",
+        help="experiment ids (e.g. fig1 sec31); default: all",
+    )
+
+    company_parser = subparsers.add_parser(
+        "company", help="per-installation drill-down report"
+    )
+    _add_sim_args(company_parser)
+    company_parser.add_argument(
+        "company_ids",
+        nargs="*",
+        metavar="COMPANY",
+        help="company ids (e.g. c00 c07); default: top 3 by traffic",
+    )
+
+    subparsers.add_parser("list", help="list experiments and presets")
+    return parser
+
+
+def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        default="tiny",
+        choices=preset_names(),
+        help="scale preset (default: tiny)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--load",
+        metavar="PATH",
+        help="analyse a previously saved run instead of simulating",
+    )
+
+
+def _load_or_run(args: argparse.Namespace):
+    if getattr(args, "load", None):
+        from repro.analysis.persistence import load_run
+
+        return load_run(args.load)
+    return run_simulation(args.preset, seed=args.seed)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = _load_or_run(args)
+    counts = result.store.summary_counts()
+    wall = getattr(result, "wall_seconds", None)
+    suffix = f" ({wall:.1f}s wall time)" if wall is not None else " (loaded)"
+    print(
+        f"{counts['mta']:,} messages, {result.info.n_companies} companies, "
+        f"{result.info.horizon_days:.0f} days" + suffix
+    )
+    for name, value in counts.items():
+        print(f"  {name:20s} {value:,}")
+    if getattr(args, "save", None):
+        from repro.analysis.persistence import save_run
+
+        written = save_run(result.store, result.info, args.save)
+        print(f"saved {written:,} records to {args.save}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    ids = args.ids or list(CANONICAL_ORDER)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    result = _load_or_run(args)
+    for exp_id in ids:
+        print(f"=== {exp_id} ===")
+        print(run_experiment(exp_id, result))
+        print()
+    return 0
+
+
+def _command_company(args: argparse.Namespace) -> int:
+    from repro.analysis import company_report
+
+    result = _load_or_run(args)
+    if args.company_ids:
+        for company_id in args.company_ids:
+            try:
+                print(company_report.render(result.store, result.info, company_id))
+            except KeyError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            print()
+    else:
+        print(company_report.render_all(result.store, result.info, limit=3))
+    return 0
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for exp_id in sorted(EXPERIMENTS):
+        print(f"  {exp_id}")
+    print("presets:")
+    for preset in preset_names():
+        print(f"  {preset}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    if args.command == "company":
+        return _command_company(args)
+    if args.command == "list":
+        return _command_list(args)
+    parser.print_help()
+    return 1

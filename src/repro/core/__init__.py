@@ -1,0 +1,56 @@
+"""The challenge-response anti-spam product (the system the paper measures).
+
+Components, mirroring Figure 1 of the paper:
+
+* :mod:`repro.core.mta_in` — the inbound MTA's first-layer checks
+  (well-formedness, sender-domain resolution, relay policy, recipient
+  validation);
+* :mod:`repro.core.dispatcher` — the internal email dispatcher that sorts
+  accepted mail into the white / black / gray spools;
+* :mod:`repro.core.filters` — the auxiliary anti-spam filters applied to
+  gray mail (antivirus, reverse DNS, IP blacklist, SPF);
+* :mod:`repro.core.challenge` — challenge generation and the CAPTCHA web
+  flow;
+* :mod:`repro.core.whitelist` — per-user whitelists/blacklists with all four
+  whitelisting mechanisms;
+* :mod:`repro.core.spools` — the gray spool (30-day quarantine) and spool
+  accounting;
+* :mod:`repro.core.digest` — the daily digest of quarantined messages;
+* :mod:`repro.core.engine` — :class:`CompanyInstallation`, one deployed
+  instance of the product, wiring everything together.
+"""
+
+from repro.core.config import CompanyConfig, FilterSettings
+from repro.core.message import EmailMessage, MessageKind, SenderClass
+from repro.core.mta_in import DropReason, MtaIn
+from repro.core.spools import Category, GraySpool, ReleaseMechanism
+from repro.core.whitelist import WhitelistDirectory, WhitelistSource
+
+
+def __getattr__(name):
+    # Lazy re-export: repro.core.engine depends on repro.analysis.records,
+    # which imports leaf modules of this package — importing the engine
+    # eagerly here would close that loop into a circular import.
+    if name in ("CompanyInstallation", "BehaviorHooks"):
+        from repro.core import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+
+
+__all__ = [
+    "CompanyConfig",
+    "FilterSettings",
+    "CompanyInstallation",
+    "BehaviorHooks",
+    "EmailMessage",
+    "MessageKind",
+    "SenderClass",
+    "MtaIn",
+    "DropReason",
+    "Category",
+    "GraySpool",
+    "ReleaseMechanism",
+    "WhitelistDirectory",
+    "WhitelistSource",
+]

@@ -1,0 +1,155 @@
+"""Challenge generation and the CAPTCHA web flow.
+
+When a gray message passes the auxiliary filters, the dispatcher sends the
+sender an email containing a link to a CAPTCHA page. This module tracks the
+full lifecycle of such challenges:
+
+* creation and de-duplication — while a challenge for a ``(recipient,
+  sender)`` pair is pending, further messages from the same sender attach
+  to it instead of triggering new challenge emails;
+* delivery outcome (delivered / bounced / expired), filled in by the
+  outbound MTA;
+* the web side (page opened, CAPTCHA attempts, solved), which the paper
+  measured from the challenge web server's access logs (§3.2, Fig. 4(b)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.message import EmailMessage
+from repro.net.mta_out import DeliveryResult
+
+
+class WebAction(enum.Enum):
+    """Events appearing in the challenge web server's access log."""
+
+    OPEN = "open"
+    ATTEMPT = "attempt"
+    SOLVE = "solve"
+
+
+@dataclass
+class Challenge:
+    """One challenge sent (or attached to) for a (recipient, sender) pair."""
+
+    challenge_id: int
+    company_id: str
+    user: str
+    sender: str
+    created_at: float
+    size: int
+    #: The message that triggered the challenge. The CR system itself never
+    #: inspects it; the workload's behaviour models use it to decide how the
+    #: challenge recipient reacts (solve / ignore / backscatter victim).
+    origin: Optional[EmailMessage] = None
+    msg_ids: list[int] = field(default_factory=list)
+    delivery: Optional[DeliveryResult] = None
+    opened_at: Optional[float] = None
+    attempts: int = 0
+    solved_at: Optional[float] = None
+
+    @property
+    def solved(self) -> bool:
+        return self.solved_at is not None
+
+    @property
+    def opened(self) -> bool:
+        return self.opened_at is not None
+
+
+class ChallengeManager:
+    """Issues and tracks challenges for one company."""
+
+    def __init__(self, company_id: str) -> None:
+        self.company_id = company_id
+        self._challenges: dict[int, Challenge] = {}
+        self._pending: dict[tuple[str, str], int] = {}
+        self._next_id = 1
+        self.created_count = 0
+        self.suppressed_count = 0
+
+    def issue(
+        self,
+        user: str,
+        sender: str,
+        message: EmailMessage,
+        now: float,
+        size: int,
+        dedup: bool = True,
+    ) -> tuple[Challenge, bool]:
+        """Issue (or reuse) a challenge for *message*.
+
+        Returns ``(challenge, created)``. ``created`` is False when a
+        pending challenge for the same (user, sender) absorbed the message,
+        in which case no new challenge email must be sent. With *dedup*
+        off, every message gets its own challenge email.
+        """
+        key = (user.lower(), sender.lower())
+        existing_id = self._pending.get(key) if dedup else None
+        if existing_id is not None:
+            challenge = self._challenges[existing_id]
+            challenge.msg_ids.append(message.msg_id)
+            self.suppressed_count += 1
+            return challenge, False
+        challenge = Challenge(
+            challenge_id=self._next_id,
+            company_id=self.company_id,
+            user=user.lower(),
+            sender=sender.lower(),
+            created_at=now,
+            size=size,
+            origin=message,
+            msg_ids=[message.msg_id],
+        )
+        self._next_id += 1
+        self._challenges[challenge.challenge_id] = challenge
+        self._pending[key] = challenge.challenge_id
+        self.created_count += 1
+        return challenge, True
+
+    def get(self, challenge_id: int) -> Challenge:
+        return self._challenges[challenge_id]
+
+    def record_delivery(self, challenge_id: int, result: DeliveryResult) -> None:
+        self._challenges[challenge_id].delivery = result
+
+    def record_open(self, challenge_id: int, now: float) -> None:
+        challenge = self._challenges[challenge_id]
+        if challenge.opened_at is None:
+            challenge.opened_at = now
+
+    def record_attempt(self, challenge_id: int, now: float) -> None:
+        challenge = self._challenges[challenge_id]
+        if challenge.opened_at is None:
+            challenge.opened_at = now
+        challenge.attempts += 1
+
+    def record_solve(self, challenge_id: int, now: float) -> Challenge:
+        """Mark solved and clear the pending slot so future messages from
+        this sender (pre-whitelist race) would get a fresh challenge."""
+        challenge = self._challenges[challenge_id]
+        if challenge.solved_at is None:
+            challenge.solved_at = now
+        self._clear_pending(challenge)
+        return challenge
+
+    def expire_pending(self, challenge_id: int) -> None:
+        """Drop the pending slot when the quarantined messages expired."""
+        self._clear_pending(self._challenges[challenge_id])
+
+    def _clear_pending(self, challenge: Challenge) -> None:
+        key = (challenge.user, challenge.sender)
+        if self._pending.get(key) == challenge.challenge_id:
+            del self._pending[key]
+
+    def pending_challenge_for(
+        self, user: str, sender: str
+    ) -> Optional[Challenge]:
+        challenge_id = self._pending.get((user.lower(), sender.lower()))
+        return None if challenge_id is None else self._challenges[challenge_id]
+
+    def all_challenges(self) -> list[Challenge]:
+        return list(self._challenges.values())

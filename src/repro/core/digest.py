@@ -1,0 +1,34 @@
+"""The daily digest of quarantined messages.
+
+Every protected user receives a daily summary of their gray spool, from
+which they can manually authorize a sender (whitelisting + releasing the
+message) or delete entries. How diligently a user processes the digest is a
+behaviour, supplied by the workload layer through a review hook.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DigestAction(enum.Enum):
+    """What a user chose to do with one digest entry."""
+
+    WHITELIST = "whitelist"
+    DELETE = "delete"
+    IGNORE = "ignore"
+
+
+@dataclass(frozen=True)
+class DigestDecision:
+    """One user decision on one quarantined message.
+
+    ``act_delay`` is how long after receiving the digest the user acts —
+    the paper measures digest-driven releases at 4 hours to 3 days after
+    message arrival (Fig. 7/8).
+    """
+
+    msg_id: int
+    action: DigestAction
+    act_delay: float = 0.0

@@ -1,0 +1,106 @@
+"""The internal email dispatcher — the core of the CR infrastructure.
+
+Figure 1's "dispatcher" decides which category an accepted message belongs
+to: **white** (sender in the recipient's whitelist → inbox), **black**
+(sender in the recipient's blacklist → dropped), or **gray** (unknown
+sender). Gray messages then face the auxiliary filter chain; survivors are
+quarantined and a challenge is sent to their sender — unless a challenge
+for the same (recipient, sender) pair is already pending, in which case the
+message simply joins the waiting set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.challenge import Challenge, ChallengeManager
+from repro.core.filters.base import FilterChain
+from repro.core.message import EmailMessage
+from repro.core.spools import Category, GraySpool
+from repro.core.whitelist import WhitelistDirectory
+from repro.util.simtime import DAY
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """Everything the engine needs to log about one dispatched message."""
+
+    category: Category
+    filter_drop: Optional[str]
+    challenge: Optional[Challenge]
+    challenge_created: bool
+
+
+class Dispatcher:
+    """Sorts accepted messages into spools for one company."""
+
+    def __init__(
+        self,
+        whitelists: WhitelistDirectory,
+        filter_chain: FilterChain,
+        gray_spool: GraySpool,
+        challenge_manager: ChallengeManager,
+        quarantine_days: int,
+        challenge_size: int,
+        challenge_dedup: bool = True,
+    ) -> None:
+        self.whitelists = whitelists
+        self.filter_chain = filter_chain
+        self.gray_spool = gray_spool
+        self.challenge_manager = challenge_manager
+        self.quarantine_seconds = quarantine_days * DAY
+        self.challenge_size = challenge_size
+        self.challenge_dedup = challenge_dedup
+        self.white_count = 0
+        self.black_count = 0
+        self.gray_count = 0
+
+    def process(
+        self, message: EmailMessage, user_key: str, now: float
+    ) -> DispatchDecision:
+        """Classify *message* addressed to *user_key* (full address)."""
+        sender = message.env_from.lower()
+        lists = self.whitelists.lists_for(user_key)
+        if sender and lists.in_whitelist(sender):
+            self.white_count += 1
+            return DispatchDecision(Category.WHITE, None, None, False)
+        if sender and lists.in_blacklist(sender):
+            self.black_count += 1
+            return DispatchDecision(Category.BLACK, None, None, False)
+
+        self.gray_count += 1
+        dropping_filter = self.filter_chain.first_drop(message, now)
+        if dropping_filter is not None:
+            return DispatchDecision(Category.GRAY, dropping_filter, None, False)
+
+        if not sender:
+            # Null reverse-path: a bounce/DSN. Challenging it would answer
+            # an autoresponder with an autoresponder (RFC 3834 forbids it,
+            # and two CR systems would otherwise loop), so the message is
+            # quarantined for the digest without any challenge.
+            self.gray_spool.add(
+                message,
+                user_key,
+                now,
+                expires_at=now + self.quarantine_seconds,
+                challenge_id=None,
+            )
+            return DispatchDecision(Category.GRAY, None, None, False)
+
+        challenge, created = self.challenge_manager.issue(
+            user_key,
+            sender,
+            message,
+            now,
+            self.challenge_size,
+            dedup=self.challenge_dedup,
+        )
+        self.gray_spool.add(
+            message,
+            user_key,
+            now,
+            expires_at=now + self.quarantine_seconds,
+            challenge_id=challenge.challenge_id,
+        )
+        return DispatchDecision(Category.GRAY, None, challenge, created)

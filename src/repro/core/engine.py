@@ -1,0 +1,454 @@
+"""One deployed CR installation: the full product wired together.
+
+:class:`CompanyInstallation` owns every per-company component — inbound MTA
+checks, whitelist directory, filter chain, gray spool, challenge manager,
+the outbound MTAs (user mail and challenges, possibly on distinct IPs), the
+daily digest, and the quarantine expiry sweep — and emits every log record
+the measurement pipeline consumes.
+
+User- and sender-*behaviour* (does the sender solve the CAPTCHA? how
+diligently does the user weed the digest?) is injected via
+:class:`BehaviorHooks` so the product code stays mechanism-only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from repro.analysis.records import (
+    ChallengeOutcomeRecord,
+    ChallengeRecord,
+    DigestRecord,
+    DispatchRecord,
+    ExpiryRecord,
+    MtaRecord,
+    OutboundMailRecord,
+    ReleaseRecord,
+    WebAccessRecord,
+    WhitelistChangeRecord,
+)
+from repro.analysis.store import LogStore
+from repro.blacklistd.service import DnsblService
+from repro.core.challenge import Challenge, ChallengeManager, WebAction
+from repro.core.config import CompanyConfig
+from repro.core.digest import DigestAction, DigestDecision
+from repro.core.dispatcher import Dispatcher
+from repro.core.filters.antivirus import AntivirusFilter
+from repro.core.filters.base import FilterChain, SpamFilter
+from repro.core.filters.rbl import RblFilter
+from repro.core.filters.reverse_dns import ReverseDnsFilter
+from repro.core.filters.spf import SpfEvaluator, SpfFilter, SpfResult
+from repro.core.message import EmailMessage
+from repro.core.mta_in import MtaIn
+from repro.core.spools import Category, GrayEntry, GraySpool, ReleaseMechanism
+from repro.core.whitelist import WhitelistDirectory, WhitelistSource
+from repro.net.dns import Resolver
+from repro.net.internet import Internet
+from repro.net.mta_out import DeliveryResult, OutboundMta
+from repro.net.smtp import Envelope
+from repro.sim.engine import Simulator
+from repro.util.simtime import DAY, HOUR, day_of
+
+#: Size of a challenge email in bytes. Challenges are small fixed-template
+#: messages (a short text and one CAPTCHA URL); §3.3's reflected-traffic
+#: ratio RT compares their bytes against full incoming messages.
+DEFAULT_CHALLENGE_SIZE = 3_100
+
+
+@dataclass
+class BehaviorHooks:
+    """Workload-supplied behaviour models.
+
+    ``on_challenge_delivered(installation, challenge)`` fires when a
+    challenge email reaches a mailbox; the hook schedules any web activity
+    (open / attempts / solve) on the installation's simulator.
+
+    ``digest_review(installation, user, entries, now)`` fires per user per
+    daily digest and returns the user's decisions.
+    """
+
+    on_challenge_delivered: Optional[
+        Callable[["CompanyInstallation", Challenge], None]
+    ] = None
+    digest_review: Optional[
+        Callable[["CompanyInstallation", str, list, float], list]
+    ] = None
+
+
+class CompanyInstallation:
+    """The CR product as deployed at one company."""
+
+    def __init__(
+        self,
+        config: CompanyConfig,
+        simulator: Simulator,
+        internet: Internet,
+        resolver: Resolver,
+        store: LogStore,
+        dnsbl_services: Mapping[str, DnsblService],
+        rng: random.Random,
+        hooks: Optional[BehaviorHooks] = None,
+        challenge_size: int = DEFAULT_CHALLENGE_SIZE,
+    ) -> None:
+        self.config = config
+        self.simulator = simulator
+        self.internet = internet
+        self.resolver = resolver
+        self.store = store
+        self.hooks = hooks or BehaviorHooks()
+
+        self.mta_in = MtaIn(config, resolver)
+        self.whitelists = WhitelistDirectory()
+        self.gray_spool = GraySpool()
+        self.challenge_manager = ChallengeManager(config.company_id)
+        self.spf_evaluator = SpfEvaluator(resolver)
+        self.filter_chain = self._build_filter_chain(dnsbl_services, rng)
+        self.dispatcher = Dispatcher(
+            whitelists=self.whitelists,
+            filter_chain=self.filter_chain,
+            gray_spool=self.gray_spool,
+            challenge_manager=self.challenge_manager,
+            quarantine_days=config.quarantine_days,
+            challenge_size=challenge_size,
+            challenge_dedup=config.challenge_dedup,
+        )
+
+        self.user_mta = OutboundMta(
+            f"{config.company_id}-mta-out", config.mta_out_ip, simulator, internet
+        )
+        if config.dual_outbound:
+            self.challenge_mta = OutboundMta(
+                f"{config.company_id}-mta-challenge",
+                config.challenge_ip,
+                simulator,
+                internet,
+            )
+        else:
+            self.challenge_mta = self.user_mta
+
+        self.inbox_delivered = 0
+
+    def _build_filter_chain(
+        self, dnsbl_services: Mapping[str, DnsblService], rng: random.Random
+    ) -> FilterChain:
+        settings = self.config.filters
+        filters: list[SpamFilter] = []
+        if settings.antivirus:
+            filters.append(
+                AntivirusFilter(settings.antivirus_detection_rate, rng)
+            )
+        if settings.reverse_dns:
+            filters.append(ReverseDnsFilter(self.resolver))
+        if settings.rbl:
+            service = dnsbl_services.get(settings.rbl_provider)
+            if service is None:
+                raise ValueError(
+                    f"unknown RBL provider {settings.rbl_provider!r} for "
+                    f"{self.config.company_id}"
+                )
+            filters.append(RblFilter(service))
+        if settings.spf:
+            filters.append(SpfFilter(self.spf_evaluator))
+        return FilterChain(filters)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, until: float) -> None:
+        """Arm the recurring daily jobs (digest + quarantine expiry)."""
+        now = self.simulator.now
+        first_digest = (day_of(now) + 1) * DAY + self.config.digest_hour * HOUR
+        self.simulator.schedule_every(
+            DAY, self._digest_run, start=first_digest, until=until,
+            label=f"digest:{self.config.company_id}",
+        )
+        first_expiry = (day_of(now) + 1) * DAY + 30 * 60  # 00:30 nightly
+        self.simulator.schedule_every(
+            DAY, self._expiry_run, start=first_expiry, until=until,
+            label=f"expiry:{self.config.company_id}",
+        )
+
+    # -- inbound path ----------------------------------------------------
+
+    def handle_inbound(self, message: EmailMessage) -> None:
+        """Process one incoming message end-to-end at the current sim time."""
+        now = self.simulator.now
+        drop_reason = self.mta_in.check(message)
+        self.store.add_mta(
+            MtaRecord(
+                company_id=self.config.company_id,
+                t=now,
+                msg_id=message.msg_id,
+                drop_reason=drop_reason,
+                open_relay=self.config.open_relay,
+                size=message.size,
+            )
+        )
+        if drop_reason is not None:
+            return
+
+        user_key = message.env_to.lower()
+        decision = self.dispatcher.process(message, user_key, now)
+
+        quarantined = (
+            decision.category is Category.GRAY
+            and decision.filter_drop is None
+        )
+        spf = (
+            self.spf_evaluator.evaluate_message(message)
+            if quarantined
+            else SpfResult.NONE
+        )
+        local, domain = user_key.rsplit("@", 1)
+        self.store.add_dispatch(
+            DispatchRecord(
+                company_id=self.config.company_id,
+                t=now,
+                msg_id=message.msg_id,
+                user=user_key,
+                category=decision.category,
+                filter_drop=decision.filter_drop,
+                challenge_id=(
+                    decision.challenge.challenge_id if decision.challenge else None
+                ),
+                challenge_created=decision.challenge_created,
+                env_from=message.env_from.lower(),
+                subject=message.subject,
+                size=message.size,
+                spf=spf,
+                kind=message.kind,
+                sender_class=message.sender_class,
+                campaign_id=message.campaign_id,
+                open_relay=self.config.open_relay,
+                protected_user=self.config.is_protected_recipient(local, domain),
+            )
+        )
+        if decision.category is Category.WHITE:
+            self.inbox_delivered += 1
+        if decision.challenge_created and decision.challenge is not None:
+            self._send_challenge(decision.challenge)
+
+    # -- challenge path ---------------------------------------------------
+
+    def _send_challenge(self, challenge: Challenge) -> None:
+        now = self.simulator.now
+        self.store.add_challenge(
+            ChallengeRecord(
+                company_id=self.config.company_id,
+                challenge_id=challenge.challenge_id,
+                t=now,
+                user=challenge.user,
+                sender=challenge.sender,
+                server_ip=self.challenge_mta.ip,
+                size=challenge.size,
+            )
+        )
+        envelope = Envelope(
+            mail_from=f"challenge@{self.config.domain}",
+            rcpt_to=challenge.sender,
+            size=challenge.size,
+            client_ip=self.challenge_mta.ip,
+            payload_id=challenge.challenge_id,
+        )
+        self.challenge_mta.send(
+            envelope,
+            lambda env, result, cid=challenge.challenge_id: self._on_challenge_final(
+                cid, result
+            ),
+        )
+
+    def _on_challenge_final(
+        self, challenge_id: int, result: DeliveryResult
+    ) -> None:
+        challenge = self.challenge_manager.get(challenge_id)
+        self.challenge_manager.record_delivery(challenge_id, result)
+        self.store.add_challenge_outcome(
+            ChallengeOutcomeRecord(
+                company_id=self.config.company_id,
+                challenge_id=challenge_id,
+                status=result.status,
+                bounce_reason=result.bounce_reason,
+                attempts=result.attempts,
+                t_final=result.t_final,
+            )
+        )
+        if result.delivered and self.hooks.on_challenge_delivered is not None:
+            self.hooks.on_challenge_delivered(self, challenge)
+
+    # -- challenge web server ---------------------------------------------
+
+    def record_web_open(self, challenge_id: int) -> None:
+        now = self.simulator.now
+        self.challenge_manager.record_open(challenge_id, now)
+        self.store.add_web_access(
+            WebAccessRecord(
+                self.config.company_id, challenge_id, now, WebAction.OPEN, True
+            )
+        )
+
+    def record_web_attempt(self, challenge_id: int, success: bool) -> None:
+        now = self.simulator.now
+        self.challenge_manager.record_attempt(challenge_id, now)
+        self.store.add_web_access(
+            WebAccessRecord(
+                self.config.company_id, challenge_id, now, WebAction.ATTEMPT, success
+            )
+        )
+
+    def solve_challenge(self, challenge_id: int) -> None:
+        """A successful CAPTCHA submission: whitelist + release."""
+        now = self.simulator.now
+        challenge = self.challenge_manager.get(challenge_id)
+        if challenge.solved:
+            return
+        self.challenge_manager.record_attempt(challenge_id, now)
+        self.challenge_manager.record_solve(challenge_id, now)
+        self.store.add_web_access(
+            WebAccessRecord(
+                self.config.company_id, challenge_id, now, WebAction.SOLVE, True
+            )
+        )
+        self._whitelist(challenge.user, challenge.sender, WhitelistSource.CAPTCHA)
+        self._release_from_sender(
+            challenge.user, challenge.sender, ReleaseMechanism.CAPTCHA
+        )
+
+    # -- digest path --------------------------------------------------------
+
+    def _digest_run(self) -> None:
+        now = self.simulator.now
+        day = day_of(now)
+        for user in self.gray_spool.users_with_pending():
+            local, domain = user.rsplit("@", 1)
+            if not self.config.is_protected_recipient(local, domain):
+                continue  # relayed recipients get no digest
+            entries = self.gray_spool.pending_for_user(user)
+            self.store.add_digest(
+                DigestRecord(self.config.company_id, user, day, len(entries))
+            )
+            if self.hooks.digest_review is None:
+                continue
+            decisions = self.hooks.digest_review(self, user, entries, now)
+            for decision in decisions:
+                self._schedule_digest_action(user, decision)
+
+    def _schedule_digest_action(self, user: str, decision: DigestDecision) -> None:
+        if decision.action is DigestAction.IGNORE:
+            return
+        self.simulator.schedule_after(
+            max(0.0, decision.act_delay),
+            lambda: self._apply_digest_action(user, decision),
+            label=f"digest-action:{self.config.company_id}",
+        )
+
+    def _apply_digest_action(self, user: str, decision: DigestDecision) -> None:
+        entry = self.gray_spool.get(decision.msg_id)
+        if entry is None or entry.user != user:
+            return  # already released/expired in the meantime
+        if decision.action is DigestAction.WHITELIST:
+            sender = entry.message.env_from.lower()
+            self._whitelist(user, sender, WhitelistSource.DIGEST)
+            self._release_from_sender(user, sender, ReleaseMechanism.DIGEST)
+            if entry.challenge_id is not None:
+                self.challenge_manager.expire_pending(entry.challenge_id)
+        elif decision.action is DigestAction.DELETE:
+            self.gray_spool.delete(decision.msg_id)
+
+    # -- quarantine expiry ---------------------------------------------------
+
+    def _expiry_run(self) -> None:
+        now = self.simulator.now
+        expired = self.gray_spool.expire_due(now)
+        for entry in expired:
+            self.store.add_expiry(
+                ExpiryRecord(
+                    self.config.company_id, entry.user, entry.message.msg_id, now
+                )
+            )
+        # Clear pending-challenge slots whose quarantined messages are gone,
+        # so a returning sender gets a fresh challenge.
+        for entry in expired:
+            if entry.challenge_id is None:
+                continue
+            sender = entry.message.env_from
+            if not self.gray_spool.pending_from_sender(entry.user, sender):
+                self.challenge_manager.expire_pending(entry.challenge_id)
+
+    # -- user-side actions -----------------------------------------------------
+
+    def send_user_mail(self, user_local: str, rcpt: str, size: int) -> None:
+        """A protected user sends outgoing mail (whitelists the recipient)."""
+        now = self.simulator.now
+        user = f"{user_local}@{self.config.domain}"
+        self._whitelist(user, rcpt, WhitelistSource.OUTBOUND)
+        self.store.add_outbound(
+            OutboundMailRecord(self.config.company_id, now, user, rcpt, size)
+        )
+        envelope = Envelope(
+            mail_from=user,
+            rcpt_to=rcpt,
+            size=size,
+            client_ip=self.user_mta.ip,
+        )
+        self.user_mta.send(envelope, lambda env, result: None)
+
+    def manual_whitelist(self, user: str, address: str) -> None:
+        """The user imports an address into their whitelist by hand."""
+        self._whitelist(user, address, WhitelistSource.MANUAL)
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _whitelist(self, user: str, address: str, source: WhitelistSource) -> None:
+        lists = self.whitelists.lists_for(user)
+        if lists.add_to_whitelist(address, self.simulator.now, source):
+            self.store.add_whitelist_change(
+                WhitelistChangeRecord(
+                    self.config.company_id,
+                    user,
+                    address.lower(),
+                    self.simulator.now,
+                    source,
+                )
+            )
+
+    def _release_from_sender(
+        self, user: str, sender: str, mechanism: ReleaseMechanism
+    ) -> None:
+        now = self.simulator.now
+        entries = self.gray_spool.pending_from_sender(user, sender)
+        for entry in entries:
+            released = self.gray_spool.release(entry.message.msg_id)
+            if released is None:
+                continue
+            self.inbox_delivered += 1
+            self.store.add_release(
+                ReleaseRecord(
+                    company_id=self.config.company_id,
+                    user=user,
+                    msg_id=entry.message.msg_id,
+                    t_arrival=entry.message.t,
+                    t_release=now,
+                    mechanism=mechanism,
+                    kind=entry.message.kind,
+                )
+            )
+
+    def seed_whitelist(self, user: str, addresses: list[str]) -> None:
+        """Pre-populate a user's whitelist (steady-state address book)."""
+        lists = self.whitelists.lists_for(user)
+        for address in addresses:
+            lists.add_to_whitelist(address, 0.0, WhitelistSource.SEED)
+
+    def seed_blacklist(self, user: str, addresses: list[str]) -> None:
+        lists = self.whitelists.lists_for(user)
+        for address in addresses:
+            lists.add_to_blacklist(address)
+
+
+__all__ = [
+    "BehaviorHooks",
+    "CompanyInstallation",
+    "DEFAULT_CHALLENGE_SIZE",
+    "GrayEntry",
+]

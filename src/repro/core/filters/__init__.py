@@ -1,0 +1,25 @@
+"""Auxiliary anti-spam filters applied to gray mail before challenging.
+
+The commercial product combined three filters — antivirus, reverse-DNS, and
+a SpamHaus-style IP blacklist — to cut the number of useless challenges
+(they drop a large majority of gray mail, Fig. 3). SPF is implemented too,
+but kept out of the default chain because the paper evaluated it only
+offline (Fig. 12).
+"""
+
+from repro.core.filters.antivirus import AntivirusFilter
+from repro.core.filters.base import FilterChain, SpamFilter
+from repro.core.filters.rbl import RblFilter
+from repro.core.filters.reverse_dns import ReverseDnsFilter
+from repro.core.filters.spf import SpfEvaluator, SpfFilter, SpfResult
+
+__all__ = [
+    "SpamFilter",
+    "FilterChain",
+    "AntivirusFilter",
+    "ReverseDnsFilter",
+    "RblFilter",
+    "SpfEvaluator",
+    "SpfFilter",
+    "SpfResult",
+]

@@ -1,0 +1,22 @@
+"""IP-blacklist (RBL) filter.
+
+The product queried the SpamHaus blacklist for every gray message's client
+IP; we query whichever :class:`~repro.blacklistd.service.DnsblService` the
+company subscribes to.
+"""
+
+from __future__ import annotations
+
+from repro.blacklistd.service import DnsblService
+from repro.core.filters.base import SpamFilter
+from repro.core.message import EmailMessage
+
+
+class RblFilter(SpamFilter):
+    name = "rbl"
+
+    def __init__(self, service: DnsblService) -> None:
+        self.service = service
+
+    def should_drop(self, message: EmailMessage, now: float) -> bool:
+        return self.service.is_listed(message.client_ip, now)

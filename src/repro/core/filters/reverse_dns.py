@@ -1,0 +1,22 @@
+"""Reverse-DNS filter: distrust clients whose IP has no PTR record.
+
+Botnet members deliver spam straight from residential IPs that typically
+lack (or have generic) reverse mappings, while legitimate mail servers
+publish PTR records — the classic heuristic the paper's product employs.
+"""
+
+from __future__ import annotations
+
+from repro.core.filters.base import SpamFilter
+from repro.core.message import EmailMessage
+from repro.net.dns import Resolver
+
+
+class ReverseDnsFilter(SpamFilter):
+    name = "reverse_dns"
+
+    def __init__(self, resolver: Resolver) -> None:
+        self.resolver = resolver
+
+    def should_drop(self, message: EmailMessage, now: float) -> bool:
+        return self.resolver.ptr(message.client_ip) is None

@@ -1,0 +1,159 @@
+"""Spool accounting: the white / black / gray message categories.
+
+The gray spool is the heart of the CR mechanism: messages from unknown
+senders wait there — for up to 30 days — until the sender solves a
+challenge, the user releases them from the digest, or they expire.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.message import EmailMessage
+
+
+class Category(enum.Enum):
+    """Dispatcher verdict for an accepted message."""
+
+    WHITE = "white"
+    BLACK = "black"
+    GRAY = "gray"
+
+
+class ReleaseMechanism(enum.Enum):
+    """How a gray message got released to the inbox."""
+
+    CAPTCHA = "captcha"
+    DIGEST = "digest"
+
+
+class GrayStatus(enum.Enum):
+    PENDING = "pending"
+    RELEASED = "released"
+    EXPIRED = "expired"
+    DELETED = "deleted"  # user deleted it from the digest
+
+
+@dataclass
+class GrayEntry:
+    """One quarantined message."""
+
+    __slots__ = (
+        "message",
+        "user",
+        "entered_at",
+        "expires_at",
+        "challenge_id",
+        "status",
+    )
+
+    message: EmailMessage
+    user: str
+    entered_at: float
+    expires_at: float
+    challenge_id: Optional[int]
+    status: GrayStatus
+
+
+class GraySpool:
+    """The quarantine store of one company.
+
+    Indexed three ways: by message id (release bookkeeping), by user (digest
+    assembly), and by ``(user, sender)`` (releasing everything a sender has
+    pending once their challenge is solved).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, GrayEntry] = {}
+        self._by_user: dict[str, set[int]] = {}
+        self._by_user_sender: dict[tuple[str, str], set[int]] = {}
+        self.total_entered = 0
+        self.total_released = 0
+        self.total_expired = 0
+        self.total_deleted = 0
+
+    def add(
+        self,
+        message: EmailMessage,
+        user: str,
+        now: float,
+        expires_at: float,
+        challenge_id: Optional[int],
+    ) -> GrayEntry:
+        entry = GrayEntry(
+            message=message,
+            user=user,
+            entered_at=now,
+            expires_at=expires_at,
+            challenge_id=challenge_id,
+            status=GrayStatus.PENDING,
+        )
+        self._entries[message.msg_id] = entry
+        self._by_user.setdefault(user, set()).add(message.msg_id)
+        key = (user, message.env_from.lower())
+        self._by_user_sender.setdefault(key, set()).add(message.msg_id)
+        self.total_entered += 1
+        return entry
+
+    def get(self, msg_id: int) -> Optional[GrayEntry]:
+        return self._entries.get(msg_id)
+
+    def pending_for_user(self, user: str) -> list[GrayEntry]:
+        """The user's current quarantine (their daily digest content)."""
+        ids = self._by_user.get(user, ())
+        return [self._entries[i] for i in ids]
+
+    def pending_from_sender(self, user: str, sender: str) -> list[GrayEntry]:
+        ids = self._by_user_sender.get((user, sender.lower()), ())
+        return [self._entries[i] for i in ids]
+
+    def release(self, msg_id: int) -> Optional[GrayEntry]:
+        """Release one entry to the inbox; returns it, or None if absent."""
+        return self._finalize(msg_id, GrayStatus.RELEASED)
+
+    def delete(self, msg_id: int) -> Optional[GrayEntry]:
+        """User deleted the entry from the digest."""
+        return self._finalize(msg_id, GrayStatus.DELETED)
+
+    def expire_due(self, now: float) -> list[GrayEntry]:
+        """Expire every entry whose quarantine period has elapsed."""
+        due = [e for e in self._entries.values() if e.expires_at <= now]
+        expired = []
+        for entry in due:
+            finalized = self._finalize(entry.message.msg_id, GrayStatus.EXPIRED)
+            if finalized is not None:
+                expired.append(finalized)
+        return expired
+
+    def _finalize(self, msg_id: int, status: GrayStatus) -> Optional[GrayEntry]:
+        entry = self._entries.pop(msg_id, None)
+        if entry is None:
+            return None
+        entry.status = status
+        user_ids = self._by_user.get(entry.user)
+        if user_ids is not None:
+            user_ids.discard(msg_id)
+            if not user_ids:
+                del self._by_user[entry.user]
+        key = (entry.user, entry.message.env_from.lower())
+        sender_ids = self._by_user_sender.get(key)
+        if sender_ids is not None:
+            sender_ids.discard(msg_id)
+            if not sender_ids:
+                del self._by_user_sender[key]
+        if status is GrayStatus.RELEASED:
+            self.total_released += 1
+        elif status is GrayStatus.EXPIRED:
+            self.total_expired += 1
+        elif status is GrayStatus.DELETED:
+            self.total_deleted += 1
+        return entry
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._entries)
+
+    def users_with_pending(self) -> list[str]:
+        return list(self._by_user)

@@ -1,0 +1,124 @@
+"""Per-user whitelists and blacklists.
+
+The paper's product supports four whitelisting mechanisms (§2):
+
+1. the sender solves a challenge (``CAPTCHA``);
+2. the user authorizes the sender from the daily digest (``DIGEST``);
+3. the user adds the address manually (``MANUAL``);
+4. the user previously sent mail to the address (``OUTBOUND``).
+
+Every addition is also appended to a change log, which §4.3 / Fig. 9
+analyses consume to measure whitelist churn.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class WhitelistSource(enum.Enum):
+    """Which of the four mechanisms added an entry."""
+
+    CAPTCHA = "captcha"
+    DIGEST = "digest"
+    MANUAL = "manual"
+    OUTBOUND = "outbound"
+    #: Entries present before monitoring began (imported address books);
+    #: excluded from churn statistics, like the paper's steady-state lists.
+    SEED = "seed"
+
+
+@dataclass(frozen=True)
+class WhitelistEntry:
+    address: str
+    added_at: float
+    source: WhitelistSource
+
+
+@dataclass(frozen=True)
+class WhitelistChange:
+    """One logged whitelist addition."""
+
+    t: float
+    address: str
+    source: WhitelistSource
+
+
+class UserLists:
+    """One user's whitelist + blacklist."""
+
+    __slots__ = ("whitelist", "blacklist", "changes")
+
+    def __init__(self) -> None:
+        self.whitelist: dict[str, WhitelistEntry] = {}
+        self.blacklist: set[str] = set()
+        self.changes: list[WhitelistChange] = []
+
+    def add_to_whitelist(
+        self, address: str, t: float, source: WhitelistSource
+    ) -> bool:
+        """Add *address*; returns True when this was a new entry.
+
+        Additions are idempotent: re-adding an existing address neither
+        overwrites its provenance nor logs a change.
+        """
+        address = address.lower()
+        if address in self.whitelist:
+            return False
+        self.whitelist[address] = WhitelistEntry(address, t, source)
+        if source is not WhitelistSource.SEED:
+            self.changes.append(WhitelistChange(t, address, source))
+        # Whitelisting an address implicitly un-blacklists it.
+        self.blacklist.discard(address)
+        return True
+
+    def remove_from_whitelist(self, address: str) -> bool:
+        return self.whitelist.pop(address.lower(), None) is not None
+
+    def add_to_blacklist(self, address: str) -> None:
+        address = address.lower()
+        self.blacklist.add(address)
+        self.whitelist.pop(address, None)
+
+    def in_whitelist(self, address: str) -> bool:
+        return address.lower() in self.whitelist
+
+    def in_blacklist(self, address: str) -> bool:
+        return address.lower() in self.blacklist
+
+    def entry_for(self, address: str) -> Optional[WhitelistEntry]:
+        return self.whitelist.get(address.lower())
+
+    def changes_between(self, t0: float, t1: float) -> list[WhitelistChange]:
+        """Changes with ``t0 <= t < t1`` (the churn-analysis window)."""
+        return [c for c in self.changes if t0 <= c.t < t1]
+
+
+class WhitelistDirectory:
+    """All users' lists within one company, keyed by full address."""
+
+    def __init__(self) -> None:
+        self._lists: dict[str, UserLists] = {}
+
+    def lists_for(self, user_address: str) -> UserLists:
+        """Get (creating on first touch) the lists of *user_address*."""
+        key = user_address.lower()
+        lists = self._lists.get(key)
+        if lists is None:
+            lists = UserLists()
+            self._lists[key] = lists
+        return lists
+
+    def known_users(self) -> list[str]:
+        return list(self._lists)
+
+    def items(self):
+        return self._lists.items()
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def __contains__(self, user_address: str) -> bool:
+        return user_address.lower() in self._lists

@@ -1,0 +1,7 @@
+"""Experiment orchestration: run the simulated deployment, then regenerate
+each of the paper's tables and figures from its logs."""
+
+from repro.experiments.runner import SimulationResult, run_simulation
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["run_simulation", "SimulationResult", "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,95 @@
+"""Experiment registry: maps every paper table/figure id to its analysis.
+
+The ids follow DESIGN.md's per-experiment index. Each renderer takes a
+:class:`~repro.experiments.runner.SimulationResult` and returns the
+rendered paper-vs-measured report for that artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.analysis import (
+    blacklisting,
+    challenges,
+    churn,
+    clustering,
+    delays,
+    discussion,
+    engine_breakdown,
+    flow,
+    general_stats,
+    mta_breakdown,
+    reflection,
+    spf_study,
+    timeseries,
+    variability,
+)
+from repro.experiments.runner import SimulationResult
+
+#: experiment id -> function(SimulationResult) -> str (rendered report)
+EXPERIMENTS: Dict[str, Callable[[SimulationResult], str]] = {
+    "fig1": lambda r: flow.render(r.store),
+    "tab_drop": lambda r: mta_breakdown.render(r.store),
+    "fig2": lambda r: mta_breakdown.render(r.store),
+    "fig3": lambda r: engine_breakdown.render(r.store),
+    "tab1": lambda r: general_stats.render(r.store, r.info),
+    "tab1_daily": lambda r: timeseries.render(r.store, r.info),
+    "fig4a": lambda r: challenges.render(r.store),
+    "fig4b": lambda r: challenges.render(r.store),
+    "sec31": lambda r: reflection.render(r.store),
+    "sec32": lambda r: reflection.render(r.store),
+    "sec33": lambda r: reflection.render(r.store),
+    "fig5": lambda r: variability.render(r.store, r.info),
+    "fig6": lambda r: clustering.render(r.store, r.info),
+    "sec41": lambda r: clustering.render(r.store, r.info),
+    "fig7": lambda r: delays.render(r.store),
+    "fig8": lambda r: delays.render(r.store),
+    "sec42": lambda r: delays.render(r.store),
+    "fig9": lambda r: churn.render(r.store, r.info),
+    "sec43": lambda r: churn.render(r.store, r.info),
+    "fig10": lambda r: churn.render(r.store, r.info),
+    "fig11": lambda r: blacklisting.render(r.store, r.info),
+    "sec51": lambda r: blacklisting.render(r.store, r.info),
+    "fig12": lambda r: spf_study.render(r.store),
+    "sec6": lambda r: discussion.render(r.store, r.info),
+}
+
+
+def run_experiment(exp_id: str, result: SimulationResult) -> str:
+    """Render one experiment's paper-vs-measured report."""
+    try:
+        renderer = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return renderer(result)
+
+
+#: One id per distinct report (several ids share a renderer — e.g. fig4a
+#: and fig4b are one combined report).
+CANONICAL_ORDER = (
+    "tab_drop",
+    "fig1",
+    "fig3",
+    "tab1",
+    "tab1_daily",
+    "fig4a",
+    "sec31",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig11",
+    "fig12",
+    "sec6",
+)
+
+
+def run_all(result: SimulationResult) -> str:
+    """Render every distinct experiment report once, in paper order."""
+    parts = []
+    for exp_id in CANONICAL_ORDER:
+        parts.append(f"=== {exp_id} ===\n{EXPERIMENTS[exp_id](result)}")
+    return "\n\n".join(parts)

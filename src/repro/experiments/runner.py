@@ -1,0 +1,162 @@
+"""Run one full simulated deployment and collect its measurement logs.
+
+``run_simulation`` is the single entry point used by tests, benchmarks, and
+examples: it builds the world, instantiates one
+:class:`~repro.core.engine.CompanyInstallation` per company, seeds the
+steady-state whitelists/blacklists, arms the blacklist probe monitor and the
+trace generator, runs the clock over the observation window (plus a drain
+period for in-flight challenge retries), and returns everything the analysis
+pipeline needs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.analysis.context import DeploymentInfo
+from repro.analysis.store import LogStore
+from repro.blacklistd.monitor import BlacklistMonitor
+from repro.core.engine import CompanyInstallation
+from repro.core.message import reset_msg_ids
+from repro.sim.engine import Simulator
+from repro.util.rng import RngStreams
+from repro.util.simtime import DAY
+from repro.workload.behavior import BehaviorModel
+from repro.workload.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.workload.entities import World, build_world
+from repro.workload.generator import TraceGenerator
+from repro.workload.scale import ScaleConfig, get_preset
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produced."""
+
+    store: LogStore
+    world: World
+    simulator: Simulator
+    installations: dict[str, CompanyInstallation]
+    monitor: BlacklistMonitor
+    info: DeploymentInfo
+    seed: int
+    wall_seconds: float
+
+
+def run_simulation(
+    preset: Union[str, ScaleConfig] = "tiny",
+    seed: int = 7,
+    calibration: Optional[Calibration] = None,
+    filters_template=None,
+    scenarios: Sequence = (),
+    config_overrides: Optional[dict] = None,
+) -> SimulationResult:
+    """Simulate one deployment at the given scale preset and seed.
+
+    *filters_template* (a :class:`repro.core.config.FilterSettings`)
+    overrides every company's auxiliary-filter configuration; ablation
+    studies use it to switch individual filters on or off fleet-wide.
+
+    *scenarios* are extra traffic sources — typically
+    :class:`repro.workload.attacks.AttackScenario` instances — installed
+    alongside the regular trace generator.
+    """
+    started = time.perf_counter()
+    scale = get_preset(preset) if isinstance(preset, str) else preset
+    calibration = calibration or DEFAULT_CALIBRATION
+    reset_msg_ids()
+
+    streams = RngStreams(seed)
+    world = build_world(
+        scale, calibration, streams, filters_template, config_overrides
+    )
+    simulator = Simulator()
+    store = LogStore()
+    behavior = BehaviorModel(world, calibration, streams.stream("behavior"))
+    hooks = behavior.hooks()
+
+    horizon = scale.n_days * DAY
+    installations: dict[str, CompanyInstallation] = {}
+    for company in world.companies:
+        installation = CompanyInstallation(
+            config=company.config,
+            simulator=simulator,
+            internet=world.internet,
+            resolver=world.resolver,
+            store=store,
+            dnsbl_services=world.services,
+            rng=streams.stream(f"antivirus/{company.company_id}"),
+            hooks=hooks,
+            challenge_size=calibration.challenge_size,
+        )
+        _seed_user_lists(installation, company, calibration)
+        installation.start(until=horizon)
+        installations[company.company_id] = installation
+    _seed_newsletter_whitelists(installations, world, calibration, streams)
+
+    server_ips = sorted(
+        {inst.challenge_mta.ip for inst in installations.values()}
+        | {inst.user_mta.ip for inst in installations.values()}
+    )
+    monitor = BlacklistMonitor(
+        simulator,
+        list(world.services.values()),
+        server_ips,
+        sink=store.add_probe,
+    )
+    monitor.start(until=horizon)
+
+    generator = TraceGenerator(world, simulator, installations, streams)
+    generator.start(scale.n_days)
+    for scenario in scenarios:
+        scenario.install(world, simulator, installations, streams)
+
+    # Run the observation window, then drain in-flight work (challenge
+    # retries, scheduled solves, digest actions) — recurring jobs stop at
+    # the horizon, so the queue empties on its own.
+    simulator.run(until=horizon)
+    simulator.run()
+
+    info = DeploymentInfo(
+        n_companies=scale.n_companies,
+        n_open_relays=scale.open_relays,
+        users_per_company={
+            company.company_id: company.n_users for company in world.companies
+        },
+        horizon_days=float(scale.n_days),
+        min_cluster_size=scale.min_cluster_size,
+        volume_scale=scale.volume_scale,
+    )
+    return SimulationResult(
+        store=store,
+        world=world,
+        simulator=simulator,
+        installations=installations,
+        monitor=monitor,
+        info=info,
+        seed=seed,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _seed_user_lists(
+    installation: CompanyInstallation, company, calibration: Calibration
+) -> None:
+    """Pre-populate steady-state whitelists (most contacts) and blacklists
+    (nuisance senders) — the paper observes mature installations."""
+    for user in company.users:
+        n_seed = int(len(user.contacts) * calibration.seed_whitelist_share)
+        installation.seed_whitelist(user.address, user.contacts[:n_seed])
+        installation.seed_blacklist(user.address, user.nuisance_senders)
+
+
+def _seed_newsletter_whitelists(installations, world, calibration, streams) -> None:
+    """Most subscriptions predate the monitoring window, so most
+    subscribers already whitelisted their newsletters' sender addresses."""
+    rng = streams.stream("newsletter-seed")
+    for source in world.newsletter_sources:
+        for company_id, subscriber in source.subscribers:
+            if rng.random() < calibration.newsletter_seed_prob:
+                installation = installations[company_id]
+                installation.seed_whitelist(subscriber, list(source.senders))

@@ -1,0 +1,38 @@
+"""Simulated internet substrate: addressing, DNS, SMTP routing, remote hosts.
+
+The challenge-response product under study talks to the outside world through
+this package: it resolves sender domains at the inbound MTA, and it delivers
+challenge emails through :class:`repro.net.mta_out.OutboundMta`, which routes
+them over :class:`repro.net.internet.Internet` to
+:class:`repro.net.hosts.RemoteMailHost` instances (real senders, innocent
+third parties, spam traps, or dead servers).
+"""
+
+from repro.net.addresses import Address, AddressError, is_well_formed, parse_address
+from repro.net.dns import DnsRegistry, Resolver
+from repro.net.hosts import RemoteMailHost
+from repro.net.internet import Internet
+from repro.net.mta_out import DeliveryResult, OutboundMta
+from repro.net.smtp import (
+    BounceReason,
+    Envelope,
+    FinalStatus,
+    SmtpResponse,
+)
+
+__all__ = [
+    "Address",
+    "AddressError",
+    "parse_address",
+    "is_well_formed",
+    "DnsRegistry",
+    "Resolver",
+    "RemoteMailHost",
+    "Internet",
+    "OutboundMta",
+    "DeliveryResult",
+    "SmtpResponse",
+    "Envelope",
+    "FinalStatus",
+    "BounceReason",
+]

@@ -1,0 +1,96 @@
+"""RFC822-lite email address parsing and validation.
+
+The paper's inbound MTA "first checks if the email address is well formed
+(according to RFC822)". We implement the practically-relevant subset of the
+grammar used by real MTAs for envelope addresses: a dot-atom local part and
+a dot-separated domain of LDH labels. Quoted local parts, comments, and
+source routes are intentionally out of scope — commercial anti-spam MTAs
+reject those outright, exactly like our :data:`MALFORMED` verdict.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Characters allowed in an (unquoted) local-part atom, per RFC 5321 atext.
+_ATEXT = r"A-Za-z0-9!#$%&'*+/=?^_`{|}~-"
+
+_LOCAL_RE = re.compile(rf"^[{_ATEXT}]+(?:\.[{_ATEXT}]+)*$")
+_LABEL_RE = re.compile(r"^[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?$")
+_TLD_RE = re.compile(r"^[A-Za-z]{2,}$")
+
+MAX_LOCAL_LENGTH = 64
+MAX_DOMAIN_LENGTH = 253
+MAX_ADDRESS_LENGTH = 254
+
+
+class AddressError(ValueError):
+    """Raised when a string is not a well-formed email address."""
+
+
+@dataclass(frozen=True)
+class Address:
+    """A parsed email address: ``local @ domain`` (domain lowercased)."""
+
+    local: str
+    domain: str
+
+    @property
+    def full(self) -> str:
+        return f"{self.local}@{self.domain}"
+
+    def __str__(self) -> str:
+        return self.full
+
+
+def parse_address(raw: str) -> Address:
+    """Parse *raw* into an :class:`Address` or raise :class:`AddressError`.
+
+    >>> parse_address("Dept-x.p@SCN-1.com")
+    Address(local='Dept-x.p', domain='scn-1.com')
+    """
+    if not isinstance(raw, str):
+        raise AddressError(f"not a string: {raw!r}")
+    if len(raw) > MAX_ADDRESS_LENGTH:
+        raise AddressError("address too long")
+    if raw.count("@") != 1:
+        raise AddressError(f"address must contain exactly one '@': {raw!r}")
+    local, domain = raw.split("@")
+    if not local:
+        raise AddressError("empty local part")
+    if len(local) > MAX_LOCAL_LENGTH:
+        raise AddressError("local part too long")
+    if not _LOCAL_RE.match(local):
+        raise AddressError(f"invalid local part: {local!r}")
+    domain = domain.lower()
+    if not domain:
+        raise AddressError("empty domain")
+    if len(domain) > MAX_DOMAIN_LENGTH:
+        raise AddressError("domain too long")
+    labels = domain.split(".")
+    if len(labels) < 2:
+        raise AddressError(f"domain must have at least two labels: {domain!r}")
+    for label in labels:
+        if not _LABEL_RE.match(label):
+            raise AddressError(f"invalid domain label: {label!r}")
+    if not _TLD_RE.match(labels[-1]):
+        raise AddressError(f"invalid top-level domain: {labels[-1]!r}")
+    return Address(local=local, domain=domain)
+
+
+def is_well_formed(raw: str) -> bool:
+    """True when :func:`parse_address` would accept *raw*."""
+    try:
+        parse_address(raw)
+    except AddressError:
+        return False
+    return True
+
+
+def domain_of(raw: str) -> str:
+    """Return the (lowercased) domain of a well-formed address.
+
+    Raises :class:`AddressError` for malformed input.
+    """
+    return parse_address(raw).domain

@@ -1,0 +1,132 @@
+"""Simulated DNS: a registry of records plus a resolver.
+
+Everything the CR product asks of DNS is covered:
+
+* *Is the sender's domain resolvable?* (inbound MTA check) — ``A``/``MX``.
+* *Where do I deliver this challenge?* — ``MX``.
+* *Does the connecting client IP have a reverse mapping?* (reverse-DNS
+  filter) — ``PTR``.
+* *Which hosts may send for this domain?* (SPF validation, Fig. 12) —
+  ``TXT`` records carrying ``v=spf1`` policies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class DnsRegistry:
+    """Authoritative record store for the simulated internet.
+
+    Records are ``(name, rtype) -> [values]``. Names are case-insensitive.
+    """
+
+    A = "A"
+    MX = "MX"
+    PTR = "PTR"
+    TXT = "TXT"
+
+    def __init__(self) -> None:
+        self._records: dict[tuple[str, str], list[str]] = {}
+
+    def add_record(self, name: str, rtype: str, value: str) -> None:
+        """Append a record; duplicate values are ignored."""
+        key = (name.lower(), rtype.upper())
+        values = self._records.setdefault(key, [])
+        if value not in values:
+            values.append(value)
+
+    def remove_records(self, name: str, rtype: str) -> None:
+        """Remove every *rtype* record for *name* (no error if absent)."""
+        self._records.pop((name.lower(), rtype.upper()), None)
+
+    def lookup(self, name: str, rtype: str) -> list[str]:
+        """Return the values for ``(name, rtype)`` (empty list if none)."""
+        return list(self._records.get((name.lower(), rtype.upper()), ()))
+
+    # -- convenience registration helpers -------------------------------
+
+    def register_mail_domain(
+        self,
+        domain: str,
+        ip: str,
+        *,
+        mx_host: Optional[str] = None,
+        with_ptr: bool = True,
+        spf: Optional[str] = None,
+    ) -> None:
+        """Register the full record set of a mail-serving domain.
+
+        Adds an ``A`` record, an ``MX`` pointing at *mx_host* (default
+        ``mail.<domain>``), optionally a ``PTR`` mapping *ip* back to the MX
+        host, and optionally an SPF ``TXT`` policy.
+        """
+        mx = mx_host or f"mail.{domain}"
+        self.add_record(domain, self.A, ip)
+        self.add_record(domain, self.MX, mx)
+        self.add_record(mx, self.A, ip)
+        if with_ptr:
+            self.add_record(ip, self.PTR, mx)
+        if spf is not None:
+            self.add_record(domain, self.TXT, spf)
+
+    def register_client_ptr(self, ip: str, hostname: str) -> None:
+        """Give a sending client IP a reverse mapping (legit mail servers)."""
+        self.add_record(ip, self.PTR, hostname)
+
+
+class Resolver:
+    """Query interface used by MTAs and filters.
+
+    Counts queries (useful for benchmarks) and memoises nothing: the
+    registry lookup is already a dict access.
+    """
+
+    def __init__(self, registry: DnsRegistry) -> None:
+        self.registry = registry
+        self.queries = 0
+
+    def resolves(self, domain: str) -> bool:
+        """True when *domain* has an ``A`` or ``MX`` record.
+
+        This is the inbound MTA's "is it able to resolve the incoming email
+        domain" check.
+        """
+        self.queries += 1
+        return bool(
+            self.registry.lookup(domain, DnsRegistry.A)
+            or self.registry.lookup(domain, DnsRegistry.MX)
+        )
+
+    def mx_host(self, domain: str) -> Optional[str]:
+        """Best MX target hostname for *domain*, or ``None``."""
+        self.queries += 1
+        hosts = self.registry.lookup(domain, DnsRegistry.MX)
+        return hosts[0] if hosts else None
+
+    def ptr(self, ip: str) -> Optional[str]:
+        """Reverse lookup of *ip*, or ``None`` when no PTR exists."""
+        self.queries += 1
+        names = self.registry.lookup(ip, DnsRegistry.PTR)
+        return names[0] if names else None
+
+    def txt(self, domain: str) -> list[str]:
+        """All TXT records of *domain*."""
+        self.queries += 1
+        return self.registry.lookup(domain, DnsRegistry.TXT)
+
+    def spf_policy(self, domain: str) -> Optional[str]:
+        """The ``v=spf1`` TXT record of *domain*, or ``None``."""
+        for record in self.txt(domain):
+            if record.startswith("v=spf1"):
+                return record
+        return None
+
+
+def iter_spf_mechanisms(policy: str) -> Iterable[str]:
+    """Yield the mechanism terms of an SPF policy string (skipping the
+    version tag)."""
+    for term in policy.split():
+        if term == "v=spf1":
+            continue
+        yield term

@@ -1,0 +1,89 @@
+"""Remote mail hosts: the servers our challenges get delivered to.
+
+Each host models one receiving domain on the simulated internet. Hosts can:
+
+* accept mail for known mailboxes and 550-reject unknown ones (the source of
+  the "non-existent recipient" bounces in Fig. 4(a));
+* act as a catch-all (accept any local part), like many small 2010 domains;
+* subscribe to DNSBL services and 554-reject mail whose sending IP is
+  currently listed — the mechanism by which a blacklisted challenge server
+  *observes* that it is blacklisted (Fig. 11);
+* be permanently unreachable while still resolving in DNS ("parked" MX
+  records spammers forge), producing the retry-until-expiry outcomes;
+* invoke an ``on_delivered`` hook — spam-trap hosts use it to report the
+  sending IP to their DNSBL operator, and workload hosts use it to trigger
+  sender behaviour (opening/solving CAPTCHAs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.net.smtp import Envelope, Reply, SmtpResponse
+
+DeliveredHook = Callable[[Envelope, float], None]
+
+
+class RemoteMailHost:
+    """A receiving mail server for one domain."""
+
+    def __init__(
+        self,
+        domain: str,
+        ip: str,
+        *,
+        mailboxes: Optional[set[str]] = None,
+        catch_all: bool = False,
+        reachable: bool = True,
+        greylisting: bool = False,
+        dnsbl_services: Sequence[object] = (),
+        on_delivered: Optional[DeliveredHook] = None,
+    ) -> None:
+        self.domain = domain.lower()
+        self.ip = ip
+        self.mailboxes: set[str] = mailboxes if mailboxes is not None else set()
+        self.catch_all = catch_all
+        self.reachable = reachable
+        #: Classic greylisting: the first delivery attempt from a
+        #: previously-unseen client IP gets a 451; the retry passes.
+        self.greylisting = greylisting
+        self.dnsbl_services = list(dnsbl_services)
+        self.on_delivered = on_delivered
+        self.accepted_count = 0
+        self.rejected_count = 0
+        self.greylisted_count = 0
+        self._seen_client_ips: set[str] = set()
+
+    def add_mailbox(self, local: str) -> None:
+        self.mailboxes.add(local)
+
+    def has_mailbox(self, local: str) -> bool:
+        return self.catch_all or local in self.mailboxes
+
+    def deliver(self, envelope: Envelope, now: float) -> SmtpResponse:
+        """Attempt delivery of *envelope* at simulated time *now*."""
+        if not self.reachable:
+            return SmtpResponse(Reply.CONNECT_FAIL, "connection timed out")
+        for service in self.dnsbl_services:
+            if service.is_listed(envelope.client_ip, now):
+                self.rejected_count += 1
+                return SmtpResponse(
+                    Reply.BLACKLISTED,
+                    f"5.7.1 rejected: {envelope.client_ip} listed by {service.name}",
+                )
+        local = envelope.rcpt_to.split("@", 1)[0]
+        if not self.has_mailbox(local):
+            self.rejected_count += 1
+            return SmtpResponse(
+                Reply.MAILBOX_UNAVAILABLE, f"5.1.1 no such user: {envelope.rcpt_to}"
+            )
+        if self.greylisting and envelope.client_ip not in self._seen_client_ips:
+            self._seen_client_ips.add(envelope.client_ip)
+            self.greylisted_count += 1
+            return SmtpResponse(
+                Reply.GREYLISTED, "4.2.0 greylisted, try again later"
+            )
+        self.accepted_count += 1
+        if self.on_delivered is not None:
+            self.on_delivered(envelope, now)
+        return SmtpResponse(Reply.OK, "message accepted")

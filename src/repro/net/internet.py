@@ -1,0 +1,52 @@
+"""The message router: finds the MX for a recipient domain and hands the
+envelope to the responsible :class:`~repro.net.hosts.RemoteMailHost`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.dns import Resolver
+from repro.net.hosts import RemoteMailHost
+from repro.net.smtp import Envelope, Reply, SmtpResponse
+
+
+class Internet:
+    """Registry of remote hosts plus MX-based routing.
+
+    Routing semantics mirror what a sending MTA experiences:
+
+    * recipient domain has no MX/A records → permanent failure (no route);
+    * domain resolves but no server answers (spammers forging "parked"
+      domains, or a registered-but-unreachable host) → connection failure,
+      which the sender retries until expiry;
+    * otherwise, the host's own policy decides (250 / 550 / 554 / ...).
+    """
+
+    def __init__(self, resolver: Resolver) -> None:
+        self.resolver = resolver
+        self._hosts_by_domain: dict[str, RemoteMailHost] = {}
+        self.envelopes_routed = 0
+        self.bytes_routed = 0
+
+    def register_host(self, host: RemoteMailHost) -> None:
+        if host.domain in self._hosts_by_domain:
+            raise ValueError(f"duplicate host for domain {host.domain}")
+        self._hosts_by_domain[host.domain] = host
+
+    def host_for(self, domain: str) -> Optional[RemoteMailHost]:
+        return self._hosts_by_domain.get(domain.lower())
+
+    def submit(self, envelope: Envelope, now: float) -> SmtpResponse:
+        """Route one delivery attempt and return the server's response."""
+        self.envelopes_routed += 1
+        self.bytes_routed += envelope.size
+        domain = envelope.rcpt_to.rsplit("@", 1)[-1].lower()
+        if not self.resolver.resolves(domain):
+            return SmtpResponse(
+                Reply.MAILBOX_UNAVAILABLE, f"5.4.4 no route to {domain}"
+            )
+        host = self._hosts_by_domain.get(domain)
+        if host is None:
+            # Resolvable in DNS but nobody answers: forged/parked domain.
+            return SmtpResponse(Reply.CONNECT_FAIL, f"cannot connect to {domain}")
+        return host.deliver(envelope, now)

@@ -1,0 +1,85 @@
+"""SMTP-level primitives: reply codes, envelopes, delivery outcomes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Reply:
+    """The SMTP reply codes our simulated hosts emit."""
+
+    OK = 250
+    GREYLISTED = 451  # transient local error — try again later
+    CONNECT_FAIL = 0  # could not reach the server at all (treated as 4xx)
+    MAILBOX_UNAVAILABLE = 550  # no such user
+    RELAY_DENIED = 551
+    BLACKLISTED = 554  # rejected: sending IP is on a DNSBL the host uses
+    CONTENT_REJECTED = 552
+
+
+@dataclass(frozen=True)
+class SmtpResponse:
+    """One server response to a delivery attempt."""
+
+    code: int
+    message: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        return 200 <= self.code < 300
+
+    @property
+    def transient(self) -> bool:
+        """Transient failures (4xx and connection failures) get retried."""
+        return self.code == Reply.CONNECT_FAIL or 400 <= self.code < 500
+
+    @property
+    def permanent(self) -> bool:
+        return self.code >= 500
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """An SMTP envelope: what an MTA actually transmits.
+
+    ``payload_id`` ties the envelope back to whatever higher-level object is
+    being delivered (a challenge id in our case); the transport does not
+    interpret it.
+    """
+
+    mail_from: str
+    rcpt_to: str
+    size: int
+    client_ip: str
+    payload_id: Optional[int] = None
+
+
+class FinalStatus(enum.Enum):
+    """Terminal fate of an outbound message after all retries."""
+
+    DELIVERED = "delivered"
+    BOUNCED = "bounced"
+    EXPIRED = "expired"
+
+
+class BounceReason(enum.Enum):
+    """Why a permanently-rejected message bounced.
+
+    ``NONEXISTENT_RECIPIENT`` and ``BLACKLISTED`` are the two reasons the
+    paper's Fig. 4(a) and Fig. 11 analyses key on.
+    """
+
+    NONEXISTENT_RECIPIENT = "nonexistent_recipient"
+    BLACKLISTED = "blacklisted"
+    OTHER = "other"
+
+
+def bounce_reason_for(code: int) -> BounceReason:
+    """Map a permanent SMTP reply code to a bounce-reason category."""
+    if code == Reply.MAILBOX_UNAVAILABLE:
+        return BounceReason.NONEXISTENT_RECIPIENT
+    if code == Reply.BLACKLISTED:
+        return BounceReason.BLACKLISTED
+    return BounceReason.OTHER

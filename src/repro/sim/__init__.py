@@ -1,0 +1,6 @@
+"""Discrete-event simulation engine."""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+__all__ = ["Simulator", "Event"]

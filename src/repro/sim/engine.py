@@ -1,0 +1,107 @@
+"""The simulation loop: a time-ordered queue of callbacks.
+
+Kept intentionally minimal — the email-system models carry the semantics;
+the engine only guarantees deterministic time ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.sim.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid scheduling (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> _ = sim.schedule(5.0, lambda: seen.append("b"))
+    >>> _ = sim.schedule(1.0, lambda: seen.append("a"))
+    >>> sim.run()
+    >>> seen
+    ['a', 'b']
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(
+        self, at: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule *action* to run at absolute time *at*."""
+        if at < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {at} before current time {self.now}"
+            )
+        event = Event(time=float(at), seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule *action* to run *delay* seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, action, label)
+
+    def schedule_every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+        label: str = "",
+    ) -> None:
+        """Schedule *action* at ``start, start+interval, ...`` up to *until*.
+
+        *until* is exclusive; *start* defaults to ``now + interval``.
+        The recurrence re-arms itself after each firing, so *action* may
+        inspect or mutate simulation state freely.
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval {interval}")
+        first = self.now + interval if start is None else start
+
+        def fire() -> None:
+            action()
+            next_time = self.now + interval
+            if until is None or next_time < until:
+                self.schedule(next_time, fire, label)
+
+        if until is None or first < until:
+            self.schedule(first, fire, label)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events in time order until the queue drains or *until*.
+
+        Events scheduled exactly at *until* are **not** processed (half-open
+        interval), so consecutive ``run(until=...)`` calls never double-fire.
+        """
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time >= until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.action()
+            self.events_processed += 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)

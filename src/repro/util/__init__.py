@@ -1,0 +1,24 @@
+"""Shared utilities: deterministic RNG streams, simulated time, statistics,
+and plain-text rendering of tables, histograms, and CDFs."""
+
+from repro.util.rng import RngStreams
+from repro.util.simtime import (
+    DAY,
+    HOUR,
+    MINUTE,
+    SIM_EPOCH_LABEL,
+    day_of,
+    format_duration,
+    format_timestamp,
+)
+
+__all__ = [
+    "RngStreams",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "SIM_EPOCH_LABEL",
+    "day_of",
+    "format_duration",
+    "format_timestamp",
+]

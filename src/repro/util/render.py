@@ -1,0 +1,136 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The original paper presents results as tables, bar charts, CDFs, and a
+scatter matrix. This module renders the *data content* of each as aligned
+ASCII, which is what the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.util.stats import CdfPoint, HistogramBin
+
+
+@dataclass
+class TextTable:
+    """A simple aligned table with an optional title."""
+
+    headers: Sequence[str]
+    rows: list[Sequence[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * max(len(self.title), sum(widths) + 2 * len(widths)))
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+@dataclass
+class ComparisonTable:
+    """A paper-vs-measured comparison, the standard bench output format."""
+
+    title: str
+    rows: list[tuple[str, Optional[float], Optional[float], str]] = field(
+        default_factory=list
+    )
+
+    def add(
+        self,
+        label: str,
+        paper: Optional[float],
+        measured: Optional[float],
+        unit: str = "",
+    ) -> None:
+        """Record one compared quantity. Pass ``paper=None`` for quantities
+        the paper does not report numerically."""
+        self.rows.append((label, paper, measured, unit))
+
+    def render(self) -> str:
+        table = TextTable(
+            headers=["quantity", "paper", "measured", "delta"], title=self.title
+        )
+        for label, paper, measured, unit in self.rows:
+            table.add_row(
+                label,
+                _fmt_value(paper, unit),
+                _fmt_value(measured, unit),
+                _fmt_delta(paper, measured),
+            )
+        return table.render()
+
+
+def render_histogram(
+    bins: Sequence[HistogramBin], title: str = "", width: int = 40
+) -> str:
+    """Render histogram bins as horizontal ASCII bars with percentages."""
+    total = sum(b.count for b in bins) or 1
+    peak = max((b.count for b in bins), default=1) or 1
+    lines: list[str] = [title] if title else []
+    label_width = max((len(b.label) for b in bins), default=0)
+    for b in bins:
+        bar = "#" * max(1 if b.count else 0, round(width * b.count / peak))
+        pct = 100.0 * b.count / total
+        lines.append(f"{b.label.ljust(label_width)}  {bar.ljust(width)} {pct:6.2f}%")
+    return "\n".join(lines)
+
+
+def render_cdf(
+    points: Sequence[CdfPoint],
+    probes: Sequence[float],
+    title: str = "",
+    value_format: str = "{:g}",
+) -> str:
+    """Render a CDF as `value -> fraction` rows evaluated at *probes*."""
+    from repro.util.stats import cdf_at
+
+    lines: list[str] = [title] if title else []
+    for probe in probes:
+        frac = cdf_at(points, probe)
+        lines.append(f"  <= {value_format.format(probe):>12}: {100.0 * frac:6.2f}%")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.4g}" if abs(value) < 1000 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _fmt_value(value: Optional[float], unit: str) -> str:
+    if value is None:
+        return "-"
+    if unit == "%":
+        return f"{value:.2f}%"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.3g}{unit}"
+    return f"{value:,.0f}{unit}"
+
+
+def _fmt_delta(paper: Optional[float], measured: Optional[float]) -> str:
+    if paper is None or measured is None:
+        return "-"
+    if paper == 0:
+        return "n/a"
+    return f"{100.0 * (measured - paper) / paper:+.1f}%"

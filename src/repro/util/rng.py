@@ -1,0 +1,77 @@
+"""Deterministic, named random streams.
+
+Every stochastic component of the simulation draws from its own named child
+stream derived from a single master seed. This keeps runs reproducible and —
+just as important for a measurement reproduction — keeps the components
+statistically independent: adding draws to one subsystem does not perturb the
+sequence seen by any other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+
+
+def poisson(rng: random.Random, lam: float) -> int:
+    """Draw from Poisson(*lam*) using *rng*.
+
+    Knuth's product method for small rates; a rounded-normal approximation
+    above 50, where the product method underflows.
+    """
+    if lam <= 0.0:
+        return 0
+    if lam > 50.0:
+        return max(0, round(rng.gauss(lam, math.sqrt(lam))))
+    threshold = math.exp(-lam)
+    k = 0
+    product = rng.random()
+    while product > threshold:
+        k += 1
+        product *= rng.random()
+    return k
+
+
+class RngStreams:
+    """A factory of independent :class:`random.Random` streams.
+
+    Streams are identified by name; requesting the same name twice returns
+    the *same* stream object, so state advances continuously within a
+    subsystem while remaining isolated between subsystems.
+
+    >>> streams = RngStreams(seed=42)
+    >>> a = streams.stream("spam")
+    >>> b = streams.stream("legit")
+    >>> a is streams.stream("spam")
+    True
+    >>> a is b
+    False
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it deterministically."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(self._derive_seed(name))
+            self._streams[name] = stream
+        return stream
+
+    def child(self, name: str) -> "RngStreams":
+        """Return a new :class:`RngStreams` namespaced under *name*.
+
+        Useful when a subsystem itself wants to hand out named streams
+        (e.g. one stream per spam campaign).
+        """
+        return RngStreams(self._derive_seed(name))
+
+    def _derive_seed(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self.seed}/{name}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngStreams(seed={self.seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,66 @@
+"""Simulated-time helpers.
+
+The simulation clock counts integer seconds from a fixed epoch,
+2010-07-01 00:00:00 UTC — the first day of the paper's six-month
+measurement window (July–December 2010).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+MINUTE = 60
+HOUR = 60 * MINUTE
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+#: Calendar instant that simulated time 0 corresponds to.
+SIM_EPOCH = _dt.datetime(2010, 7, 1, 0, 0, 0)
+SIM_EPOCH_LABEL = "2010-07-01T00:00:00"
+
+
+def day_of(timestamp: float) -> int:
+    """Return the zero-based simulated day index containing *timestamp*."""
+    return int(timestamp // DAY)
+
+
+def seconds_into_day(timestamp: float) -> float:
+    """Return how far into its day *timestamp* falls, in seconds."""
+    return timestamp - day_of(timestamp) * DAY
+
+
+def weekday_of(timestamp: float) -> int:
+    """Return the weekday (0=Monday .. 6=Sunday) of *timestamp*.
+
+    The simulated epoch, 2010-07-01, was a Thursday (weekday 3).
+    """
+    return (3 + day_of(timestamp)) % 7
+
+
+def is_weekend(timestamp: float) -> bool:
+    """True when *timestamp* falls on a Saturday or Sunday."""
+    return weekday_of(timestamp) >= 5
+
+
+def format_timestamp(timestamp: float) -> str:
+    """Render a simulated timestamp as an ISO-8601 calendar string."""
+    return (SIM_EPOCH + _dt.timedelta(seconds=float(timestamp))).isoformat()
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly: ``90`` -> ``'1m30s'``, ``90000`` -> ``'1d1h'``."""
+    seconds = int(round(seconds))
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MINUTE:
+        return f"{seconds}s"
+    if seconds < HOUR:
+        minutes, secs = divmod(seconds, MINUTE)
+        return f"{minutes}m{secs}s" if secs else f"{minutes}m"
+    if seconds < DAY:
+        hours, rem = divmod(seconds, HOUR)
+        minutes = rem // MINUTE
+        return f"{hours}h{minutes}m" if minutes else f"{hours}h"
+    days, rem = divmod(seconds, DAY)
+    hours = rem // HOUR
+    return f"{days}d{hours}h" if hours else f"{days}d"

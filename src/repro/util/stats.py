@@ -1,0 +1,159 @@
+"""Small statistics toolkit used by the analysis pipeline.
+
+Implemented by hand (no numpy dependency in the library itself) so the
+analysis code exactly documents what is being computed; the test-suite
+cross-checks several of these against numpy/scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty sequence."""
+    if not values:
+        raise ValueError("mean() of empty sequence")
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Population variance (divide by N)."""
+    mu = mean(values)
+    return sum((v - mu) ** 2 for v in values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    return math.sqrt(variance(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median via :func:`percentile` at 50."""
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (same convention as numpy default).
+
+    *pct* is in ``[0, 100]``.
+    """
+    if not values:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences.
+
+    Returns 0.0 when either sequence is constant (the paper's scatter
+    matrix renders those cells as blank).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("pearson() requires equal-length sequences")
+    if len(xs) < 2:
+        raise ValueError("pearson() requires at least two points")
+    mx, my = mean(xs), mean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    sx = math.sqrt(sum((x - mx) ** 2 for x in xs))
+    sy = math.sqrt(sum((y - my) ** 2 for y in ys))
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    r = cov / (sx * sy)
+    # Clamp tiny floating-point excursions outside [-1, 1].
+    return max(-1.0, min(1.0, r))
+
+
+@dataclass(frozen=True)
+class CdfPoint:
+    """One step of an empirical CDF: ``fraction`` of samples are <= ``value``."""
+
+    value: float
+    fraction: float
+
+
+def empirical_cdf(values: Iterable[float]) -> list[CdfPoint]:
+    """Return the empirical CDF of *values* as a list of steps.
+
+    The result is sorted by value and the last fraction is exactly 1.0.
+    """
+    ordered = sorted(values)
+    n = len(ordered)
+    points: list[CdfPoint] = []
+    for i, v in enumerate(ordered, start=1):
+        if points and points[-1].value == v:
+            points[-1] = CdfPoint(v, i / n)
+        else:
+            points.append(CdfPoint(v, i / n))
+    return points
+
+
+def cdf_at(points: Sequence[CdfPoint], value: float) -> float:
+    """Evaluate an empirical CDF (as returned by :func:`empirical_cdf`) at *value*."""
+    fraction = 0.0
+    for point in points:
+        if point.value <= value:
+            fraction = point.fraction
+        else:
+            break
+    return fraction
+
+
+@dataclass(frozen=True)
+class HistogramBin:
+    """A half-open histogram bin ``[low, high)`` with its count."""
+
+    low: float
+    high: float
+    count: int
+
+    @property
+    def label(self) -> str:
+        return f"[{self.low:g}, {self.high:g})"
+
+
+def histogram(
+    values: Iterable[float], edges: Sequence[float]
+) -> list[HistogramBin]:
+    """Bin *values* into the half-open bins defined by *edges*.
+
+    ``edges`` must be strictly increasing; values outside ``[edges[0],
+    edges[-1])`` are ignored, mirroring how the paper's figures clip their
+    axes.
+    """
+    if len(edges) < 2:
+        raise ValueError("histogram() needs at least two edges")
+    if any(b <= a for a, b in zip(edges, edges[1:])):
+        raise ValueError("histogram() edges must be strictly increasing")
+    counts = [0] * (len(edges) - 1)
+    for v in values:
+        if v < edges[0] or v >= edges[-1]:
+            continue
+        # Linear scan is fine: analysis histograms have < 20 bins.
+        for i in range(len(counts)):
+            if edges[i] <= v < edges[i + 1]:
+                counts[i] += 1
+                break
+    return [
+        HistogramBin(edges[i], edges[i + 1], counts[i]) for i in range(len(counts))
+    ]
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with 0/0 defined as 0.0."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

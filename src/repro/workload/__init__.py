@@ -1,0 +1,28 @@
+"""Synthetic workload: the six-month email trace the paper could not share.
+
+The real study measured 90.4 M messages flowing into 47 companies. Those
+traces are proprietary, so this package generates a statistically equivalent
+workload: a world of companies, users, contacts, newsletters, botnet spam
+campaigns, spam traps and dead domains (:mod:`repro.workload.entities`),
+sender/recipient behaviour models (:mod:`repro.workload.behavior`), and a
+day-by-day trace generator (:mod:`repro.workload.generator`).
+
+Every tunable lives in :mod:`repro.workload.calibration`, annotated with the
+published figure it is anchored to. The analyses never read these constants
+— they re-measure everything from simulation logs.
+"""
+
+from repro.workload.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.workload.entities import World, build_world
+from repro.workload.generator import TraceGenerator
+from repro.workload.scale import ScaleConfig, get_preset
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "World",
+    "build_world",
+    "TraceGenerator",
+    "ScaleConfig",
+    "get_preset",
+]

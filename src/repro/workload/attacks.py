@@ -1,0 +1,157 @@
+"""Adversarial scenarios against a CR installation.
+
+The paper deliberately excluded active attacks from its measurements but
+names two in §6 / "Other Limitations":
+
+* **whitelist spoofing** — forging the envelope sender "using a
+  likely-whitelisted address", which walks straight past the dispatcher
+  into the inbox;
+* **trap bombing** — forging messages whose (spoofed) senders are spam-trap
+  addresses "with the goal of forcing the server to send back the
+  challenge to spam trap addresses, thus increasing the likelihood of
+  getting the server IP added to one or more blacklist".
+
+Both are implemented here as pluggable scenarios for
+:func:`repro.experiments.run_simulation`; see
+``examples/attack_scenarios.py`` for an end-to-end evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.engine import CompanyInstallation
+from repro.core.message import MessageKind, SenderClass, make_message
+from repro.sim.engine import Simulator
+from repro.util.rng import RngStreams, poisson
+from repro.util.simtime import DAY
+from repro.workload import naming
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.entities import World
+
+
+@dataclass
+class AttackScenario:
+    """Base class: schedules adversarial traffic against one company."""
+
+    company_id: str
+    start_day: int = 1
+    duration_days: int = 7
+    messages_per_day: float = 50.0
+    #: Filled by :meth:`install`; used by evaluations.
+    campaign_id: str = field(default="attack", init=False)
+
+    def install(
+        self,
+        world: "World",
+        simulator: Simulator,
+        installations: Mapping[str, CompanyInstallation],
+        streams: RngStreams,
+    ) -> None:
+        installation = installations.get(self.company_id)
+        if installation is None:
+            raise KeyError(f"unknown company {self.company_id!r}")
+        rng = streams.stream(f"attack/{self.campaign_id}/{self.company_id}")
+        company = next(
+            c for c in world.companies if c.company_id == self.company_id
+        )
+        for day in range(self.start_day, self.start_day + self.duration_days):
+            simulator.schedule(
+                day * DAY,
+                lambda d=day: self._plan_day(
+                    world, simulator, installation, company, rng, d
+                ),
+                label=f"{self.campaign_id}:{self.company_id}",
+            )
+
+    def _plan_day(
+        self, world, simulator, installation, company, rng, day
+    ) -> None:
+        for _ in range(poisson(rng, self.messages_per_day)):
+            t = day * DAY + rng.uniform(0, DAY)
+            message = self._forge(world, company, rng, t)
+            simulator.schedule(
+                t, lambda m=message: installation.handle_inbound(m)
+            )
+
+    def _forge(self, world, company, rng, t):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass
+class TrapBombingAttack(AttackScenario):
+    """Force the victim's challenge server into DNSBLs.
+
+    Every attack message carries a spam-trap address as its envelope
+    sender and is delivered from a clean-looking host (valid PTR, not on
+    any blacklist) so the auxiliary filters pass it — the whole point is
+    that the CR engine *does* reflect a challenge, straight into a trap.
+    """
+
+    def __post_init__(self) -> None:
+        self.campaign_id = "attack-trapbomb"
+        self._attack_ips: list = []
+
+    def _forge(self, world, company, rng, t):
+        if not self._attack_ips:
+            # A small pool of rented clean hosts with PTR records.
+            for i in range(8):
+                ip = world._ip_allocator.allocate()
+                world.registry.register_client_ptr(
+                    ip, f"mx{i}.clean-looking.example"
+                )
+                self._attack_ips.append(ip)
+        target = rng.choice(company.users)
+        return make_message(
+            t,
+            world.sample_trap_sender(rng),
+            target.address,
+            subject=naming.make_campaign_subject(rng, 11),
+            size=4_000,
+            client_ip=rng.choice(self._attack_ips),
+            kind=MessageKind.SPAM,
+            sender_class=SenderClass.SPAM_TRAP,
+            campaign_id=self.campaign_id,
+        )
+
+
+@dataclass
+class WhitelistSpoofingAttack(AttackScenario):
+    """Deliver spam by forging likely-whitelisted senders.
+
+    With probability ``guess_prob`` the attacker forges an address that is
+    actually in the target's whitelist (reconnaissance: public address
+    books, leaked correspondence); otherwise they guess a plausible but
+    unknown contact.
+    """
+
+    guess_prob: float = 0.5
+
+    def __post_init__(self) -> None:
+        self.campaign_id = "attack-spoof"
+
+    def _forge(self, world, company, rng, t):
+        target = rng.choice(company.users)
+        if target.contacts and rng.random() < self.guess_prob:
+            sender = rng.choice(target.contacts)
+        else:
+            sender = world.sample_innocent_sender(rng)
+        # Bots deliver the spoofed mail; SPF would catch many of these,
+        # but the deployed product does not check SPF (Fig. 12).
+        bot_ip = world._ip_allocator.allocate()
+        world.registry.register_client_ptr(
+            bot_ip, f"host-{bot_ip.replace('.', '-')}.dynamic.example"
+        )
+        return make_message(
+            t,
+            sender,
+            target.address,
+            subject=naming.make_campaign_subject(rng, 10),
+            size=6_000,
+            client_ip=bot_ip,
+            kind=MessageKind.SPAM,
+            sender_class=SenderClass.INNOCENT_THIRD_PARTY,
+            campaign_id=self.campaign_id,
+        )

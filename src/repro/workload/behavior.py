@@ -1,0 +1,242 @@
+"""Sender and recipient behaviour models.
+
+Everything *human* about the measurement lives here: whether and when a
+challenged sender opens the CAPTCHA page and solves it, whether a
+backscatter victim confusedly solves a challenge for mail they never sent
+(§4.1's spurious deliveries), and how diligently users weed their daily
+digests. These behaviours plug into the CR engine through
+:class:`repro.core.engine.BehaviorHooks`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import TYPE_CHECKING
+
+from repro.core.challenge import Challenge
+from repro.core.digest import DigestAction, DigestDecision
+from repro.core.engine import BehaviorHooks, CompanyInstallation
+from repro.core.message import MessageKind, SenderClass
+from repro.core.spools import GrayEntry
+from repro.util.simtime import DAY, HOUR, MINUTE
+from repro.workload.calibration import Calibration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.entities import World
+
+
+class BehaviorModel:
+    """Implements both hooks of :class:`BehaviorHooks`."""
+
+    def __init__(
+        self, world: "World", calibration: Calibration, rng: random.Random
+    ) -> None:
+        self.calibration = calibration
+        self.rng = rng
+        #: Digest entries the user has already decided on: users skim each
+        #: quarantined message once — they do not re-evaluate yesterday's
+        #: junk every morning.
+        self._digest_decided: set = set()
+        self._newsletter_solve_prob = {
+            source.source_id: source.solve_prob
+            for source in world.newsletter_sources
+        }
+        # Marketing operators answer (or ignore) challenges the same way.
+        self._newsletter_solve_prob.update(
+            {
+                source.source_id: source.solve_prob
+                for source in world.marketing_sources
+            }
+        )
+
+    def hooks(self) -> BehaviorHooks:
+        return BehaviorHooks(
+            on_challenge_delivered=self.on_challenge_delivered,
+            digest_review=self.digest_review,
+        )
+
+    # -- challenge recipient behaviour -----------------------------------
+
+    def on_challenge_delivered(
+        self, installation: CompanyInstallation, challenge: Challenge
+    ) -> None:
+        """Decide how the mailbox that received this challenge reacts."""
+        origin = challenge.origin
+        if origin is None:
+            return
+        if origin.kind is MessageKind.LEGIT:
+            self._legit_sender_reacts(installation, challenge)
+        elif origin.kind is MessageKind.NEWSLETTER:
+            self._newsletter_operator_reacts(installation, challenge, origin)
+        elif origin.sender_class is SenderClass.INNOCENT_THIRD_PARTY:
+            self._innocent_victim_reacts(installation, challenge)
+        # Other spam spoof classes (spammer-owned mailboxes, traps) simply
+        # ignore the challenge: the URL is never opened.
+
+    def _legit_sender_reacts(
+        self, installation: CompanyInstallation, challenge: Challenge
+    ) -> None:
+        cal = self.calibration
+        roll = self.rng.random()
+        if roll < cal.legit_solve_prob:
+            self._schedule_solve(installation, challenge, self._solve_delay())
+        elif roll < cal.legit_solve_prob + cal.legit_abandon_prob:
+            # Visited but never solved (0.25 % of delivered, §3.2).
+            delay = self._solve_delay()
+            self._schedule_open_only(installation, challenge, delay)
+
+    def _newsletter_operator_reacts(
+        self,
+        installation: CompanyInstallation,
+        challenge: Challenge,
+        origin,
+    ) -> None:
+        solve_prob = self._newsletter_solve_prob.get(origin.campaign_id, 0.0)
+        if self.rng.random() < solve_prob:
+            # Operators answer during office hours, within the working day.
+            delay = self.rng.uniform(10 * MINUTE, 8 * HOUR)
+            self._schedule_solve(installation, challenge, delay)
+
+    def _innocent_victim_reacts(
+        self, installation: CompanyInstallation, challenge: Challenge
+    ) -> None:
+        cal = self.calibration
+        if self.rng.random() >= cal.innocent_open_prob:
+            return
+        delay = self.rng.uniform(10 * MINUTE, 2 * DAY)
+        if self.rng.random() < cal.innocent_solve_given_open:
+            # The §4.1 mechanism: a victim solves a challenge for mail they
+            # never sent, whitelisting the forged sender and releasing spam.
+            self._schedule_solve(installation, challenge, delay)
+        else:
+            self._schedule_open_only(installation, challenge, delay)
+
+    # -- web-flow scheduling ------------------------------------------------
+
+    def _schedule_solve(
+        self,
+        installation: CompanyInstallation,
+        challenge: Challenge,
+        delay: float,
+    ) -> None:
+        attempts = self._sample_attempts()
+        simulator = installation.simulator
+        challenge_id = challenge.challenge_id
+        open_at = simulator.now + delay
+        simulator.schedule(
+            open_at, lambda: installation.record_web_open(challenge_id)
+        )
+        # Failed tries ~30 s apart, then the successful submission.
+        for i in range(attempts - 1):
+            simulator.schedule(
+                open_at + 30.0 * (i + 1),
+                lambda: installation.record_web_attempt(challenge_id, False),
+            )
+        simulator.schedule(
+            open_at + 30.0 * attempts,
+            lambda: installation.solve_challenge(challenge_id),
+        )
+
+    def _schedule_open_only(
+        self,
+        installation: CompanyInstallation,
+        challenge: Challenge,
+        delay: float,
+    ) -> None:
+        simulator = installation.simulator
+        challenge_id = challenge.challenge_id
+        simulator.schedule(
+            simulator.now + delay,
+            lambda: installation.record_web_open(challenge_id),
+        )
+
+    def _sample_attempts(self) -> int:
+        """How many CAPTCHA tries the solver needs (Fig. 4(b): at most 5)."""
+        probs = self.calibration.captcha_attempts_probs
+        roll = self.rng.random()
+        cumulative = 0.0
+        for i, p in enumerate(probs, start=1):
+            cumulative += p
+            if roll < cumulative:
+                return i
+        return len(probs)
+
+    def _solve_delay(self) -> float:
+        """Fig. 7/8 mixture: mostly minutes, a tail of hours-to-days."""
+        cal = self.calibration
+        roll = self.rng.random()
+        if roll < cal.solve_fast_prob:
+            return cal.solve_fast_median * math.exp(
+                self.rng.gauss(0.0, cal.solve_fast_sigma)
+            )
+        if roll < cal.solve_fast_prob + cal.solve_medium_prob:
+            return self.rng.uniform(30 * MINUTE, 4 * HOUR)
+        return self.rng.uniform(4 * HOUR, 3 * DAY)
+
+    # -- digest behaviour -------------------------------------------------------
+
+    def digest_review(
+        self,
+        installation: CompanyInstallation,
+        user: str,
+        entries: list[GrayEntry],
+        now: float,
+    ) -> list[DigestDecision]:
+        """One user's pass over their daily digest."""
+        cal = self.calibration
+        if self.rng.random() >= cal.digest_review_prob:
+            return []
+        decisions = []
+        for entry in entries:
+            msg_id = entry.message.msg_id
+            if msg_id in self._digest_decided:
+                continue
+            self._digest_decided.add(msg_id)
+            kind = entry.message.kind
+            campaign = entry.message.campaign_id or ""
+            roll = self.rng.random()
+            if not entry.message.env_from:
+                # Bounce notifications: skimmed and deleted half the time,
+                # never whitelisted (there is no sender to whitelist).
+                if roll < 0.5:
+                    decisions.append(
+                        DigestDecision(
+                            msg_id=msg_id,
+                            action=DigestAction.DELETE,
+                            act_delay=self._act_delay(),
+                        )
+                    )
+            elif kind is MessageKind.LEGIT:
+                if roll < cal.digest_whitelist_prob_legit:
+                    decisions.append(self._whitelist_decision(entry))
+            elif kind is MessageKind.NEWSLETTER:
+                # Solicited newsletters get rescued; unsolicited marketing
+                # blasts (mk-*) almost never do.
+                prob = (
+                    cal.digest_whitelist_prob_marketing
+                    if campaign.startswith("mk-")
+                    else cal.digest_whitelist_prob_newsletter
+                )
+                if roll < prob:
+                    decisions.append(self._whitelist_decision(entry))
+            else:
+                if roll < cal.digest_delete_prob_spam:
+                    decisions.append(
+                        DigestDecision(
+                            msg_id=entry.message.msg_id,
+                            action=DigestAction.DELETE,
+                            act_delay=self._act_delay(),
+                        )
+                    )
+        return decisions
+
+    def _whitelist_decision(self, entry: GrayEntry) -> DigestDecision:
+        return DigestDecision(
+            msg_id=entry.message.msg_id,
+            action=DigestAction.WHITELIST,
+            act_delay=self._act_delay(),
+        )
+
+    def _act_delay(self) -> float:
+        return self.rng.uniform(*self.calibration.digest_act_delay_range)

@@ -1,0 +1,341 @@
+"""Calibration constants — every paper-anchored tunable in one place.
+
+Each constant is annotated with the published aggregate it is anchored to.
+The workload generator *consumes* these to shape its traffic; the analysis
+pipeline *never* reads them — it re-measures the corresponding quantities
+from simulation logs, so calibrated inputs and measured outputs stay
+honestly separated.
+
+Derivation notes (paper §2, Figure 1, per 1000 messages at a non-open-relay
+MTA-IN): ~751 are dropped by the MTA checks, 249 reach the CR dispatcher,
+31 land in the white spool, ~4 in the black spool, ~214 in the gray spool;
+filters drop the large majority of gray mail, and ~48 challenges go out
+(reflection ratio R = 48/249 = 19.3 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.simtime import HOUR, MINUTE
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All workload tunables. Defaults reproduce the paper's aggregates."""
+
+    # ------------------------------------------------------------------
+    # Per-user inbound rates (messages/user/day at a closed-relay company).
+    # Paper: 797,679 emails/day over 19,426 protected users ≈ 41/user/day.
+    # ------------------------------------------------------------------
+    #: Mail from already-whitelisted contacts → white spool.
+    #: Anchor: 31/1000 messages land in the white spool (Fig. 1).
+    white_rate: float = 1.05
+    #: Mail from senders in the user's personal blacklist → black spool.
+    #: Anchor: black spool ≈ 0.35 M vs white 2.74 M (Table 1) → ~4/1000.
+    black_rate: float = 0.16
+    #: Newsletter issues per user per day (subscribed, not yet whitelisted).
+    newsletter_rate: float = 0.25
+    #: Spam addressed to *valid* protected users.
+    #: Anchor: gray spool ≈ 214/1000 minus legit-new and newsletters.
+    spam_valid_rate: float = 8.5
+
+    # Spam addressed elsewhere, as multiples of ``spam_valid_rate``:
+    #: → unknown recipients (dictionary attacks). Anchor: 62.36 % of
+    #: incoming dropped as "Unknown Recipient" vs ~207/1000 valid spam.
+    spam_unknown_recipient_factor: float = 3.3
+    #: → foreign domains (relay probes). Anchor: "No relay" 2.27 %.
+    spam_foreign_factor: float = 0.110
+    #: Fraction of spam with an unresolvable sender domain.
+    #: Anchor: "Unable to resolve the domain" 4.19 % of incoming.
+    spam_unresolvable_sender_frac: float = 0.0455
+    #: Fraction of spam with a syntactically malformed sender address.
+    #: Anchor: "Malformed email" 0.06 % of incoming.
+    spam_malformed_sender_frac: float = 0.00065
+    #: Fraction of spam sent from a site-blocked sender address.
+    #: Anchor: "Sender rejected" 0.03 % of incoming.
+    spam_rejected_sender_frac: float = 0.00033
+    #: Extra spam addressed to an open relay's relayed domains, as a
+    #: multiple of its own-domain spam. Anchor: open relays "pass most of
+    #: the messages to the next layer" (§2) and send ~9 % more challenges.
+    relay_spam_factor: float = 2.5
+    #: Fraction of relayed spam delivered through "snowshoe" relay abusers
+    #: (well-configured hosts with PTR records, absent from blacklists).
+    #: This is what degrades the filters on relayed traffic and yields the
+    #: open relays' extra challenges (§2: "the engine filters have a lower
+    #: performance rate, and the number of challenges sent increases").
+    relay_snowshoe_frac: float = 0.025
+    #: Exponent coupling a company's legitimate-mail multiplier to its spam
+    #: multiplier: organisations that receive a lot of one receive a lot of
+    #: the other (address exposure drives both).
+    legit_spam_coupling: float = 0.65
+
+    # ------------------------------------------------------------------
+    # Botnet characteristics (drive the auxiliary-filter drop rates).
+    # Anchors: filter drops split rDNS 3.53 M / RBL 4.97 M / AV 0.27 M
+    # (Table 1); filters drop the large majority of gray mail (Fig. 3,
+    # §5.2 quotes 77.5 %).
+    # ------------------------------------------------------------------
+    #: Probability a bot IP has a PTR record (passes the reverse-DNS filter).
+    bot_ptr_prob: float = 0.63
+    #: Probability a bot IP is on the product's RBL during its campaign.
+    #: (Used for the flagship provider; per-service coverage below.)
+    bot_listed_prob: float = 0.68
+    #: Per-DNSBL coverage of botnet IPs: different blacklists catch
+    #: different fractions of the same botnets, so companies subscribing to
+    #: different providers see different filter effectiveness (part of the
+    #: Fig. 5 per-company variability).
+    bot_listing_probs: tuple = (
+        ("spamhaus-zen", 0.72),
+        ("barracuda-rbl", 0.65),
+        ("cbl-abuseat", 0.75),
+        ("sorbs-spam", 0.55),
+        ("spamcop-bl", 0.62),
+    )
+    #: Provider market shares used when assigning a company's RBL filter.
+    rbl_provider_weights: tuple = (
+        ("spamhaus-zen", 0.5),
+        ("barracuda-rbl", 0.15),
+        ("cbl-abuseat", 0.15),
+        ("sorbs-spam", 0.1),
+        ("spamcop-bl", 0.1),
+    )
+    #: Fraction of spam messages carrying detectable malware.
+    spam_virus_frac: float = 0.025
+    #: Antivirus engine detection rate.
+    antivirus_detection_rate: float = 0.98
+
+    # ------------------------------------------------------------------
+    # Spoofed-sender class mix for spam (drives Fig. 4(a)).
+    # Anchors: 49 % of challenges delivered; 71.7 % of undelivered bounced
+    # for non-existent recipient; rest expired / blacklist / other.
+    # ------------------------------------------------------------------
+    #: P(sender = non-existent mailbox at a real domain) → 550 bounce.
+    #: (Informational: the actual value is the residual after the three
+    #: fractions below plus the trap share.)
+    spoof_nonexistent_frac: float = 0.41
+    #: P(sender domain resolves but its server is dead) → retries → expiry.
+    spoof_dead_domain_frac: float = 0.12
+    #: P(sender = an innocent third party's real address) → delivered
+    #: backscatter spam.
+    spoof_innocent_frac: float = 0.30
+    #: P(sender = the spammer's own working address) → delivered, ignored.
+    spoof_real_frac: float = 0.17
+    #: Baseline P(sender = a spam-trap address); scaled per company by its
+    #: trap affinity (§5.1 heterogeneity). The residual probability mass
+    #: after the four fractions above goes to traps.
+
+    # ------------------------------------------------------------------
+    # Per-company heterogeneity (drives Fig. 5 and §5.1).
+    # ------------------------------------------------------------------
+    #: Log-normal sigma of the per-company spam-load multiplier; spreads
+    #: the white-share histogram over 10–70 % (Fig. 5).
+    company_spam_sigma: float = 0.85
+    #: Log-normal sigma of the per-company legit-mail multiplier.
+    company_legit_sigma: float = 0.35
+    #: Trap affinity of ordinary companies: fraction of challenged spam
+    #: whose spoofed sender is a trap address. Anchor: 75 % of challenge
+    #: servers never blacklisted in 132 days (§5.1).
+    trap_affinity_clean_max: float = 0.0004
+    #: Trap affinities of the few "dirty" companies (harvested lists with
+    #: heavy trap seeding). Anchor: four servers listed for 17/33/113/129
+    #: days (§5.1), independent of server size.
+    trap_affinity_dirty: tuple = (0.05, 0.08, 0.12, 0.18)
+    #: Number of dirty companies.
+    dirty_companies: int = 4
+
+    # ------------------------------------------------------------------
+    # Legitimate senders and whitelist churn (drives Fig. 7/8/9, §4.3).
+    # ------------------------------------------------------------------
+    #: Per-user sociality s(u) ~ LogNormal(ln(median), sigma): total
+    #: whitelist additions per day. Anchors: 0.3 new entries/user/day on
+    #: average; Fig. 9 bins (51.1 % of whitelists gain 1–10 entries per
+    #: 60 days ... 0.1 % gain >600).
+    sociality_median: float = 0.17
+    sociality_sigma: float = 1.3
+    #: Fraction of sociality realised as outbound mail to new addresses.
+    sociality_outbound_share: float = 0.80
+    #: Fraction realised as manual whitelist imports.
+    sociality_manual_share: float = 0.05
+    #: New-contact inbound mail rate = this × s(u) (first-contact mail that
+    #: triggers a challenge; its solution realises the remaining share).
+    sociality_new_contact_factor: float = 0.14
+    #: Outbound mail to *known* addresses (traffic only, no churn).
+    outbound_known_rate: float = 0.3
+    #: Inbound bounce notifications (DSNs with the null reverse-path) per
+    #: user per day — returns of misaddressed outbound mail. Never
+    #: challenged (RFC 3834 loop protection).
+    dsn_rate: float = 0.08
+
+    #: Probability a legitimate new contact eventually solves the CAPTCHA.
+    #: Anchor: half of the quarantined-then-released mail is released in
+    #: <30 min via CAPTCHA (Fig. 7), the rest via digest.
+    legit_solve_prob: float = 0.78
+    #: Probability a legitimate sender opens the page but abandons it.
+    #: Anchor: 0.25 % of delivered challenges visited-but-not-solved.
+    legit_abandon_prob: float = 0.015
+    #: Solve-delay mixture: P(fast), log-normal median (s) and sigma of the
+    #: fast component; the rest is uniform over the slow ranges below.
+    #: Anchor: 30 % of releases < 5 min, 50 % < 30 min, knee at 4 h (Fig. 7/8).
+    solve_fast_prob: float = 0.80
+    solve_fast_median: float = 6 * MINUTE
+    solve_fast_sigma: float = 1.4
+    solve_medium_prob: float = 0.15  # uniform(30 min, 4 h)
+    #: remaining probability: uniform(4 h, 3 d)
+
+    #: CAPTCHA attempts needed by solvers (Fig. 4(b): never >5 observed).
+    captcha_attempts_probs: tuple = (0.78, 0.15, 0.05, 0.015, 0.005)
+
+    #: Probability an *innocent* backscatter recipient opens the challenge.
+    innocent_open_prob: float = 0.012
+    #: Probability they then solve it (out of curiosity / confusion).
+    #: Anchor: spurious spam delivery ≈ 1 per 10,000 challenges sent (§4.1).
+    innocent_solve_given_open: float = 0.03
+
+    #: Share of newsletter sources whose operator answers challenges, and
+    #: the solve-probability range for those that do. Anchor: Fig. 6's
+    #: high-sender-similarity clusters with solve rates up to 97 %.
+    newsletter_solver_share: float = 0.30
+    newsletter_solve_range: tuple = (0.5, 0.97)
+
+    # Unsolicited marketing blasts (Fig. 6's high sender-similarity
+    # clusters: fixed subjects, near-identical senders, real servers).
+    #: Share of marketing operators who answer challenges.
+    marketing_solver_share: float = 0.25
+    #: Solve probability range for those who do (up to 97 %, Fig. 6).
+    marketing_solve_range: tuple = (0.3, 0.97)
+    #: Days between blasts of one source.
+    marketing_period_days: tuple = (4.0, 8.0)
+    #: Fraction of each company's users one blast reaches.
+    marketing_coverage: tuple = (0.02, 0.08)
+
+    # ------------------------------------------------------------------
+    # Digest behaviour (drives Fig. 7's digest curve, Fig. 10, §3.2's 2 %).
+    # ------------------------------------------------------------------
+    #: Probability a user reviews their digest on a given day.
+    digest_review_prob: float = 0.65
+    #: P(whitelist) per reviewed entry, by ground-truth kind.
+    digest_whitelist_prob_legit: float = 0.70
+    digest_whitelist_prob_newsletter: float = 0.50
+    #: P(whitelist) for unsolicited marketing blasts — users rarely rescue
+    #: junk marketing from the digest.
+    digest_whitelist_prob_marketing: float = 0.08
+    #: P(delete) per reviewed spam entry.
+    digest_delete_prob_spam: float = 0.30
+    #: User acts between 5 min and 4 h after the digest is generated.
+    digest_act_delay_range: tuple = (5 * MINUTE, 4 * HOUR)
+
+    # ------------------------------------------------------------------
+    # Message sizes (drive §3.3's RT = 2.5 %).
+    # ------------------------------------------------------------------
+    #: Log-normal (median, sigma) of spam message sizes, bytes.
+    spam_size_median: float = 6_000.0
+    spam_size_sigma: float = 1.2
+    #: Legitimate mail (corporate, attachment-heavy tail).
+    legit_size_median: float = 16_000.0
+    legit_size_sigma: float = 1.6
+    #: Newsletters (HTML-heavy).
+    newsletter_size_median: float = 22_000.0
+    newsletter_size_sigma: float = 0.8
+    #: Challenge emails are a small fixed template.
+    challenge_size: int = 1_800
+    size_cap: int = 20_000_000
+
+    # ------------------------------------------------------------------
+    # SPF ecosystem (drives Fig. 12).
+    # Anchors: dropping SPF-fails would cut expired challenges ~9 %,
+    # bounced ~4.1 %, and cost 0.25 % of solved challenges.
+    # ------------------------------------------------------------------
+    #: P(an external receiving domain runs classic greylisting: the first
+    #: delivery attempt from an unknown client IP gets a 451 and must be
+    #: retried).
+    ext_domain_greylist_prob: float = 0.20
+    #: P(an ordinary external domain publishes "v=spf1 ip4:<server> -all").
+    ext_domain_spf_prob: float = 0.041
+    #: P(a dead/parked domain publishes a restrictive SPF record).
+    dead_domain_spf_prob: float = 0.09
+    #: P(a trap domain publishes SPF).
+    trap_domain_spf_prob: float = 0.04
+    #: P(a spammer-owned domain publishes "v=spf1 +all").
+    spammer_domain_spf_prob: float = 0.25
+    #: P(a legit sender submits via an IP outside their domain's SPF).
+    legit_spf_misroute_prob: float = 0.06
+    #: P(a newsletter source domain publishes SPF).
+    newsletter_spf_prob: float = 0.60
+
+    # ------------------------------------------------------------------
+    # Campaign structure (drives Fig. 6 clustering).
+    # ------------------------------------------------------------------
+    #: Mean new campaigns per day across the whole world (scaled).
+    campaign_arrivals_per_day: float = 14.0
+    #: Campaign duration range, days.
+    campaign_duration_days: tuple = (0.5, 10.0)
+    #: Log-normal sigma of per-campaign intensity (cluster-size spread).
+    campaign_intensity_sigma: float = 1.0
+    #: Bot pool size range per campaign.
+    campaign_bots: tuple = (8, 400)
+    #: Spoofed-sender pool size as a fraction of expected campaign volume
+    #: (finite pools make senders recur → challenge dedup, §2 gray flow).
+    campaign_sender_pool_frac: float = 0.35
+    #: Words per campaign subject (Fig. 6 clusters subjects ≥10 words).
+    campaign_subject_words: tuple = (10, 14)
+
+    #: Fraction of each company's users a campaign's harvested list covers
+    #: (repeated hits on the same mailboxes drive challenge de-duplication).
+    campaign_target_coverage: tuple = (0.3, 0.9)
+
+    # Contacts / world sizing (per protected user).
+    contacts_per_user: tuple = (8, 120)
+    nuisance_senders_per_user: tuple = (1, 5)
+    seed_whitelist_share: float = 0.98
+    #: P(a subscriber's whitelist already contains their newsletter's sender
+    #: addresses) — subscriptions predate the monitoring window.
+    newsletter_seed_prob: float = 0.97
+
+    # Diurnal shape: hourly weights (24 entries) for legit and spam mail.
+    legit_hour_weights: tuple = (
+        1, 1, 1, 1, 1, 2, 4, 8, 14, 16, 15, 13,
+        10, 13, 15, 14, 12, 9, 6, 4, 3, 2, 2, 1,
+    )
+    spam_hour_weights: tuple = (
+        8, 8, 8, 9, 9, 9, 10, 10, 11, 11, 11, 11,
+        11, 11, 11, 11, 10, 10, 10, 9, 9, 9, 8, 8,
+    )
+    #: Weekend volume multipliers.
+    legit_weekend_factor: float = 0.35
+    spam_weekend_factor: float = 0.92
+
+    def spoof_trap_frac(self, trap_affinity: float) -> float:
+        """Trap share of the spoofed-sender mix for a given company."""
+        return min(trap_affinity, 0.5)
+
+    def spoof_mix(self, trap_affinity: float) -> dict:
+        """Full spoofed-sender distribution for one company.
+
+        The trap share displaces the non-existent share (both are
+        "harvested garbage" addresses on real lists), keeping the
+        delivered fraction stable.
+        """
+        trap = self.spoof_trap_frac(trap_affinity)
+        nonexistent = max(
+            0.0,
+            1.0
+            - self.spoof_dead_domain_frac
+            - self.spoof_innocent_frac
+            - self.spoof_real_frac
+            - trap,
+        )
+        mix = {
+            "nonexistent": nonexistent,
+            "dead_domain": self.spoof_dead_domain_frac,
+            "innocent": self.spoof_innocent_frac,
+            "real": self.spoof_real_frac,
+            "trap": trap,
+        }
+        # Extreme trap affinities can exhaust the non-existent share;
+        # renormalise so the mix is always a distribution.
+        total = sum(mix.values())
+        return {name: share / total for name, share in mix.items()}
+
+
+DEFAULT_CALIBRATION = Calibration()

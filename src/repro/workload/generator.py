@@ -1,0 +1,460 @@
+"""Day-by-day trace generation.
+
+``TraceGenerator.start`` arms one planning event per simulated day; each
+planning event draws that day's traffic for every company — whitelisted
+contact mail, blacklisted nuisance mail, first-contact legitimate mail,
+newsletter issues, spam campaign volume (valid users, dictionary attacks,
+relay probes, foreign-recipient probes), outbound user mail, and manual
+whitelist imports — and schedules the individual messages at diurnally
+distributed times.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import partial
+from typing import Mapping
+
+from repro.core.engine import CompanyInstallation
+from repro.core.message import (
+    EmailMessage,
+    MessageKind,
+    SenderClass,
+    make_message,
+)
+from repro.sim.engine import Simulator
+from repro.util.rng import RngStreams, poisson
+from repro.util.simtime import DAY, HOUR, is_weekend
+from repro.workload import naming
+from repro.workload.entities import Company, World
+from repro.workload.sizes import SizeModel
+from repro.workload.spamcampaign import Campaign, CampaignFactory
+
+
+class TraceGenerator:
+    """Generates the whole deployment's inbound/outbound traffic."""
+
+    def __init__(
+        self,
+        world: World,
+        simulator: Simulator,
+        installations: Mapping[str, CompanyInstallation],
+        streams: RngStreams,
+    ) -> None:
+        self.world = world
+        self.calibration = world.calibration
+        self.simulator = simulator
+        self.installations = dict(installations)
+        self.rng = streams.stream("trace")
+        self.size_model = SizeModel(self.calibration, streams.stream("sizes"))
+        self.campaign_factory = CampaignFactory(
+            self.calibration, streams.stream("campaigns")
+        )
+        self.active_campaigns: list[Campaign] = []
+        self._campaign_weights: list[float] = []
+        self._legit_hour_cum = _cumulative(self.calibration.legit_hour_weights)
+        self._spam_hour_cum = _cumulative(self.calibration.spam_hour_weights)
+        self._hours = list(range(24))
+        self._rejected_by_company = {
+            company.company_id: sorted(company.config.rejected_senders)
+            for company in world.companies
+        }
+        self.messages_generated = 0
+
+    # -- public API -------------------------------------------------------
+
+    def start(self, n_days: int) -> None:
+        """Arm one planning event per day, plus a warm campaign pool.
+
+        The warm start spawns roughly one mean-duration's worth of
+        campaigns at t=0 so day 0 already sees steady-state spam diversity.
+        """
+        mean_duration = sum(self.calibration.campaign_duration_days) / 2.0
+        warm = round(self._campaign_rate() * mean_duration)
+        for _ in range(max(1, warm)):
+            self.active_campaigns.append(
+                self.campaign_factory.spawn(self.world, self.simulator.now)
+            )
+        for day in range(n_days):
+            self.simulator.schedule(
+                day * DAY, partial(self._plan_day, day), label=f"plan-day-{day}"
+            )
+
+    # -- per-day planning -------------------------------------------------
+
+    def _campaign_rate(self) -> float:
+        return (
+            self.calibration.campaign_arrivals_per_day
+            * self.world.scale.campaign_rate_scale
+        )
+
+    def _plan_day(self, day: int) -> None:
+        now = self.simulator.now
+        self.active_campaigns = [
+            c for c in self.active_campaigns if c.end > now
+        ]
+        for _ in range(poisson(self.rng, self._campaign_rate())):
+            self.active_campaigns.append(
+                self.campaign_factory.spawn(self.world, now)
+            )
+        self._campaign_weights = [c.intensity for c in self.active_campaigns]
+
+        weekend = is_weekend(now)
+        legit_factor = (
+            self.calibration.legit_weekend_factor if weekend else 1.0
+        )
+        spam_factor = self.calibration.spam_weekend_factor if weekend else 1.0
+
+        for company in self.world.companies:
+            installation = self.installations[company.company_id]
+            self._plan_user_mail(company, installation, day, legit_factor)
+            self._plan_spam(company, installation, day, spam_factor)
+        self._plan_newsletters(day)
+        self._plan_marketing(day)
+
+    # -- legitimate / user-driven traffic ----------------------------------
+
+    def _plan_user_mail(
+        self,
+        company: Company,
+        installation: CompanyInstallation,
+        day: int,
+        legit_factor: float,
+    ) -> None:
+        cal = self.calibration
+        rng = self.rng
+        volume = self.world.scale.volume_scale
+        for user in company.users:
+            white = poisson(
+                rng,
+                cal.white_rate * company.legit_multiplier * volume * legit_factor,
+            )
+            for _ in range(white):
+                self._schedule_contact_mail(installation, user, day)
+
+            black = poisson(rng, cal.black_rate * volume)
+            for _ in range(black):
+                self._schedule_nuisance_mail(installation, user, day)
+
+            dsns = poisson(rng, cal.dsn_rate * volume * legit_factor)
+            for _ in range(dsns):
+                self._schedule_dsn(installation, user, day)
+
+            # First-contact inbound mail scales with volume like all other
+            # inbound traffic...
+            new_contacts = poisson(
+                rng,
+                cal.sociality_new_contact_factor
+                * user.sociality
+                * volume
+                * legit_factor,
+            )
+            for _ in range(new_contacts):
+                self._schedule_new_contact_mail(installation, user, day)
+
+            # ...but the purely user-driven churn streams (outbound mail to
+            # new addresses, manual imports) run at paper rates so Fig. 9's
+            # absolute per-60-day histogram stays comparable at any scale.
+            outbound_new = poisson(
+                rng, cal.sociality_outbound_share * user.sociality * legit_factor
+            )
+            for _ in range(outbound_new):
+                address, _ip = self.world.create_new_contact(rng)
+                self._schedule_outbound(installation, user, address, day)
+
+            outbound_known = poisson(
+                rng, cal.outbound_known_rate * volume * legit_factor
+            )
+            for _ in range(outbound_known):
+                self._schedule_outbound(
+                    installation, user, rng.choice(user.contacts), day
+                )
+
+            manual = poisson(
+                rng, cal.sociality_manual_share * user.sociality * legit_factor
+            )
+            for _ in range(manual):
+                address, _ip = self.world.create_new_contact(rng)
+                self.simulator.schedule(
+                    self._day_time(day, legit=True),
+                    partial(installation.manual_whitelist, user.address, address),
+                )
+
+    def _schedule_contact_mail(self, installation, user, day: int) -> None:
+        sender = self.rng.choice(user.contacts)
+        self._schedule_legit_message(installation, user, sender, day)
+
+    def _schedule_new_contact_mail(self, installation, user, day: int) -> None:
+        sender, _ip = self.world.create_new_contact(self.rng)
+        self._schedule_legit_message(installation, user, sender, day)
+
+    def _schedule_legit_message(
+        self, installation, user, sender: str, day: int
+    ) -> None:
+        t = self._day_time(day, legit=True)
+        client_ip = self.world.client_ip_for_address(sender)
+        if (
+            client_ip is None
+            or self.rng.random() < self.calibration.legit_spf_misroute_prob
+        ):
+            client_ip = self.rng.choice(self.world.forwarder_ips)
+        message = make_message(
+            t,
+            sender,
+            user.address,
+            subject=naming.make_short_subject(self.rng),
+            size=self.size_model.legit(),
+            client_ip=client_ip,
+            kind=MessageKind.LEGIT,
+            sender_class=SenderClass.REAL,
+        )
+        self._schedule_inbound(installation, message)
+
+    def _schedule_dsn(self, installation, user, day: int) -> None:
+        """A bounce of the user's own misaddressed outbound mail: null
+        reverse-path, sent by some remote MTA."""
+        ext = self.rng.choice(self.world.external_domains)
+        t = self._day_time(day, legit=True)
+        message = make_message(
+            t,
+            "",
+            user.address,
+            subject="undelivered mail returned to sender",
+            size=self.size_model.legit() // 4 + 500,
+            client_ip=ext.ip,
+            kind=MessageKind.LEGIT,
+            sender_class=SenderClass.REAL,
+            campaign_id="dsn",
+        )
+        self._schedule_inbound(installation, message)
+
+    def _schedule_nuisance_mail(self, installation, user, day: int) -> None:
+        sender = self.rng.choice(user.nuisance_senders)
+        t = self._day_time(day, legit=False)
+        client_ip = self.world.client_ip_for_address(sender) or "192.0.2.1"
+        message = make_message(
+            t,
+            sender,
+            user.address,
+            subject=naming.make_short_subject(self.rng),
+            size=self.size_model.spam(),
+            client_ip=client_ip,
+            kind=MessageKind.SPAM,
+            sender_class=SenderClass.REAL,
+        )
+        self._schedule_inbound(installation, message)
+
+    def _schedule_outbound(
+        self, installation, user, rcpt: str, day: int
+    ) -> None:
+        self.simulator.schedule(
+            self._day_time(day, legit=True),
+            partial(
+                installation.send_user_mail,
+                user.local,
+                rcpt,
+                self.size_model.legit(),
+            ),
+        )
+
+    # -- newsletters ---------------------------------------------------------
+
+    def _plan_newsletters(self, day: int) -> None:
+        for source in self.world.newsletter_sources:
+            day_in_cycle = (day - source.phase_days) % source.period_days
+            if not 0 <= day_in_cycle < 1:
+                continue
+            source.issues_sent += 1
+            subject = naming.make_newsletter_subject(
+                self.rng, source.issues_sent
+            )
+            sender = self.rng.choice(source.senders)
+            size = self.size_model.newsletter()
+            volume = self.world.scale.volume_scale
+            for company_id, subscriber in source.subscribers:
+                installation = self.installations.get(company_id)
+                if installation is None:
+                    continue
+                # Newsletter volume scales with the preset like every other
+                # inbound stream.
+                if self.rng.random() >= volume:
+                    continue
+                t = self._day_time(day, legit=True)
+                message = make_message(
+                    t,
+                    sender,
+                    subscriber,
+                    subject=subject,
+                    size=size,
+                    client_ip=source.ip,
+                    kind=MessageKind.NEWSLETTER,
+                    sender_class=SenderClass.REAL,
+                    campaign_id=source.source_id,
+                )
+                self._schedule_inbound(installation, message)
+
+    def _plan_marketing(self, day: int) -> None:
+        """Unsolicited marketing blasts: one fixed long subject per blast,
+        near-identical senders, real well-configured servers (so the
+        messages survive the filters and pile up in gray spools)."""
+        volume = self.world.scale.volume_scale
+        for source in self.world.marketing_sources:
+            day_in_cycle = (day - source.phase_days) % source.period_days
+            if not 0 <= day_in_cycle < 1:
+                continue
+            source.blasts_sent += 1
+            subject = naming.make_campaign_subject(self.rng, 11)
+            sender = self.rng.choice(source.senders)
+            size = self.size_model.newsletter()
+            for company in self.world.companies:
+                installation = self.installations[company.company_id]
+                expected = source.coverage * company.n_users * volume
+                count = poisson(self.rng, expected)
+                targets = self.rng.sample(
+                    company.users, min(count, company.n_users)
+                )
+                for user in targets:
+                    t = self._day_time(day, legit=True)
+                    message = make_message(
+                        t,
+                        sender,
+                        user.address,
+                        subject=subject,
+                        size=size,
+                        client_ip=source.ip,
+                        kind=MessageKind.NEWSLETTER,
+                        sender_class=SenderClass.REAL,
+                        campaign_id=source.source_id,
+                    )
+                    self._schedule_inbound(installation, message)
+
+    # -- spam ---------------------------------------------------------------
+
+    def _plan_spam(
+        self,
+        company: Company,
+        installation: CompanyInstallation,
+        day: int,
+        spam_factor: float,
+    ) -> None:
+        if not self.active_campaigns:
+            return
+        cal = self.calibration
+        rng = self.rng
+        base = (
+            cal.spam_valid_rate
+            * company.n_users
+            * company.spam_multiplier
+            * self.world.scale.volume_scale
+            * spam_factor
+        )
+        groups = [
+            ("valid", poisson(rng, base)),
+            ("unknown", poisson(rng, base * cal.spam_unknown_recipient_factor)),
+            ("foreign", poisson(rng, base * cal.spam_foreign_factor)),
+        ]
+        if company.config.open_relay:
+            groups.append(
+                ("relay", poisson(rng, base * cal.relay_spam_factor))
+            )
+        for group, count in groups:
+            for _ in range(count):
+                self._schedule_spam(company, installation, day, group)
+
+    def _schedule_spam(
+        self,
+        company: Company,
+        installation: CompanyInstallation,
+        day: int,
+        group: str,
+    ) -> None:
+        rng = self.rng
+        cal = self.calibration
+        campaign = rng.choices(
+            self.active_campaigns, weights=self._campaign_weights
+        )[0]
+
+        env_from, sender_class = self._spam_sender(campaign, company, rng)
+        env_to = self._spam_recipient(company, group, rng, campaign)
+        # Relayed spam partly arrives via snowshoe bulk hosts whose clean
+        # PTR/blacklist profile slips past the filters (the open relays'
+        # extra challenges, Fig. 3).
+        if group == "relay" and rng.random() < cal.relay_snowshoe_frac:
+            client_ip = rng.choice(self.world.snowshoe_ips)
+        else:
+            client_ip = campaign.sample_bot(rng)
+        message = make_message(
+            self._day_time(day, legit=False),
+            env_from,
+            env_to,
+            subject=campaign.subject,
+            size=self.size_model.spam(),
+            client_ip=client_ip,
+            kind=MessageKind.SPAM,
+            sender_class=sender_class,
+            campaign_id=campaign.campaign_id,
+            has_virus=rng.random() < campaign.virus_prob,
+        )
+        self._schedule_inbound(installation, message)
+
+    def _spam_sender(
+        self, campaign: Campaign, company: Company, rng: random.Random
+    ) -> tuple[str, SenderClass]:
+        cal = self.calibration
+        roll = rng.random()
+        if roll < cal.spam_malformed_sender_frac:
+            return naming.make_malformed_address(rng), SenderClass.NONEXISTENT_MAILBOX
+        roll -= cal.spam_malformed_sender_frac
+        if roll < cal.spam_unresolvable_sender_frac:
+            return (
+                self.world.sample_unresolvable_sender(rng),
+                SenderClass.NONEXISTENT_MAILBOX,
+            )
+        roll -= cal.spam_unresolvable_sender_frac
+        rejected = self._rejected_by_company[company.company_id]
+        if rejected and roll < cal.spam_rejected_sender_frac:
+            return rng.choice(rejected), SenderClass.NONEXISTENT_MAILBOX
+        return campaign.sample_sender(self.world, company, rng)
+
+    def _spam_recipient(
+        self,
+        company: Company,
+        group: str,
+        rng: random.Random,
+        campaign: Campaign,
+    ) -> str:
+        if group == "valid":
+            return campaign.sample_target(company, rng).address
+        if group == "unknown":
+            local = "zz" + format(rng.getrandbits(40), "010x")
+            return f"{local}@{company.config.domain}"
+        if group == "relay":
+            local = naming.make_person_local(rng)
+            return f"{local}@{rng.choice(company.config.relay_domains)}"
+        # "foreign": a relay probe for a domain this server does not serve.
+        ext = rng.choice(self.world.external_domains)
+        return f"{naming.make_person_local(rng)}@{ext.domain}"
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _schedule_inbound(
+        self, installation: CompanyInstallation, message: EmailMessage
+    ) -> None:
+        self.messages_generated += 1
+        self.simulator.schedule(
+            message.t, partial(installation.handle_inbound, message)
+        )
+
+    def _day_time(self, day: int, legit: bool) -> float:
+        cum = self._legit_hour_cum if legit else self._spam_hour_cum
+        hour = self.rng.choices(self._hours, cum_weights=cum)[0]
+        return day * DAY + hour * HOUR + self.rng.random() * HOUR
+
+
+def _cumulative(weights) -> list[float]:
+    total = 0.0
+    cum = []
+    for w in weights:
+        total += w
+        cum.append(total)
+    return cum

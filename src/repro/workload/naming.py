@@ -1,0 +1,127 @@
+"""Deterministic name generation for synthetic entities.
+
+Domains, mailbox locals, and spam-campaign subjects are generated from word
+lists so that traces are human-readable in logs and — important for Fig. 6 —
+campaign subjects are realistic multi-word strings that exact-subject
+clustering can group.
+"""
+
+from __future__ import annotations
+
+import random
+
+_SYLLABLES = (
+    "ba be bi bo bu da de di do du fa fe fi fo fu ga ge gi go gu "
+    "ka ke ki ko ku la le li lo lu ma me mi mo mu na ne ni no nu "
+    "pa pe pi po pu ra re ri ro ru sa se si so su ta te ti to tu "
+    "va ve vi vo vu za ze zi zo zu"
+).split()
+
+_TLDS = ("com", "net", "org", "biz", "info")
+
+_FIRST_NAMES = (
+    "alice bob carol dave erin frank grace heidi ivan judy karl laura "
+    "mallory nick olivia peggy quentin rupert sybil trent ursula victor "
+    "wendy xavier yves zoe marco anna luca elena paolo sofia"
+).split()
+
+_LAST_NAMES = (
+    "smith jones brown taylor wilson davies evans thomas roberts walker "
+    "wright hall green wood clarke jackson white harris martin moore "
+    "rossi russo ferrari bianchi romano ricci marino greco conti gallo"
+).split()
+
+_SUBJECT_WORDS = (
+    "exclusive offer limited time only best price guaranteed quality "
+    "discount online pharmacy meds cheap genuine brand watches replica "
+    "luxury designer software licensed download instant approval loan "
+    "credit score boost income work from home opportunity amazing deal "
+    "free shipping worldwide order now today special promotion winner "
+    "congratulations selected customer account verify urgent update "
+    "security notice important information regarding your recent"
+).split()
+
+#: Vocabulary of ordinary person-to-person mail. Overlaps with the spam
+#: vocabulary on common words (as real mail does), so token-based content
+#: filters face a realistic — not trivial — separation problem.
+_LEGIT_SUBJECT_WORDS = (
+    "re fwd meeting notes tomorrow agenda project update status report "
+    "question about the invoice draft review attached schedule lunch "
+    "thanks follow up call minutes budget proposal contract travel "
+    "holiday photos family weekend dinner plans reminder deadline "
+    "presentation slides feedback quick sync monthly numbers your recent "
+    "order account information today regarding request offer"
+).split()
+
+_NEWSLETTER_TOPICS = (
+    "weekly market digest and investment insights for registered members",
+    "monthly product updates and special offers for valued subscribers",
+    "your daily technology briefing with curated industry headlines inside",
+    "seasonal travel deals and destination guides for frequent flyers",
+    "new arrivals and member only discounts in our online store",
+    "community newsletter with events announcements and volunteer updates",
+    "research bulletin covering recent publications and conference deadlines",
+    "partner program news with commission updates and promotional material",
+)
+
+
+def make_domain(rng: random.Random, suffix: str = "") -> str:
+    """A pronounceable second-level domain like ``kelozu.net``."""
+    n_syllables = rng.randint(3, 4)
+    name = "".join(rng.choice(_SYLLABLES) for _ in range(n_syllables))
+    if suffix:
+        name = f"{name}-{suffix}"
+    return f"{name}.{rng.choice(_TLDS)}"
+
+
+def make_person_local(rng: random.Random) -> str:
+    """A person-style mailbox local part like ``anna.rossi7``."""
+    first = rng.choice(_FIRST_NAMES)
+    last = rng.choice(_LAST_NAMES)
+    style = rng.randrange(4)
+    if style == 0:
+        local = f"{first}.{last}"
+    elif style == 1:
+        local = f"{first[0]}{last}"
+    elif style == 2:
+        local = f"{first}{rng.randint(1, 99)}"
+    else:
+        local = f"{first}.{last}{rng.randint(1, 9)}"
+    return local
+
+
+def make_campaign_subject(rng: random.Random, n_words: int) -> str:
+    """A fixed spam-campaign subject of *n_words* words (Fig. 6 clusters
+    on exact subjects at least 10 words long)."""
+    return " ".join(rng.choice(_SUBJECT_WORDS) for _ in range(n_words))
+
+
+def make_short_subject(rng: random.Random) -> str:
+    """A short, variable subject (ordinary person-to-person mail)."""
+    return " ".join(
+        rng.choice(_LEGIT_SUBJECT_WORDS) for _ in range(rng.randint(2, 6))
+    )
+
+
+def make_newsletter_subject(rng: random.Random, issue: int) -> str:
+    """A newsletter issue subject: a fixed long topic + issue number.
+
+    All recipients of one issue share the exact subject, forming the
+    high-sender-similarity clusters of Fig. 6.
+    """
+    return f"{rng.choice(_NEWSLETTER_TOPICS)} issue {issue}"
+
+
+def make_malformed_address(rng: random.Random) -> str:
+    """A syntactically invalid envelope sender (MTA-IN "Malformed email")."""
+    choices = (
+        "no-at-sign.example.com",
+        "double@@at.example.com",
+        "bad domain@spaces .com",
+        "trailing.dot@example.com.",
+        "@missing-local.com",
+        "missing-domain@",
+        "bad<chars>@example.com",
+        "unicodeé@exaçmple.com",
+    )
+    return rng.choice(choices)

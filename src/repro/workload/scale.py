@@ -1,0 +1,155 @@
+"""Scale presets.
+
+The paper's deployment (19,426 users, 184 days, 90.4 M messages) is far too
+large to simulate per-message in CI, so presets shrink the user base, the
+observation window, and per-user volume. Every quantity the analyses report
+is a ratio, a distribution, or a correlation, so shapes survive scaling;
+the two absolute-threshold knobs (DNSBL listing thresholds and the Fig. 6
+minimum cluster size) are scaled alongside the volume to keep event *rates*
+per company-day roughly invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    name: str
+    #: Companies in the deployment (paper: 47, of which 13 open relays).
+    n_companies: int
+    open_relays: int
+    #: Protected users across all companies (paper: 19,426).
+    total_users: int
+    #: Simulated days (paper: 184; blacklist probe ran 132).
+    n_days: int
+    #: Multiplier on every per-user traffic rate.
+    volume_scale: float
+    #: External (contact-hosting) domains in the world.
+    ext_domains: int
+    #: Resolvable-but-dead domains (spoofed sender pool).
+    dead_domains: int
+    #: Unresolvable domains (MTA-IN "unable to resolve" fodder).
+    unresolvable_domains: int
+    #: Trap domains per DNSBL service × traps per domain.
+    trap_domains_per_service: int
+    traps_per_domain: int
+    #: Extra innocent mailboxes beyond the contact pool.
+    innocent_pool_size: int
+    #: Multiplier on DNSBL listing thresholds (≤1 at reduced volume).
+    dnsbl_threshold_scale: float
+    #: Fig. 6 minimum cluster size at this scale (paper: 50).
+    min_cluster_size: int
+    #: Multiplier on campaign arrival rate.
+    campaign_rate_scale: float
+
+
+_PRESETS: dict[str, ScaleConfig] = {
+    # Unit/integration tests: seconds of wall time.
+    "tiny": ScaleConfig(
+        name="tiny",
+        n_companies=6,
+        open_relays=2,
+        total_users=120,
+        n_days=10,
+        volume_scale=0.35,
+        ext_domains=60,
+        dead_domains=40,
+        unresolvable_domains=30,
+        trap_domains_per_service=2,
+        traps_per_domain=10,
+        innocent_pool_size=400,
+        dnsbl_threshold_scale=0.5,
+        min_cluster_size=4,
+        campaign_rate_scale=0.35,
+    ),
+    # Heavier integration tests.
+    "small": ScaleConfig(
+        name="small",
+        n_companies=12,
+        open_relays=3,
+        total_users=300,
+        n_days=16,
+        volume_scale=0.35,
+        ext_domains=120,
+        dead_domains=80,
+        unresolvable_domains=50,
+        trap_domains_per_service=3,
+        traps_per_domain=12,
+        innocent_pool_size=900,
+        dnsbl_threshold_scale=0.5,
+        min_cluster_size=5,
+        campaign_rate_scale=0.5,
+    ),
+    # The benchmark deployment: all 47 companies, ~6 weeks.
+    "bench": ScaleConfig(
+        name="bench",
+        n_companies=47,
+        open_relays=13,
+        total_users=900,
+        n_days=42,
+        volume_scale=0.30,
+        ext_domains=300,
+        dead_domains=180,
+        unresolvable_domains=90,
+        trap_domains_per_service=3,
+        traps_per_domain=15,
+        innocent_pool_size=2500,
+        dnsbl_threshold_scale=0.5,
+        min_cluster_size=8,
+        campaign_rate_scale=1.0,
+    ),
+    # Scale-stability validation: ~4x the bench volume on a longer
+    # window. Used by scripts/scale_stability.py, not by the test suite.
+    "medium": ScaleConfig(
+        name="medium",
+        n_companies=47,
+        open_relays=13,
+        total_users=1500,
+        n_days=70,
+        volume_scale=0.4,
+        ext_domains=450,
+        dead_domains=250,
+        unresolvable_domains=120,
+        trap_domains_per_service=3,
+        traps_per_domain=18,
+        innocent_pool_size=4000,
+        dnsbl_threshold_scale=0.7,
+        min_cluster_size=15,
+        campaign_rate_scale=1.3,
+    ),
+    # Closest to the paper that is still tractable on one machine
+    # (hours of wall time); not exercised by the test suite.
+    "paper": ScaleConfig(
+        name="paper",
+        n_companies=47,
+        open_relays=13,
+        total_users=4000,
+        n_days=184,
+        volume_scale=1.0,
+        ext_domains=1200,
+        dead_domains=600,
+        unresolvable_domains=250,
+        trap_domains_per_service=4,
+        traps_per_domain=25,
+        innocent_pool_size=10000,
+        dnsbl_threshold_scale=1.0,
+        min_cluster_size=50,
+        campaign_rate_scale=2.0,
+    ),
+}
+
+
+def get_preset(name: str) -> ScaleConfig:
+    """Look up a preset by name; raises ``KeyError`` with the valid names."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale preset {name!r}; valid presets: {sorted(_PRESETS)}"
+        ) from None
+
+
+def preset_names() -> list[str]:
+    return sorted(_PRESETS)

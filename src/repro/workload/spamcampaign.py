@@ -1,0 +1,156 @@
+"""Botnet spam campaigns.
+
+A campaign is a burst of near-identical messages (one fixed multi-word
+subject — the clustering key of Fig. 6) delivered from a pool of infected
+machines, with forged envelope senders drawn from "harvested" address lists.
+The forgery-target mix (non-existent mailboxes, dead domains, innocent third
+parties, the spammer's own addresses, spam traps) is what determines the
+fate of the challenges reflected back (§3.2 / Fig. 4(a)).
+
+Sender pools are finite and reused within a campaign, so a recipient can be
+hit repeatedly by the same forged sender — which is exactly what makes the
+CR dispatcher's pending-challenge de-duplication matter.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.message import SenderClass
+from repro.workload import naming
+from repro.workload.calibration import Calibration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.entities import Company, World
+
+_CLASS_BY_NAME = {
+    "nonexistent": SenderClass.NONEXISTENT_MAILBOX,
+    "dead_domain": SenderClass.DEAD_DOMAIN,
+    "innocent": SenderClass.INNOCENT_THIRD_PARTY,
+    "real": SenderClass.REAL,
+    "trap": SenderClass.SPAM_TRAP,
+}
+
+
+@dataclass
+class Campaign:
+    """One spam campaign's static parameters and mutable sender pools."""
+
+    campaign_id: str
+    subject: str
+    start: float
+    end: float
+    #: Relative share of the day's spam volume this campaign captures.
+    intensity: float
+    bot_ips: list[str]
+    #: Per-message probability of carrying detectable malware.
+    virus_prob: float
+    #: Probability of reusing a pooled sender vs forging a fresh one.
+    sender_reuse_prob: float
+    #: Range of the harvested-list coverage of a company's user base.
+    target_coverage: tuple = (0.3, 0.9)
+    _pools: dict[SenderClass, list[str]] = field(default_factory=dict)
+    _targets: dict[str, list] = field(default_factory=dict)
+
+    def active_at(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    def sample_bot(self, rng: random.Random) -> str:
+        return rng.choice(self.bot_ips)
+
+    def sample_target(
+        self, company: "Company", rng: random.Random
+    ) -> "object":
+        """Pick a protected user from this campaign's harvested list.
+
+        Each campaign only holds addresses for a subset of the company's
+        users; those mailboxes get hit repeatedly over the campaign's life,
+        which is what makes the dispatcher's pending-challenge
+        de-duplication bite.
+        """
+        targets = self._targets.get(company.company_id)
+        if targets is None:
+            coverage = rng.uniform(*self.target_coverage)
+            count = max(1, round(coverage * len(company.users)))
+            targets = rng.sample(company.users, min(count, len(company.users)))
+            self._targets[company.company_id] = targets
+        return rng.choice(targets)
+
+    def sample_sender(
+        self, world: "World", company: "Company", rng: random.Random
+    ) -> tuple[str, SenderClass]:
+        """Draw a forged envelope sender for a message aimed at *company*.
+
+        The class mix depends on the company's trap affinity (how trap-laden
+        the harvested lists containing its addresses are, §5.1).
+        """
+        mix = world.calibration.spoof_mix(company.trap_affinity)
+        roll = rng.random()
+        cumulative = 0.0
+        class_name = "nonexistent"
+        for name, share in mix.items():
+            cumulative += share
+            if roll < cumulative:
+                class_name = name
+                break
+        sender_class = _CLASS_BY_NAME[class_name]
+        pool = self._pools.setdefault(sender_class, [])
+        if pool and rng.random() < self.sender_reuse_prob:
+            return rng.choice(pool), sender_class
+        address = self._fresh_sender(world, sender_class, rng)
+        pool.append(address)
+        return address, sender_class
+
+    def _fresh_sender(
+        self, world: "World", sender_class: SenderClass, rng: random.Random
+    ) -> str:
+        if sender_class is SenderClass.NONEXISTENT_MAILBOX:
+            return world.sample_nonexistent_sender(rng)
+        if sender_class is SenderClass.DEAD_DOMAIN:
+            return world.sample_dead_domain_sender(rng)
+        if sender_class is SenderClass.INNOCENT_THIRD_PARTY:
+            return world.sample_innocent_sender(rng)
+        if sender_class is SenderClass.SPAM_TRAP:
+            return world.sample_trap_sender(rng)
+        return world.sample_spammer_sender(rng)
+
+
+class CampaignFactory:
+    """Spawns campaigns with log-normally spread intensities."""
+
+    def __init__(self, calibration: Calibration, rng: random.Random) -> None:
+        self.calibration = calibration
+        self.rng = rng
+        self._next_id = 0
+
+    def spawn(self, world: "World", now: float) -> Campaign:
+        cal = self.calibration
+        rng = self.rng
+        duration_days = rng.uniform(*cal.campaign_duration_days)
+        duration = duration_days * 86400.0
+        n_bots = rng.randint(*cal.campaign_bots)
+        # A twentieth of campaigns are malware runs; the rest are clean,
+        # averaging out to ``spam_virus_frac`` of all spam.
+        if rng.random() < 0.05:
+            virus_prob = min(1.0, cal.spam_virus_frac * 20)
+        else:
+            virus_prob = 0.0
+        subject_words = rng.randint(*cal.campaign_subject_words)
+        campaign = Campaign(
+            campaign_id=f"sc-{self._next_id}",
+            subject=naming.make_campaign_subject(rng, subject_words),
+            start=now,
+            end=now + duration,
+            intensity=math.exp(rng.gauss(0.0, cal.campaign_intensity_sigma)),
+            bot_ips=world.create_bot_ips(
+                n_bots, rng, listed_duration=duration + 30 * 86400.0, now=now
+            ),
+            virus_prob=virus_prob,
+            sender_reuse_prob=1.0 - cal.campaign_sender_pool_frac,
+            target_coverage=cal.campaign_target_coverage,
+        )
+        self._next_id += 1
+        return campaign

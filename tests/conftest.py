@@ -1,0 +1,33 @@
+"""Shared fixtures.
+
+The full-simulation fixtures are session-scoped: many analysis and
+integration tests read the same run, and a run is the expensive part.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_simulation
+
+
+@pytest.fixture(scope="session")
+def tiny_result():
+    """A deterministic tiny deployment run (6 companies, 10 days)."""
+    return run_simulation("tiny", seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_result():
+    """A deterministic small deployment run (12 companies, 16 days)."""
+    return run_simulation("small", seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_store(tiny_result):
+    return tiny_result.store
+
+
+@pytest.fixture(scope="session")
+def small_store(small_result):
+    return small_result.store

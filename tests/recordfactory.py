@@ -1,0 +1,198 @@
+"""Concise builders for synthetic log records used by analysis unit tests."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.records import (
+    ChallengeOutcomeRecord,
+    ChallengeRecord,
+    DigestRecord,
+    DispatchRecord,
+    ExpiryRecord,
+    MtaRecord,
+    OutboundMailRecord,
+    ReleaseRecord,
+    WebAccessRecord,
+    WhitelistChangeRecord,
+)
+from repro.analysis.store import LogStore
+from repro.core.challenge import WebAction
+from repro.core.filters.spf import SpfResult
+from repro.core.message import MessageKind, SenderClass
+from repro.core.mta_in import DropReason
+from repro.core.spools import Category, ReleaseMechanism
+from repro.core.whitelist import WhitelistSource
+from repro.net.smtp import BounceReason, FinalStatus
+
+_msg_ids = iter(range(1, 10_000_000))
+
+
+def mta(
+    store: LogStore,
+    *,
+    company: str = "c0",
+    t: float = 0.0,
+    drop: Optional[DropReason] = None,
+    open_relay: bool = False,
+    size: int = 10_000,
+) -> int:
+    msg_id = next(_msg_ids)
+    store.add_mta(MtaRecord(company, t, msg_id, drop, open_relay, size))
+    return msg_id
+
+
+def dispatch(
+    store: LogStore,
+    *,
+    company: str = "c0",
+    t: float = 0.0,
+    user: str = "u@c0.example",
+    category: Category = Category.GRAY,
+    filter_drop: Optional[str] = None,
+    challenge_id: Optional[int] = None,
+    challenge_created: bool = False,
+    env_from: str = "s@x.example",
+    subject: str = "one two three four five six seven eight nine ten",
+    size: int = 10_000,
+    spf: SpfResult = SpfResult.NONE,
+    kind: MessageKind = MessageKind.SPAM,
+    sender_class: SenderClass = SenderClass.NONEXISTENT_MAILBOX,
+    campaign_id: Optional[str] = None,
+    open_relay: bool = False,
+    protected_user: bool = True,
+) -> int:
+    msg_id = next(_msg_ids)
+    store.add_dispatch(
+        DispatchRecord(
+            company,
+            t,
+            msg_id,
+            user,
+            category,
+            filter_drop,
+            challenge_id,
+            challenge_created,
+            env_from,
+            subject,
+            size,
+            spf,
+            kind,
+            sender_class,
+            campaign_id,
+            open_relay,
+            protected_user,
+        )
+    )
+    return msg_id
+
+
+def challenge(
+    store: LogStore,
+    challenge_id: int,
+    *,
+    company: str = "c0",
+    t: float = 0.0,
+    user: str = "u@c0.example",
+    sender: str = "s@x.example",
+    server_ip: str = "198.51.100.1",
+    size: int = 1_800,
+) -> None:
+    store.add_challenge(
+        ChallengeRecord(company, challenge_id, t, user, sender, server_ip, size)
+    )
+
+
+def outcome(
+    store: LogStore,
+    challenge_id: int,
+    *,
+    company: str = "c0",
+    status: FinalStatus = FinalStatus.DELIVERED,
+    bounce_reason: Optional[BounceReason] = None,
+    attempts: int = 1,
+    t_final: float = 60.0,
+) -> None:
+    store.add_challenge_outcome(
+        ChallengeOutcomeRecord(
+            company, challenge_id, status, bounce_reason, attempts, t_final
+        )
+    )
+
+
+def web(
+    store: LogStore,
+    challenge_id: int,
+    action: WebAction,
+    *,
+    company: str = "c0",
+    t: float = 100.0,
+    success: bool = True,
+) -> None:
+    store.add_web_access(
+        WebAccessRecord(company, challenge_id, t, action, success)
+    )
+
+
+def release(
+    store: LogStore,
+    *,
+    company: str = "c0",
+    user: str = "u@c0.example",
+    msg_id: int = 1,
+    t_arrival: float = 0.0,
+    t_release: float = 600.0,
+    mechanism: ReleaseMechanism = ReleaseMechanism.CAPTCHA,
+    kind: MessageKind = MessageKind.LEGIT,
+) -> None:
+    store.add_release(
+        ReleaseRecord(company, user, msg_id, t_arrival, t_release, mechanism, kind)
+    )
+
+
+def whitelist_change(
+    store: LogStore,
+    *,
+    company: str = "c0",
+    user: str = "u@c0.example",
+    address: str = "s@x.example",
+    t: float = 0.0,
+    source: WhitelistSource = WhitelistSource.OUTBOUND,
+) -> None:
+    store.add_whitelist_change(
+        WhitelistChangeRecord(company, user, address, t, source)
+    )
+
+
+def digest(
+    store: LogStore,
+    *,
+    company: str = "c0",
+    user: str = "u@c0.example",
+    day: int = 0,
+    pending: int = 1,
+) -> None:
+    store.add_digest(DigestRecord(company, user, day, pending))
+
+
+def expiry(
+    store: LogStore,
+    *,
+    company: str = "c0",
+    user: str = "u@c0.example",
+    msg_id: int = 1,
+    t: float = 0.0,
+) -> None:
+    store.add_expiry(ExpiryRecord(company, user, msg_id, t))
+
+
+def outbound(
+    store: LogStore,
+    *,
+    company: str = "c0",
+    t: float = 0.0,
+    user: str = "u@c0.example",
+    rcpt: str = "r@x.example",
+    size: int = 10_000,
+) -> None:
+    store.add_outbound(OutboundMailRecord(company, t, user, rcpt, size))

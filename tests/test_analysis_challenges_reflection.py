@@ -1,0 +1,147 @@
+"""Unit tests for the Fig. 4 and §3.1–3.3 analyses."""
+
+import pytest
+
+from repro.analysis import challenges, reflection
+from repro.analysis.store import LogStore
+from repro.core.challenge import WebAction
+from repro.core.spools import Category
+from repro.core.whitelist import WhitelistSource
+from repro.net.smtp import BounceReason, FinalStatus
+
+from tests import recordfactory as rf
+
+
+def _challenge_store():
+    """10 challenges: 5 delivered (2 solved, 1 visited), 3 bounced
+    (2 nonexistent, 1 blacklisted), 2 expired."""
+    store = LogStore()
+    for cid in range(1, 11):
+        rf.challenge(store, cid)
+    for cid in (1, 2, 3, 4, 5):
+        rf.outcome(store, cid, status=FinalStatus.DELIVERED)
+    for cid in (6, 7):
+        rf.outcome(
+            store,
+            cid,
+            status=FinalStatus.BOUNCED,
+            bounce_reason=BounceReason.NONEXISTENT_RECIPIENT,
+        )
+    rf.outcome(
+        store,
+        8,
+        status=FinalStatus.BOUNCED,
+        bounce_reason=BounceReason.BLACKLISTED,
+    )
+    for cid in (9, 10):
+        rf.outcome(store, cid, status=FinalStatus.EXPIRED, attempts=7)
+    # Challenge 1: opened, 2 failed attempts, solved (3 tries total).
+    rf.web(store, 1, WebAction.OPEN, t=100.0)
+    rf.web(store, 1, WebAction.ATTEMPT, t=130.0, success=False)
+    rf.web(store, 1, WebAction.ATTEMPT, t=160.0, success=False)
+    rf.web(store, 1, WebAction.SOLVE, t=190.0)
+    # Challenge 2: solved on first try.
+    rf.web(store, 2, WebAction.OPEN, t=200.0)
+    rf.web(store, 2, WebAction.SOLVE, t=230.0)
+    # Challenge 3: visited but never solved.
+    rf.web(store, 3, WebAction.OPEN, t=300.0)
+    return store
+
+
+class TestChallengeStats:
+    def test_delivery_breakdown(self):
+        stats = challenges.compute(_challenge_store())
+        assert stats.sent == 10
+        assert stats.delivered == 5
+        assert stats.bounced_nonexistent == 2
+        assert stats.bounced_blacklisted == 1
+        assert stats.expired == 2
+        assert stats.delivered_share == 0.5
+        assert stats.nonexistent_share_of_undelivered == pytest.approx(0.4)
+
+    def test_web_shares(self):
+        stats = challenges.compute(_challenge_store())
+        assert stats.solved == 2
+        assert stats.visited_not_solved == 1
+        assert stats.never_opened_share == pytest.approx(1 - 3 / 5)
+        assert stats.solved_share_of_delivered == pytest.approx(0.4)
+        assert stats.solved_share_of_sent == pytest.approx(0.2)
+
+    def test_attempts_histogram(self):
+        stats = challenges.compute(_challenge_store())
+        assert stats.attempts_histogram == {3: 1, 1: 1}
+        assert stats.max_attempts == 3
+
+    def test_render_smoke(self):
+        out = challenges.render(_challenge_store())
+        assert "Fig. 4(a)" in out
+        assert "CAPTCHA" in out
+
+    def test_empty_store(self):
+        stats = challenges.compute(LogStore())
+        assert stats.delivered_share == 0.0
+        assert stats.max_attempts == 0
+
+
+class TestReflection:
+    def _store(self):
+        store = LogStore()
+        # 20 MTA messages of 10 KB each; 10 reach the dispatcher.
+        for _ in range(20):
+            rf.mta(store, size=10_000)
+        for i in range(10):
+            quarantined = i < 2
+            rf.dispatch(
+                store,
+                category=Category.GRAY,
+                size=10_000,
+                filter_drop=None if quarantined else "rbl",
+                challenge_id=i + 1 if quarantined else None,
+                challenge_created=quarantined,
+                env_from=f"s{i}@x.example",
+            )
+        # 2 challenges of 1 KB; one delivered and solved, one delivered.
+        rf.challenge(store, 1, size=1_000)
+        rf.challenge(store, 2, size=1_000)
+        rf.outcome(store, 1)
+        rf.outcome(store, 2)
+        rf.web(store, 1, WebAction.SOLVE)
+        return store
+
+    def test_reflection_ratios(self):
+        stats = reflection.compute(self._store())
+        assert stats.reflection_cr == pytest.approx(0.2)
+        assert stats.reflection_mta == pytest.approx(0.1)
+        assert stats.emails_per_challenge == pytest.approx(10.0)
+
+    def test_backscatter(self):
+        stats = reflection.compute(self._store())
+        # 1 of 2 challenges delivered-but-never-solved.
+        assert stats.backscatter_share == pytest.approx(0.5)
+        assert stats.beta_cr == pytest.approx(0.1)
+        assert stats.beta_mta == pytest.approx(0.05)
+
+    def test_traffic_ratios(self):
+        stats = reflection.compute(self._store())
+        assert stats.rt_cr == pytest.approx(2_000 / 100_000)
+        assert stats.rt_mta == pytest.approx(2_000 / 200_000)
+
+    def test_digest_whitelist_share_counts_gray_senders(self):
+        store = self._store()
+        # s0 was quarantined; user whitelists them from the digest.
+        rf.whitelist_change(
+            store, address="s0@x.example", source=WhitelistSource.DIGEST
+        )
+        # An address never seen in the gray spool must not count.
+        rf.whitelist_change(
+            store, address="unrelated@y.example", source=WhitelistSource.DIGEST
+        )
+        stats = reflection.compute(store)
+        assert stats.digest_whitelisted_senders == 1
+        # 2 quarantined senders (s0, s1).
+        assert stats.gray_spool_senders == 2
+        assert stats.digest_whitelist_share == pytest.approx(0.5)
+
+    def test_render_smoke(self, tiny_store):
+        out = reflection.render(tiny_store)
+        assert "reflection ratio R" in out

@@ -1,0 +1,183 @@
+"""Unit tests for the Fig. 9/10 churn and Fig. 11/§5.1 blacklisting analyses."""
+
+import pytest
+
+from repro.analysis import blacklisting, churn
+from repro.analysis.context import DeploymentInfo
+from repro.analysis.store import LogStore
+from repro.blacklistd.monitor import ProbeObservation
+from repro.net.smtp import BounceReason, FinalStatus
+from repro.util.simtime import DAY
+
+from tests import recordfactory as rf
+
+
+def _info(horizon_days=60.0, users=100):
+    return DeploymentInfo(
+        n_companies=2,
+        n_open_relays=0,
+        users_per_company={"c0": users // 2, "c1": users // 2},
+        horizon_days=horizon_days,
+        min_cluster_size=3,
+        volume_scale=0.5,
+    )
+
+
+class TestChurn:
+    def test_counts_normalised_to_60_days(self):
+        store = LogStore()
+        # User A: 5 additions over a 30-day horizon -> 10 per 60 days.
+        for i in range(5):
+            rf.whitelist_change(store, user="a@c0.example", t=i * DAY)
+        stats = churn.compute(store, _info(horizon_days=30.0))
+        assert stats.modified_whitelists == 1
+        assert stats.additions_per_60d[0] == pytest.approx(10.0)
+
+    def test_bin_assignment(self):
+        store = LogStore()
+        # 5/60d lands in the 1-10 bin; 100 additions -> 100/60d in 60-120.
+        for i in range(5):
+            rf.whitelist_change(store, user="a@c0.example", t=float(i))
+        for i in range(100):
+            rf.whitelist_change(store, user="b@c0.example", t=float(i))
+        stats = churn.compute(store, _info(horizon_days=60.0))
+        assert stats.bin_shares[0] == pytest.approx(50.0)  # 1-10
+        assert stats.bin_shares[3] == pytest.approx(50.0)  # 60-120
+
+    def test_daily_rate_thresholds(self):
+        store = LogStore()
+        for i in range(120):  # 2/day over 60 days
+            rf.whitelist_change(store, user="fast@c0.example", t=float(i))
+        for i in range(6):
+            rf.whitelist_change(store, user="slow@c0.example", t=float(i))
+        stats = churn.compute(store, _info(horizon_days=60.0))
+        assert stats.share_ge_1_per_day == pytest.approx(0.5)
+        assert stats.share_ge_2_per_day == pytest.approx(0.5)
+        assert stats.share_ge_5_per_day == 0.0
+
+    def test_additions_per_user_day(self):
+        store = LogStore()
+        for i in range(300):
+            rf.whitelist_change(store, user=f"u{i % 10}@c0.example", t=float(i))
+        stats = churn.compute(store, _info(horizon_days=60.0, users=100))
+        assert stats.additions_per_user_day == pytest.approx(
+            300 / 60.0 / 100
+        )
+
+    def test_users_split_per_company(self):
+        store = LogStore()
+        rf.whitelist_change(store, company="c0", user="a@c0.example")
+        rf.whitelist_change(store, company="c1", user="a@c1.example")
+        stats = churn.compute(store, _info())
+        assert stats.modified_whitelists == 2
+
+    def test_digest_examples_picked(self):
+        store = LogStore()
+        for day in range(10):
+            rf.digest(store, user="big@c0.example", day=day, pending=50)
+            rf.digest(store, user="mid@c0.example", day=day, pending=5)
+            rf.digest(
+                store,
+                user="bursty@c0.example",
+                day=day,
+                pending=40 if day == 5 else 1,
+            )
+        examples = churn.pick_digest_examples(store)
+        assert len(examples) == 3
+        users = {e.user for e in examples}
+        assert "big@c0.example" in users
+        assert "bursty@c0.example" in users
+
+    def test_digest_examples_empty_store(self):
+        assert churn.pick_digest_examples(LogStore()) == []
+
+    def test_render_smoke(self, tiny_result):
+        out = churn.render(tiny_result.store, tiny_result.info)
+        assert "Fig. 9" in out
+
+
+class TestBlacklisting:
+    def _store(self):
+        store = LogStore()
+        # c0: big sender, never blacklisted. c1: small, often blacklisted.
+        for cid in range(1, 101):
+            rf.challenge(store, cid, company="c0", server_ip="9.0.0.1")
+            rf.outcome(store, cid, company="c0", status=FinalStatus.DELIVERED)
+        for cid in range(1, 11):
+            rf.challenge(store, cid, company="c1", server_ip="9.0.0.2")
+        for cid in range(1, 6):
+            rf.outcome(
+                store,
+                cid,
+                company="c1",
+                status=FinalStatus.BOUNCED,
+                bounce_reason=BounceReason.BLACKLISTED,
+            )
+        for cid in range(6, 11):
+            rf.outcome(store, cid, company="c1", status=FinalStatus.DELIVERED)
+        # Probes over 3 days: ip2 listed on days 0-1.
+        for day in range(3):
+            for hour in (0, 4):
+                t = day * DAY + hour * 3600
+                store.add_probe(
+                    ProbeObservation(t, "9.0.0.1", "spamhaus-zen", False)
+                )
+                store.add_probe(
+                    ProbeObservation(
+                        t, "9.0.0.2", "spamhaus-zen", day < 2
+                    )
+                )
+        return store
+
+    def test_company_bounce_ratios(self):
+        stats = blacklisting.compute(self._store(), _info())
+        by_id = {c.company_id: c for c in stats.companies}
+        assert by_id["c0"].bounce_ratio == 0.0
+        assert by_id["c1"].bounce_ratio == pytest.approx(0.5)
+
+    def test_listed_days_from_probes(self):
+        stats = blacklisting.compute(self._store(), _info())
+        by_ip = {s.ip: s for s in stats.servers}
+        assert by_ip["9.0.0.1"].listed_days == 0.0
+        assert by_ip["9.0.0.2"].listed_days == 2.0
+
+    def test_never_listed_share(self):
+        stats = blacklisting.compute(self._store(), _info())
+        assert stats.never_listed_share == pytest.approx(0.5)
+
+    def test_top_sender_is_clean(self):
+        stats = blacklisting.compute(self._store(), _info())
+        assert stats.top_senders_listed_days(top=1) == [0.0]
+
+    def test_negative_volume_listing_correlation(self):
+        # Big sender clean, small sender listed: negative correlation, i.e.
+        # definitely not the naive "more challenges -> more listings".
+        stats = blacklisting.compute(self._store(), _info())
+        assert stats.volume_listing_correlation < 0
+
+    def test_render_smoke(self, tiny_result):
+        out = blacklisting.render(tiny_result.store, tiny_result.info)
+        assert "Fig. 11" in out
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert churn.render_sparkline({}) == ""
+
+    def test_peak_gets_highest_glyph(self):
+        spark = churn.render_sparkline({0: 0, 1: 5, 2: 10})
+        assert spark[-1] == "@"
+        assert spark[0] == "."
+
+    def test_missing_days_are_gaps(self):
+        spark = churn.render_sparkline({0: 1, 3: 1})
+        assert len(spark) == 4
+        assert spark[1] == " "
+        assert spark[2] == " "
+
+    def test_constant_series(self):
+        spark = churn.render_sparkline({0: 4, 1: 4, 2: 4})
+        assert spark == "@@@"
+
+    def test_zero_counts_render_as_dots(self):
+        assert churn.render_sparkline({0: 0, 1: 0}) == ".."

@@ -1,0 +1,196 @@
+"""Unit tests for the Fig. 6 clustering and Fig. 7/8 delay analyses."""
+
+import pytest
+
+from repro.analysis import clustering, delays
+from repro.analysis.context import DeploymentInfo
+from repro.analysis.store import LogStore
+from repro.core.challenge import WebAction
+from repro.core.message import MessageKind
+from repro.core.spools import Category, ReleaseMechanism
+from repro.net.smtp import BounceReason, FinalStatus
+from repro.util.simtime import DAY, HOUR, MINUTE
+
+from tests import recordfactory as rf
+
+INFO = DeploymentInfo(
+    n_companies=1,
+    n_open_relays=0,
+    users_per_company={"c0": 10},
+    horizon_days=10.0,
+    min_cluster_size=3,
+    volume_scale=1.0,
+)
+
+LONG_SUBJECT = "alpha beta gamma delta epsilon zeta eta theta iota kappa"
+SHORT_SUBJECT = "short subject"
+
+
+class TestClustering:
+    def _store(self):
+        store = LogStore()
+        # Low-similarity cluster: 4 quarantined spam messages, distinct
+        # sender domains; 1 challenge solved, 1 bounced non-existent.
+        for i in range(4):
+            rf.dispatch(
+                store,
+                subject=LONG_SUBJECT,
+                env_from=f"s{i}@dom{i}.example",
+                challenge_id=i + 1,
+                challenge_created=True,
+                campaign_id="sc-1",
+            )
+            rf.challenge(store, i + 1)
+        rf.outcome(store, 1, status=FinalStatus.DELIVERED)
+        rf.web(store, 1, WebAction.SOLVE)
+        rf.outcome(
+            store,
+            2,
+            status=FinalStatus.BOUNCED,
+            bounce_reason=BounceReason.NONEXISTENT_RECIPIENT,
+        )
+        # High-similarity cluster: 3 messages from one marketing domain.
+        for i in range(3):
+            rf.dispatch(
+                store,
+                subject=LONG_SUBJECT + " marketing edition",
+                env_from=f"dept-a.{'pqr'[i]}@scn-9.example",
+                challenge_id=100 + i,
+                challenge_created=True,
+                kind=MessageKind.NEWSLETTER,
+            )
+            rf.challenge(store, 100 + i)
+            rf.outcome(store, 100 + i, status=FinalStatus.DELIVERED)
+            rf.web(store, 100 + i, WebAction.SOLVE)
+        # Sub-threshold cluster (2 messages) must be discarded.
+        for i in range(2):
+            rf.dispatch(
+                store,
+                subject=LONG_SUBJECT + " small",
+                challenge_id=None,
+                env_from=f"t{i}@tiny{i}.example",
+            )
+        # Short subjects never cluster.
+        for _ in range(5):
+            rf.dispatch(store, subject=SHORT_SUBJECT)
+        # Filter-dropped messages are not in the gray *spool*.
+        for _ in range(5):
+            rf.dispatch(store, subject=LONG_SUBJECT, filter_drop="rbl")
+        return store
+
+    def test_cluster_count_and_threshold(self):
+        stats = clustering.compute(self._store(), INFO)
+        assert stats.n_clusters == 2
+        sizes = sorted(c.size for c in stats.clusters)
+        assert sizes == [3, 4]
+
+    def test_similarity_split(self):
+        stats = clustering.compute(self._store(), INFO)
+        assert len(stats.high_similarity_clusters) == 1
+        assert len(stats.low_similarity_clusters) == 1
+        high = stats.high_similarity_clusters[0]
+        assert high.dominant_domain_share == 1.0
+
+    def test_solved_counting(self):
+        stats = clustering.compute(self._store(), INFO)
+        assert stats.clusters_with_solved == 2
+        high = stats.high_similarity_clusters[0]
+        assert high.solve_rate == pytest.approx(1.0)
+        low = stats.low_similarity_clusters[0]
+        assert low.solved == 1
+        assert low.bounce_rate == pytest.approx(0.25)
+
+    def test_spurious_rate(self):
+        store = self._store()
+        rf.release(
+            store,
+            mechanism=ReleaseMechanism.CAPTCHA,
+            kind=MessageKind.SPAM,
+        )
+        stats = clustering.compute(store, INFO)
+        assert stats.spurious_deliveries == 1
+        assert stats.spurious_rate == pytest.approx(1 / 7)
+
+    def test_digest_releases_not_spurious(self):
+        store = self._store()
+        rf.release(
+            store, mechanism=ReleaseMechanism.DIGEST, kind=MessageKind.SPAM
+        )
+        assert clustering.compute(store, INFO).spurious_deliveries == 0
+
+    def test_render_smoke(self):
+        out = clustering.render(self._store(), INFO)
+        assert "Fig. 6" in out
+        assert "top" in out
+
+    def test_clusters_partition_eligible_messages(self, tiny_result):
+        """Cluster sizes sum to the quarantined messages whose subject is
+        long enough and whose cluster meets the size threshold."""
+        stats = clustering.compute(tiny_result.store, tiny_result.info)
+        from collections import Counter
+
+        eligible = Counter()
+        for record in tiny_result.store.dispatch:
+            if (
+                record.category is Category.GRAY
+                and record.filter_drop is None
+                and len(record.subject.split()) >= clustering.MIN_SUBJECT_WORDS
+            ):
+                eligible[record.subject] += 1
+        expected = sum(
+            n for n in eligible.values()
+            if n >= tiny_result.info.min_cluster_size
+        )
+        assert sum(c.size for c in stats.clusters) == expected
+
+
+class TestDelays:
+    def _store(self):
+        store = LogStore()
+        for _ in range(90):
+            rf.dispatch(store, category=Category.WHITE)
+        # 6 captcha releases: 2 under 5 min, 2 under 30 min, 2 slow.
+        for delay in (2 * MINUTE, 4 * MINUTE, 10 * MINUTE, 25 * MINUTE,
+                      2 * HOUR, 2 * DAY):
+            rf.release(store, t_arrival=0.0, t_release=delay)
+        # 4 digest releases between 5 h and 2 days.
+        for delay in (5 * HOUR, 8 * HOUR, 30 * HOUR, 40 * HOUR):
+            rf.release(
+                store,
+                t_arrival=0.0,
+                t_release=delay,
+                mechanism=ReleaseMechanism.DIGEST,
+            )
+        return store
+
+    def test_shares(self):
+        stats = delays.compute(self._store())
+        assert stats.white_count == 90
+        assert stats.released_count == 10
+        assert stats.instant_share == pytest.approx(0.9)
+        assert stats.quarantined_share == pytest.approx(0.1)
+
+    def test_captcha_cdf(self):
+        stats = delays.compute(self._store())
+        from repro.util.stats import cdf_at
+
+        assert cdf_at(stats.captcha_cdf, 5 * MINUTE) == pytest.approx(2 / 6)
+        assert cdf_at(stats.captcha_cdf, 30 * MINUTE) == pytest.approx(4 / 6)
+
+    def test_combined_under_30min(self):
+        stats = delays.compute(self._store())
+        assert stats.released_under_30min_share == pytest.approx(0.4)
+
+    def test_over_one_day_share_of_inbox(self):
+        stats = delays.compute(self._store())
+        # 3 of 10 releases exceed one day -> 30% of the quarantined 10%.
+        assert stats.inbox_delayed_over_1day_share == pytest.approx(0.03)
+
+    def test_empty_store(self):
+        stats = delays.compute(LogStore())
+        assert stats.instant_share == 0.0
+        assert stats.inbox_delayed_over_1day_share == 0.0
+
+    def test_render_smoke(self, tiny_store):
+        out = delays.render(tiny_store)
+        assert "Fig. 7" in out

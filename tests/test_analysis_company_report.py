@@ -1,0 +1,102 @@
+"""Tests for the per-company drill-down report."""
+
+import pytest
+
+from repro.analysis import company_report
+from repro.core.spools import Category
+from repro.core.mta_in import DropReason
+
+
+class TestProfile:
+    def test_profile_for_every_company(self, tiny_result):
+        for company_id in tiny_result.installations:
+            profile = company_report.compute(
+                tiny_result.store, tiny_result.info, company_id
+            )
+            assert profile.inbound_total > 0
+            assert profile.users == tiny_result.info.users_per_company[
+                company_id
+            ]
+
+    def test_unknown_company_raises(self, tiny_result):
+        with pytest.raises(KeyError):
+            company_report.compute(tiny_result.store, tiny_result.info, "c99")
+
+    def test_accounting_identities(self, tiny_result):
+        for company_id in tiny_result.installations:
+            profile = company_report.compute(
+                tiny_result.store, tiny_result.info, company_id
+            )
+            assert (
+                profile.white + profile.black + profile.gray
+                == profile.accepted
+            )
+            assert profile.drop_shares[DropReason.UNKNOWN_RECIPIENT] >= 0
+            total_drop_share = sum(profile.drop_shares.values())
+            assert profile.accepted == pytest.approx(
+                profile.inbound_total * (1 - total_drop_share), abs=1.0
+            )
+
+    def test_challenge_fates_sum_to_sent(self, tiny_result):
+        # After drain, every sent challenge has exactly one fate (other
+        # bounce reasons are possible but rare; allow slack of zero here
+        # because the micro taxonomy is exhaustive in this simulator).
+        for company_id in tiny_result.installations:
+            profile = company_report.compute(
+                tiny_result.store, tiny_result.info, company_id
+            )
+            fates = (
+                profile.challenges_delivered
+                + profile.challenges_bounced_nonexistent
+                + profile.challenges_bounced_blacklisted
+                + profile.challenges_expired
+            )
+            assert fates == profile.challenges_sent
+
+    def test_profiles_sum_to_fleet_totals(self, tiny_result):
+        store = tiny_result.store
+        total_inbound = 0
+        total_white = 0
+        total_challenges = 0
+        for company_id in tiny_result.installations:
+            profile = company_report.compute(
+                store, tiny_result.info, company_id
+            )
+            total_inbound += profile.inbound_total
+            total_white += profile.white
+            total_challenges += profile.challenges_sent
+        assert total_inbound == len(store.mta)
+        assert total_white == sum(
+            1 for r in store.dispatch if r.category is Category.WHITE
+        )
+        assert total_challenges == len(store.challenges)
+
+
+class TestRendering:
+    def test_render_single(self, tiny_result):
+        company_id = next(iter(tiny_result.installations))
+        out = company_report.render(
+            tiny_result.store, tiny_result.info, company_id
+        )
+        assert "Installation report" in out
+        assert "reflection ratio" in out
+
+    def test_render_all_ordered_by_volume(self, tiny_result):
+        out = company_report.render_all(
+            tiny_result.store, tiny_result.info, limit=2
+        )
+        assert out.count("Installation report") == 2
+
+    def test_cli_company_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["company", "--preset", "tiny", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Installation report") == 3
+
+    def test_cli_unknown_company(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["company", "--preset", "tiny", "--seed", "3", "zz99"]
+        ) == 2

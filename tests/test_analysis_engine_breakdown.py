@@ -1,0 +1,79 @@
+"""Unit tests for the Fig. 3 engine-breakdown analysis (synthetic store)."""
+
+import pytest
+
+from repro.analysis import engine_breakdown
+from repro.analysis.store import LogStore
+from repro.core.spools import Category
+
+from tests import recordfactory as rf
+
+
+def _store():
+    store = LogStore()
+    # Closed relay: 10 engine messages — 2 white, 1 black, 7 gray of which
+    # 3 rbl-dropped, 1 av-dropped, 2 challenged, 1 suppressed-duplicate.
+    for _ in range(2):
+        rf.dispatch(store, category=Category.WHITE)
+    rf.dispatch(store, category=Category.BLACK)
+    for _ in range(3):
+        rf.dispatch(store, filter_drop="rbl")
+    rf.dispatch(store, filter_drop="antivirus")
+    rf.dispatch(store, challenge_id=1, challenge_created=True)
+    rf.dispatch(store, challenge_id=2, challenge_created=True)
+    rf.dispatch(store, challenge_id=1, challenge_created=False)
+    # Open relay: 4 messages, 2 challenged.
+    for i in range(2):
+        rf.dispatch(
+            store,
+            company="c9",
+            open_relay=True,
+            challenge_id=10 + i,
+            challenge_created=True,
+        )
+    for _ in range(2):
+        rf.dispatch(store, company="c9", open_relay=True, filter_drop="rbl")
+    return store
+
+
+class TestEngineBreakdown:
+    def test_gray_total_counts_both_relay_kinds(self):
+        stats = engine_breakdown.compute(_store())
+        assert stats.gray_total == 7 + 4
+
+    def test_filter_shares(self):
+        stats = engine_breakdown.compute(_store())
+        assert stats.filter_shares["rbl"] == pytest.approx(5 / 11)
+        assert stats.filter_shares["antivirus"] == pytest.approx(1 / 11)
+        assert stats.filter_drop_share == pytest.approx(6 / 11)
+
+    def test_challenged_and_suppressed_shares(self):
+        stats = engine_breakdown.compute(_store())
+        assert stats.challenged_share == pytest.approx(4 / 11)
+        assert stats.suppressed_share == pytest.approx(1 / 11)
+
+    def test_shares_partition_gray(self):
+        stats = engine_breakdown.compute(_store())
+        total = (
+            stats.filter_drop_share
+            + stats.challenged_share
+            + stats.suppressed_share
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_relay_challenge_rates(self):
+        stats = engine_breakdown.compute(_store())
+        assert stats.challenge_rate_closed == pytest.approx(2 / 10)
+        assert stats.challenge_rate_open == pytest.approx(2 / 4)
+        assert stats.open_relay_extra == pytest.approx(1.5)
+
+    def test_empty_store(self):
+        stats = engine_breakdown.compute(LogStore())
+        assert stats.gray_total == 0
+        assert stats.open_relay_extra == 0.0
+
+    def test_render_quotes_all_three_paper_variants(self):
+        out = engine_breakdown.render(_store())
+        assert "54%" in out
+        assert "62.9%" in out
+        assert "77.5%" in out

@@ -1,0 +1,90 @@
+"""Unit tests for Table 1 and the §6 discussion analyses + context."""
+
+import pytest
+
+from repro.analysis import discussion, general_stats
+from repro.analysis.context import DeploymentInfo
+from repro.analysis.store import LogStore
+from repro.core.challenge import WebAction
+from repro.core.mta_in import DropReason
+from repro.core.spools import Category, ReleaseMechanism
+
+from tests import recordfactory as rf
+
+INFO = DeploymentInfo(
+    n_companies=2,
+    n_open_relays=1,
+    users_per_company={"c0": 10, "c1": 5},
+    horizon_days=10.0,
+    min_cluster_size=3,
+    volume_scale=0.5,
+)
+
+
+class TestDeploymentInfo:
+    def test_total_users(self):
+        assert INFO.total_users == 15
+
+    def test_company_days(self):
+        assert INFO.company_days == 20.0
+
+    def test_effective_churn_days_is_horizon(self):
+        # Churn streams run at paper rates regardless of volume scale.
+        assert INFO.effective_churn_days == 10.0
+
+
+class TestGeneralStats:
+    def _store(self):
+        store = LogStore()
+        for _ in range(6):
+            rf.mta(store, drop=DropReason.UNKNOWN_RECIPIENT)
+        for _ in range(4):
+            rf.mta(store)
+        rf.dispatch(store, category=Category.WHITE)
+        rf.dispatch(store, category=Category.BLACK)
+        rf.dispatch(store, filter_drop="rbl")
+        rf.dispatch(store, challenge_id=1, challenge_created=True)
+        rf.challenge(store, 1)
+        rf.outcome(store, 1)
+        rf.web(store, 1, WebAction.SOLVE)
+        rf.release(store, mechanism=ReleaseMechanism.DIGEST)
+        return store
+
+    def test_counts(self):
+        stats = general_stats.compute(self._store(), INFO)
+        assert stats.total_incoming == 10
+        assert stats.dropped_at_mta == 6
+        assert stats.white == 1
+        assert stats.black == 1
+        assert stats.gray == 2
+        assert stats.challenges_sent == 1
+        assert stats.solved_captchas == 1
+        assert stats.whitelisted_from_digest == 1
+        assert stats.dropped_rbl == 1
+
+    def test_daily_rates(self):
+        stats = general_stats.compute(self._store(), INFO)
+        assert stats.emails_per_day == pytest.approx(1.0)
+        assert stats.analyzed_days == pytest.approx(20.0)
+
+    def test_render_contains_paper_numbers(self):
+        out = general_stats.render(self._store(), INFO)
+        assert "90,368,573" in out
+        assert "4,299,610" in out
+
+
+class TestDiscussion:
+    def test_compute_pulls_from_all_analyses(self, tiny_result):
+        stats = discussion.compute(tiny_result.store, tiny_result.info)
+        assert stats.emails_per_challenge > 1
+        assert 0 <= stats.traffic_increase < 0.1
+        assert 0 <= stats.challenges_solved_share <= 1
+        assert 0 <= stats.inbox_instant_share <= 1
+        assert stats.inbox_instant_share + stats.inbox_quarantined_share == (
+            pytest.approx(1.0)
+        )
+
+    def test_render_smoke(self, tiny_result):
+        out = discussion.render(tiny_result.store, tiny_result.info)
+        assert "Sec. 6" in out
+        assert "traffic increase" in out

@@ -1,0 +1,246 @@
+"""Tests for saving/loading the measurement database (JSONL)."""
+
+import json
+
+import hypothesis as _hyp
+import pytest
+from hypothesis import strategies as _st
+
+from repro.analysis.persistence import (
+    LoadedRun,
+    PersistenceError,
+    load_run,
+    save_run,
+)
+
+
+class TestRoundTrip:
+    def test_full_round_trip_preserves_every_record(self, tiny_result, tmp_path):
+        path = tmp_path / "run.jsonl"
+        written = save_run(tiny_result.store, tiny_result.info, path)
+        loaded = load_run(path)
+        assert isinstance(loaded, LoadedRun)
+        assert written == sum(tiny_result.store.summary_counts().values())
+        assert loaded.store.summary_counts() == (
+            tiny_result.store.summary_counts()
+        )
+
+    def test_record_contents_preserved(self, tiny_result, tmp_path):
+        path = tmp_path / "run.jsonl"
+        save_run(tiny_result.store, tiny_result.info, path)
+        loaded = load_run(path)
+        for original, restored in zip(
+            tiny_result.store.dispatch[:50], loaded.store.dispatch[:50]
+        ):
+            assert original == restored
+        for original, restored in zip(
+            tiny_result.store.challenge_outcomes[:50],
+            loaded.store.challenge_outcomes[:50],
+        ):
+            assert original == restored
+
+    def test_info_preserved(self, tiny_result, tmp_path):
+        path = tmp_path / "run.jsonl"
+        save_run(tiny_result.store, tiny_result.info, path)
+        loaded = load_run(path)
+        assert loaded.info.n_companies == tiny_result.info.n_companies
+        assert loaded.info.horizon_days == tiny_result.info.horizon_days
+        assert dict(loaded.info.users_per_company) == dict(
+            tiny_result.info.users_per_company
+        )
+
+    def test_analyses_identical_on_loaded_store(self, tiny_result, tmp_path):
+        from repro.analysis import flow, reflection
+
+        path = tmp_path / "run.jsonl"
+        save_run(tiny_result.store, tiny_result.info, path)
+        loaded = load_run(path)
+        assert flow.render(loaded.store) == flow.render(tiny_result.store)
+        assert reflection.render(loaded.store) == reflection.render(
+            tiny_result.store
+        )
+
+    def test_registry_runs_on_loaded_run(self, tiny_result, tmp_path):
+        from repro.experiments.registry import run_experiment
+
+        path = tmp_path / "run.jsonl"
+        save_run(tiny_result.store, tiny_result.info, path)
+        loaded = load_run(path)
+        assert run_experiment("fig4a", loaded) == run_experiment(
+            "fig4a", tiny_result
+        )
+
+
+class TestErrorHandling:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mta", "c": "c0"}\n')
+        with pytest.raises(PersistenceError, match="bad mta record|missing header"):
+            load_run(path)
+
+    def test_header_only_is_valid_empty_run(self, tmp_path, tiny_result):
+        path = tmp_path / "empty.jsonl"
+        from repro.analysis.store import LogStore
+
+        save_run(LogStore(), tiny_result.info, path)
+        loaded = load_run(path)
+        assert sum(loaded.store.summary_counts().values()) == 0
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(PersistenceError, match="invalid JSON"):
+            load_run(path)
+
+    def test_unknown_record_type(self, tmp_path, tiny_result):
+        path = tmp_path / "bad.jsonl"
+        from repro.analysis.store import LogStore
+
+        save_run(LogStore(), tiny_result.info, path)
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"type": "mystery"}) + "\n")
+        with pytest.raises(PersistenceError, match="unknown record type"):
+            load_run(path)
+
+    def test_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"type": "header", "schema": 99}) + "\n")
+        with pytest.raises(PersistenceError, match="unsupported schema"):
+            load_run(path)
+
+    def test_bad_enum_value(self, tmp_path, tiny_result):
+        path = tmp_path / "bad.jsonl"
+        from repro.analysis.store import LogStore
+
+        save_run(LogStore(), tiny_result.info, path)
+        with open(path, "a") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "mta",
+                        "c": "c0",
+                        "t": 0.0,
+                        "m": 1,
+                        "d": "not-a-reason",
+                        "o": False,
+                        "s": 100,
+                    }
+                )
+                + "\n"
+            )
+        with pytest.raises(PersistenceError, match="bad mta record"):
+            load_run(path)
+
+    def test_blank_lines_skipped(self, tmp_path, tiny_result):
+        path = tmp_path / "gaps.jsonl"
+        from repro.analysis.store import LogStore
+
+        save_run(LogStore(), tiny_result.info, path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        load_run(path)  # must not raise
+
+
+class TestCliIntegration:
+    def test_save_then_load_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "cli.jsonl"
+        assert main(
+            ["run", "--preset", "tiny", "--seed", "3", "--save", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "saved" in out
+        assert path.exists()
+
+        assert main(["experiment", "sec31", "--load", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "reflection ratio R" in out
+
+
+class TestRoundTripProperties:
+    """Hypothesis: arbitrary record mixes survive save/load unchanged."""
+
+    @staticmethod
+    def _random_store(plan):
+        from repro.analysis.store import LogStore
+        from repro.core.challenge import WebAction
+        from repro.core.message import MessageKind
+        from repro.core.mta_in import DropReason
+        from repro.core.spools import Category
+        from repro.net.smtp import BounceReason, FinalStatus
+
+        from tests import recordfactory as rf
+
+        store = LogStore()
+        for kind, variant in plan:
+            if kind == "mta":
+                rf.mta(
+                    store,
+                    drop=(
+                        list(DropReason)[variant % len(DropReason)]
+                        if variant % 3 == 0
+                        else None
+                    ),
+                    open_relay=bool(variant % 2),
+                    t=float(variant),
+                )
+            elif kind == "dispatch":
+                rf.dispatch(
+                    store,
+                    category=list(Category)[variant % 3],
+                    kind=list(MessageKind)[variant % 3],
+                    challenge_id=variant if variant % 2 else None,
+                    subject=f"subject {variant} with words",
+                )
+            elif kind == "outcome":
+                rf.challenge(store, variant)
+                rf.outcome(
+                    store,
+                    variant,
+                    status=list(FinalStatus)[variant % 3],
+                    bounce_reason=(
+                        list(BounceReason)[variant % 3]
+                        if variant % 3 == 1
+                        else None
+                    ),
+                )
+            elif kind == "web":
+                rf.web(store, variant, list(WebAction)[variant % 3])
+            elif kind == "release":
+                rf.release(store, msg_id=variant, t_release=float(variant))
+        return store
+
+    @_hyp.settings(max_examples=40, deadline=None)
+    @_hyp.given(
+        plan=_st.lists(
+            _st.tuples(
+                _st.sampled_from(
+                    ["mta", "dispatch", "outcome", "web", "release"]
+                ),
+                _st.integers(0, 1000),
+            ),
+            max_size=50,
+        )
+    )
+    def test_random_records_round_trip(self, tmp_path_factory, plan):
+        from repro.analysis.context import DeploymentInfo
+
+        info = DeploymentInfo(
+            n_companies=1,
+            n_open_relays=0,
+            users_per_company={"c0": 5},
+            horizon_days=3.0,
+            min_cluster_size=2,
+            volume_scale=1.0,
+        )
+        store = self._random_store(plan)
+        path = tmp_path_factory.mktemp("prop") / "run.jsonl"
+        save_run(store, info, path)
+        loaded = load_run(path)
+        assert loaded.store.summary_counts() == store.summary_counts()
+        assert loaded.store.mta == store.mta
+        assert loaded.store.dispatch == store.dispatch
+        assert loaded.store.challenge_outcomes == store.challenge_outcomes
+        assert loaded.store.web_access == store.web_access
+        assert loaded.store.releases == store.releases

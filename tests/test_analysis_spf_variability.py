@@ -1,0 +1,147 @@
+"""Unit tests for the Fig. 12 SPF study and Fig. 5 variability analyses."""
+
+import pytest
+
+from repro.analysis import spf_study, variability
+from repro.analysis.context import DeploymentInfo
+from repro.analysis.spf_study import ChallengeFate
+from repro.analysis.store import LogStore
+from repro.core.challenge import WebAction
+from repro.core.filters.spf import SpfResult
+from repro.core.spools import Category
+from repro.net.smtp import BounceReason, FinalStatus
+
+from tests import recordfactory as rf
+
+
+class TestSpfStudy:
+    def _store(self):
+        store = LogStore()
+        # Solved challenge, SPF pass.
+        rf.dispatch(store, challenge_id=1, challenge_created=True,
+                    spf=SpfResult.PASS)
+        rf.challenge(store, 1)
+        rf.outcome(store, 1, status=FinalStatus.DELIVERED)
+        rf.web(store, 1, WebAction.SOLVE)
+        # Delivered-unsolved, SPF fail.
+        rf.dispatch(store, challenge_id=2, challenge_created=True,
+                    spf=SpfResult.FAIL)
+        rf.challenge(store, 2)
+        rf.outcome(store, 2, status=FinalStatus.DELIVERED)
+        # Bounced: one fail, one none.
+        for cid, spf in ((3, SpfResult.FAIL), (4, SpfResult.NONE)):
+            rf.dispatch(store, challenge_id=cid, challenge_created=True, spf=spf)
+            rf.challenge(store, cid)
+            rf.outcome(
+                store,
+                cid,
+                status=FinalStatus.BOUNCED,
+                bounce_reason=BounceReason.NONEXISTENT_RECIPIENT,
+            )
+        # Expired, SPF fail.
+        rf.dispatch(store, challenge_id=5, challenge_created=True,
+                    spf=SpfResult.FAIL)
+        rf.challenge(store, 5)
+        rf.outcome(store, 5, status=FinalStatus.EXPIRED)
+        # Still in flight (no outcome yet).
+        rf.dispatch(store, challenge_id=6, challenge_created=True,
+                    spf=SpfResult.NONE)
+        rf.challenge(store, 6)
+        # Filter-dropped gray mail is not part of the study.
+        rf.dispatch(store, filter_drop="rbl", spf=SpfResult.FAIL)
+        return store
+
+    def test_fate_classification(self):
+        stats = spf_study.compute(self._store())
+        totals = {
+            fate: sum(counter.values())
+            for fate, counter in stats.by_fate.items()
+        }
+        assert totals[ChallengeFate.SOLVED] == 1
+        assert totals[ChallengeFate.DELIVERED_UNSOLVED] == 1
+        assert totals[ChallengeFate.BOUNCED] == 2
+        assert totals[ChallengeFate.EXPIRED] == 1
+        assert totals[ChallengeFate.PENDING] == 1
+
+    def test_fail_shares(self):
+        stats = spf_study.compute(self._store())
+        assert stats.fail_share(ChallengeFate.EXPIRED) == 1.0
+        assert stats.fail_share(ChallengeFate.BOUNCED) == 0.5
+        assert stats.fail_share(ChallengeFate.SOLVED) == 0.0
+
+    def test_bad_challenge_share(self):
+        stats = spf_study.compute(self._store())
+        # bad = bounced(2) + expired(1) + delivered_unsolved(1); fails = 3.
+        assert stats.bad_challenge_fail_share == pytest.approx(0.75)
+
+    def test_attached_messages_counted(self):
+        store = self._store()
+        # A suppressed duplicate attached to challenge 5 (expired).
+        rf.dispatch(store, challenge_id=5, challenge_created=False,
+                    spf=SpfResult.NONE)
+        stats = spf_study.compute(store)
+        totals = sum(stats.by_fate[ChallengeFate.EXPIRED].values())
+        assert totals == 2
+
+    def test_render_smoke(self, tiny_store):
+        out = spf_study.render(tiny_store)
+        assert "Fig. 12" in out
+
+
+class TestVariability:
+    def _data(self):
+        store = LogStore()
+        info = DeploymentInfo(
+            n_companies=3,
+            n_open_relays=0,
+            users_per_company={"c0": 10, "c1": 20, "c2": 40},
+            horizon_days=10.0,
+            min_cluster_size=3,
+            volume_scale=1.0,
+        )
+        for company, n_mta, n_white, n_chal, n_solved in (
+            ("c0", 100, 10, 5, 1),
+            ("c1", 200, 30, 8, 2),
+            ("c2", 400, 20, 30, 1),
+        ):
+            for _ in range(n_mta):
+                rf.mta(store, company=company)
+            for _ in range(n_white):
+                rf.dispatch(store, company=company, category=Category.WHITE)
+            for i in range(n_chal):
+                rf.dispatch(
+                    store,
+                    company=company,
+                    challenge_id=i + 1,
+                    challenge_created=True,
+                )
+            for i in range(n_solved):
+                rf.web(store, i + 1, WebAction.SOLVE, company=company)
+        return store, info
+
+    def test_per_company_points(self):
+        store, info = self._data()
+        stats = variability.compute(store, info)
+        assert len(stats.points) == 3
+        c0 = next(p for p in stats.points if p.company_id == "c0")
+        assert c0.users == 10
+        assert c0.emails_per_day == pytest.approx(10.0)
+        assert c0.white_share == pytest.approx(10 / 15)
+        assert c0.reflection == pytest.approx(5 / 15)
+        assert c0.captcha_share == pytest.approx(1 / 5)
+
+    def test_correlation_matrix_symmetric_and_bounded(self):
+        store, info = self._data()
+        stats = variability.compute(store, info)
+        for a in variability.VARIABLES:
+            for b in variability.VARIABLES:
+                if a == b:
+                    continue
+                r = stats.correlation(a, b)
+                assert -1.0 <= r <= 1.0
+                assert r == stats.correlation(b, a)
+
+    def test_render_smoke(self, tiny_result):
+        out = variability.render(tiny_result.store, tiny_result.info)
+        assert "Pearson" in out
+        assert "captcha" in out

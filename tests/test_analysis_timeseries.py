@@ -1,0 +1,86 @@
+"""Unit tests for the daily-statistics / temporal-structure analysis."""
+
+import pytest
+
+from repro.analysis import timeseries
+from repro.analysis.context import DeploymentInfo
+from repro.analysis.store import LogStore
+from repro.core.message import MessageKind
+from repro.core.spools import Category
+from repro.util.simtime import DAY
+
+from tests import recordfactory as rf
+
+INFO = DeploymentInfo(
+    n_companies=2,
+    n_open_relays=0,
+    users_per_company={"c0": 5, "c1": 5},
+    horizon_days=4.0,
+    min_cluster_size=3,
+    volume_scale=1.0,
+)
+
+
+class TestDailyRates:
+    def _store(self):
+        store = LogStore()
+        # 8 messages over 4 days (2/day), 2 white dispatches, 1 challenge.
+        for day in range(4):
+            rf.mta(store, t=day * DAY + 100.0)
+            rf.mta(store, t=day * DAY + 200.0)
+        rf.dispatch(store, category=Category.WHITE, t=100.0)
+        rf.dispatch(store, category=Category.WHITE, t=DAY + 100.0)
+        rf.challenge(store, 1, t=100.0)
+        return store
+
+    def test_rates(self):
+        stats = timeseries.compute(self._store(), INFO)
+        assert stats.emails_per_day == pytest.approx(2.0)
+        assert stats.white_per_day == pytest.approx(0.5)
+        assert stats.challenges_per_day == pytest.approx(0.25)
+        assert stats.company_days == pytest.approx(8.0)
+
+    def test_daily_series(self):
+        stats = timeseries.compute(self._store(), INFO)
+        assert timeseries.daily_series(stats) == [2, 2, 2, 2]
+
+    def test_series_fills_gaps(self):
+        store = LogStore()
+        rf.mta(store, t=0.0)
+        rf.mta(store, t=3 * DAY + 1.0)
+        stats = timeseries.compute(store, INFO)
+        assert timeseries.daily_series(stats) == [1, 0, 0, 1]
+
+    def test_empty_store(self):
+        stats = timeseries.compute(LogStore(), INFO)
+        assert stats.emails_per_day == 0.0
+        assert timeseries.daily_series(stats) == []
+
+
+class TestWeekendStructure:
+    def test_weekend_ratios(self):
+        store = LogStore()
+        # Sim epoch is Thursday; day 2 is Saturday.
+        weekday_t = 0.5 * DAY  # Thursday
+        weekend_t = 2.5 * DAY  # Saturday
+        for _ in range(10):
+            rf.dispatch(store, kind=MessageKind.LEGIT, t=weekday_t)
+        for _ in range(3):
+            rf.dispatch(store, kind=MessageKind.LEGIT, t=weekend_t)
+        for _ in range(10):
+            rf.dispatch(store, kind=MessageKind.SPAM, t=weekday_t)
+        for _ in range(9):
+            rf.dispatch(store, kind=MessageKind.SPAM, t=weekend_t)
+        stats = timeseries.compute(store, INFO)
+        assert stats.legit_weekend_ratio == pytest.approx(0.3)
+        assert stats.spam_weekend_ratio == pytest.approx(0.9)
+
+    def test_weekend_dip_on_real_run(self, tiny_result):
+        stats = timeseries.compute(tiny_result.store, tiny_result.info)
+        # Legit traffic dips harder on weekends than spam (spam is 24/7).
+        assert stats.legit_weekend_ratio < stats.spam_weekend_ratio
+
+    def test_render_smoke(self, tiny_result):
+        out = timeseries.render(tiny_result.store, tiny_result.info)
+        assert "daily statistics" in out
+        assert "daily inbound volume" in out

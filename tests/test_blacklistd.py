@@ -1,0 +1,214 @@
+"""Unit + property tests for the DNSBL ecosystem."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.blacklistd.monitor import BlacklistMonitor
+from repro.blacklistd.service import (
+    DnsblService,
+    ListingPolicy,
+    make_default_services,
+)
+from repro.blacklistd.spamtrap import TrapDirectory
+from repro.sim.engine import Simulator
+from repro.util.simtime import DAY, HOUR
+
+
+def _service(threshold=2, window=DAY, base=DAY, escalation=2.0, max_d=30 * DAY):
+    return DnsblService(
+        "test-rbl",
+        ListingPolicy(
+            threshold=threshold,
+            window=window,
+            base_duration=base,
+            escalation=escalation,
+            max_duration=max_d,
+        ),
+    )
+
+
+class TestTrapDirectory:
+    def test_add_and_lookup(self):
+        directory = TrapDirectory()
+        directory.add_trap("Trap@X.example", "svc")
+        assert directory.is_trap("trap@x.example")
+        assert directory.owner_of("trap@x.example") == "svc"
+
+    def test_unknown_address(self):
+        directory = TrapDirectory()
+        assert not directory.is_trap("a@b.com")
+        assert directory.owner_of("a@b.com") is None
+
+    def test_create_traps_counts(self):
+        directory = TrapDirectory()
+        created = directory.create_traps(
+            "svc", ["a.example", "b.example"], 5, random.Random(0)
+        )
+        assert len(created) == 10
+        assert len(directory) == 10
+        assert all(directory.owner_of(t) == "svc" for t in created)
+
+    def test_trap_locals_look_harvested(self):
+        directory = TrapDirectory()
+        (trap,) = directory.create_traps("svc", ["a.example"], 1, random.Random(0))
+        assert trap.startswith("trap-")
+        assert trap.endswith("@a.example")
+
+
+class TestListingPolicy:
+    def test_below_threshold_not_listed(self):
+        service = _service(threshold=3)
+        service.record_trap_hit("1.1.1.1", 0.0)
+        service.record_trap_hit("1.1.1.1", 1.0)
+        assert not service.is_listed("1.1.1.1", 2.0)
+
+    def test_threshold_reached_lists(self):
+        service = _service(threshold=2)
+        service.record_trap_hit("1.1.1.1", 0.0)
+        service.record_trap_hit("1.1.1.1", 1.0)
+        assert service.is_listed("1.1.1.1", 2.0)
+
+    def test_listing_expires(self):
+        service = _service(threshold=1, base=DAY)
+        service.record_trap_hit("1.1.1.1", 0.0)
+        assert service.is_listed("1.1.1.1", DAY - 1)
+        assert not service.is_listed("1.1.1.1", DAY + 1)
+
+    def test_hits_outside_window_do_not_count(self):
+        service = _service(threshold=2, window=HOUR)
+        service.record_trap_hit("1.1.1.1", 0.0)
+        service.record_trap_hit("1.1.1.1", 2 * HOUR)
+        assert not service.is_listed("1.1.1.1", 2 * HOUR + 1)
+
+    def test_relisting_escalates_duration(self):
+        service = _service(threshold=1, base=DAY, escalation=2.0)
+        service.record_trap_hit("1.1.1.1", 0.0)
+        first = service.listed_intervals("1.1.1.1")[0]
+        assert first.listed_until - first.listed_at == DAY
+        # Second listing, after the first expired.
+        service.record_trap_hit("1.1.1.1", 3 * DAY)
+        second = service.listed_intervals("1.1.1.1")[1]
+        assert second.listed_until - second.listed_at == 2 * DAY
+
+    def test_escalation_capped_at_max(self):
+        service = _service(threshold=1, base=DAY, escalation=10.0, max_d=3 * DAY)
+        service.record_trap_hit("1.1.1.1", 0.0)
+        service.record_trap_hit("1.1.1.1", 2 * DAY)  # expired? no: still listed
+        service.record_trap_hit("1.1.1.1", 5 * DAY)
+        last = service.listed_intervals("1.1.1.1")[-1]
+        assert last.listed_until - last.listed_at <= 3 * DAY
+
+    def test_hits_while_listed_do_not_relist(self):
+        service = _service(threshold=1, base=5 * DAY)
+        service.record_trap_hit("1.1.1.1", 0.0)
+        service.record_trap_hit("1.1.1.1", 1 * DAY)
+        assert len(service.listed_intervals("1.1.1.1")) == 1
+
+    def test_ips_are_independent(self):
+        service = _service(threshold=1)
+        service.record_trap_hit("1.1.1.1", 0.0)
+        assert not service.is_listed("2.2.2.2", 1.0)
+
+    def test_force_list(self):
+        service = _service()
+        service.force_list("3.3.3.3", 0.0, 10 * DAY)
+        assert service.is_listed("3.3.3.3", 5 * DAY)
+        assert not service.is_listed("3.3.3.3", 11 * DAY)
+
+    def test_total_listed_time_merges_overlaps(self):
+        service = _service()
+        service.force_list("4.4.4.4", 0.0, 2 * DAY)
+        service.force_list("4.4.4.4", 1 * DAY, 2 * DAY)  # overlaps
+        service.force_list("4.4.4.4", 10 * DAY, DAY)
+        assert service.total_listed_time("4.4.4.4", 30 * DAY) == 4 * DAY
+
+    def test_total_listed_time_clipped_at_horizon(self):
+        service = _service()
+        service.force_list("4.4.4.4", 0.0, 10 * DAY)
+        assert service.total_listed_time("4.4.4.4", 5 * DAY) == 5 * DAY
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=30 * DAY),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_listing_monotone_in_trap_hits(self, hit_times):
+        """More trap hits never yield *less* cumulative listed time."""
+        base_hits = sorted(hit_times)
+        extra_hits = sorted(base_hits + [15 * DAY])
+        horizon = 120 * DAY
+
+        a = _service(threshold=2)
+        for t in base_hits:
+            a.record_trap_hit("9.9.9.9", t)
+        b = _service(threshold=2)
+        for t in extra_hits:
+            b.record_trap_hit("9.9.9.9", t)
+        # Tolerance absorbs float rounding in interval merging.
+        assert b.total_listed_time("9.9.9.9", horizon) >= (
+            a.total_listed_time("9.9.9.9", horizon) - 1e-5
+        )
+
+
+class TestDefaultServices:
+    def test_eight_operators(self):
+        services = make_default_services()
+        assert len(services) == 8
+        names = {s.name for s in services}
+        assert "spamhaus-zen" in names
+        assert "cbl-abuseat" in names
+
+    def test_policies_differ(self):
+        services = make_default_services()
+        thresholds = {s.policy.threshold for s in services}
+        assert len(thresholds) > 1
+
+
+class TestMonitor:
+    def test_probes_every_pair_at_interval(self):
+        simulator = Simulator()
+        service = _service(threshold=1)
+        monitor = BlacklistMonitor(
+            simulator, [service], ["1.1.1.1", "2.2.2.2"], interval=4 * HOUR
+        )
+        monitor.start(until=DAY)
+        simulator.run()
+        # 6 probes within [0, 1 day): at 0h, 4h, 8h, 12h, 16h, 20h.
+        assert len(monitor.observations) == 6 * 2
+
+    def test_listed_days_counts_distinct_days(self):
+        simulator = Simulator()
+        service = _service(threshold=1)
+        service.force_list("1.1.1.1", 0.0, 2 * DAY)
+        monitor = BlacklistMonitor(
+            simulator, [service], ["1.1.1.1"], interval=4 * HOUR
+        )
+        monitor.start(until=5 * DAY)
+        simulator.run()
+        assert monitor.listed_days("1.1.1.1") == 2.0
+
+    def test_never_listed_ips(self):
+        simulator = Simulator()
+        service = _service(threshold=1)
+        service.force_list("1.1.1.1", 0.0, DAY)
+        monitor = BlacklistMonitor(
+            simulator, [service], ["1.1.1.1", "2.2.2.2"], interval=4 * HOUR
+        )
+        monitor.start(until=DAY)
+        simulator.run()
+        assert monitor.never_listed_ips() == ["2.2.2.2"]
+
+    def test_sink_receives_observations(self):
+        simulator = Simulator()
+        service = _service(threshold=1)
+        seen = []
+        monitor = BlacklistMonitor(
+            simulator, [service], ["1.1.1.1"], interval=HOUR, sink=seen.append
+        )
+        monitor.start(until=3 * HOUR + 1)
+        simulator.run()
+        assert len(seen) == 4  # probes at 0h, 1h, 2h, 3h
+        assert all(not obs.listed for obs in seen)

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--preset", "gigantic"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.preset == "tiny"
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "tiny" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--preset", "tiny", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "messages" in out
+        assert "mta" in out
+
+    def test_experiment_single(self, capsys):
+        assert main(["experiment", "fig1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig1 ===" in out
+        assert "challenges sent" in out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_multiple(self, capsys):
+        assert main(["experiment", "fig1", "sec31", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig1 ===" in out
+        assert "=== sec31 ===" in out

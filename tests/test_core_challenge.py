@@ -1,0 +1,122 @@
+"""Unit tests for the challenge manager and CAPTCHA lifecycle."""
+
+from repro.core.challenge import ChallengeManager
+from repro.core.message import make_message
+from repro.net.mta_out import DeliveryResult
+from repro.net.smtp import FinalStatus
+
+
+def _manager():
+    return ChallengeManager("c-test")
+
+
+def _issue(manager, user="u@c.com", sender="s@x.com", t=0.0):
+    message = make_message(t, sender, user)
+    return manager.issue(user, sender, message, t, size=1800), message
+
+
+class TestIssue:
+    def test_first_message_creates_challenge(self):
+        manager = _manager()
+        (challenge, created), message = _issue(manager)
+        assert created
+        assert challenge.msg_ids == [message.msg_id]
+        assert challenge.origin is message
+        assert manager.created_count == 1
+
+    def test_second_message_attaches_to_pending(self):
+        manager = _manager()
+        (first, _), _ = _issue(manager)
+        (second, created), message = _issue(manager, t=10.0)
+        assert not created
+        assert second is first
+        assert message.msg_id in first.msg_ids
+        assert manager.suppressed_count == 1
+
+    def test_pending_keyed_per_user_and_sender(self):
+        manager = _manager()
+        _issue(manager, user="u1@c.com")
+        (challenge, created), _ = _issue(manager, user="u2@c.com")
+        assert created
+        assert challenge.challenge_id == 2
+
+    def test_pending_key_case_insensitive(self):
+        manager = _manager()
+        _issue(manager, sender="S@X.com")
+        (_, created), _ = _issue(manager, sender="s@x.COM")
+        assert not created
+
+    def test_ids_are_sequential(self):
+        manager = _manager()
+        (a, _), _ = _issue(manager, sender="a@x.com")
+        (b, _), _ = _issue(manager, sender="b@x.com")
+        assert (a.challenge_id, b.challenge_id) == (1, 2)
+
+
+class TestSolveFlow:
+    def test_solve_clears_pending(self):
+        manager = _manager()
+        (challenge, _), _ = _issue(manager)
+        manager.record_solve(challenge.challenge_id, 100.0)
+        assert challenge.solved
+        assert challenge.solved_at == 100.0
+        # Next message from the same sender gets a fresh challenge.
+        (fresh, created), _ = _issue(manager, t=200.0)
+        assert created
+        assert fresh is not challenge
+
+    def test_solve_is_idempotent_on_timestamp(self):
+        manager = _manager()
+        (challenge, _), _ = _issue(manager)
+        manager.record_solve(challenge.challenge_id, 50.0)
+        manager.record_solve(challenge.challenge_id, 99.0)
+        assert challenge.solved_at == 50.0
+
+    def test_expire_pending_clears_slot(self):
+        manager = _manager()
+        (challenge, _), _ = _issue(manager)
+        manager.expire_pending(challenge.challenge_id)
+        assert manager.pending_challenge_for("u@c.com", "s@x.com") is None
+        (_, created), _ = _issue(manager)
+        assert created
+
+    def test_expire_pending_of_superseded_challenge_keeps_new_slot(self):
+        manager = _manager()
+        (old, _), _ = _issue(manager)
+        manager.record_solve(old.challenge_id, 1.0)
+        (new, _), _ = _issue(manager, t=2.0)
+        # Expiring the *old* challenge must not clear the new pending slot.
+        manager.expire_pending(old.challenge_id)
+        assert (
+            manager.pending_challenge_for("u@c.com", "s@x.com") is new
+        )
+
+
+class TestWebEvents:
+    def test_open_recorded_once(self):
+        manager = _manager()
+        (challenge, _), _ = _issue(manager)
+        manager.record_open(challenge.challenge_id, 10.0)
+        manager.record_open(challenge.challenge_id, 20.0)
+        assert challenge.opened_at == 10.0
+
+    def test_attempts_count_and_imply_open(self):
+        manager = _manager()
+        (challenge, _), _ = _issue(manager)
+        manager.record_attempt(challenge.challenge_id, 5.0)
+        manager.record_attempt(challenge.challenge_id, 6.0)
+        assert challenge.attempts == 2
+        assert challenge.opened_at == 5.0
+
+    def test_delivery_recorded(self):
+        manager = _manager()
+        (challenge, _), _ = _issue(manager)
+        result = DeliveryResult(FinalStatus.DELIVERED, None, 1, 3.0, 250)
+        manager.record_delivery(challenge.challenge_id, result)
+        assert challenge.delivery is result
+
+    def test_all_challenges_listing(self):
+        manager = _manager()
+        _issue(manager, sender="a@x.com")
+        _issue(manager, sender="b@x.com")
+        assert len(manager.all_challenges()) == 2

@@ -1,0 +1,89 @@
+"""Unit tests for company configuration and the message model."""
+
+import pytest
+
+from repro.core.config import CompanyConfig, FilterSettings
+from repro.core.message import (
+    MessageKind,
+    SenderClass,
+    make_message,
+    reset_msg_ids,
+)
+
+
+def _config(**overrides):
+    defaults = dict(
+        company_id="c0",
+        name="C0",
+        domain="corp.example",
+        users=("alice", "bob"),
+        mta_in_ip="1.1.1.1",
+        mta_out_ip="1.1.1.2",
+        challenge_ip="1.1.1.3",
+    )
+    defaults.update(overrides)
+    return CompanyConfig(**defaults)
+
+
+class TestCompanyConfig:
+    def test_protected_recipient(self):
+        config = _config()
+        assert config.is_protected_recipient("alice", "corp.example")
+        assert not config.is_protected_recipient("ghost", "corp.example")
+        assert not config.is_protected_recipient("alice", "other.example")
+
+    def test_accepts_domain(self):
+        config = _config(relay_domains=("relay.example",))
+        assert config.accepts_domain("corp.example")
+        assert config.accepts_domain("relay.example")
+        assert not config.accepts_domain("other.example")
+
+    def test_open_relay_flag(self):
+        assert not _config().open_relay
+        assert _config(relay_domains=("r.example",)).open_relay
+
+    def test_dual_outbound(self):
+        assert _config().dual_outbound
+        assert not _config(challenge_ip="1.1.1.2").dual_outbound
+
+    def test_frozen(self):
+        config = _config()
+        with pytest.raises(Exception):
+            config.domain = "x.example"  # type: ignore[misc]
+
+    def test_dataclasses_replace_keeps_lookup_sets(self):
+        import dataclasses
+
+        replaced = dataclasses.replace(_config(), challenge_dedup=False)
+        assert not replaced.challenge_dedup
+        assert replaced.is_protected_recipient("alice", "corp.example")
+
+    def test_filter_settings_defaults_match_paper(self):
+        settings = FilterSettings()
+        assert settings.antivirus and settings.reverse_dns and settings.rbl
+        assert not settings.spf  # SPF was only evaluated offline (Fig. 12)
+
+
+class TestMessageModel:
+    def test_ids_are_unique_and_increasing(self):
+        a = make_message(0.0, "s@x.com", "u@c.com")
+        b = make_message(0.0, "s@x.com", "u@c.com")
+        assert b.msg_id == a.msg_id + 1
+
+    def test_reset_msg_ids(self):
+        make_message(0.0, "s@x.com", "u@c.com")
+        reset_msg_ids()
+        fresh = make_message(0.0, "s@x.com", "u@c.com")
+        assert fresh.msg_id == 1
+
+    def test_defaults(self):
+        message = make_message(5.0, "s@x.com", "u@c.com")
+        assert message.kind is MessageKind.LEGIT
+        assert message.sender_class is SenderClass.REAL
+        assert message.campaign_id is None
+        assert not message.has_virus
+
+    def test_slots_prevent_stray_attributes(self):
+        message = make_message(0.0, "s@x.com", "u@c.com")
+        with pytest.raises(AttributeError):
+            message.extra = 1  # type: ignore[attr-defined]

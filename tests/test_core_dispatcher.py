@@ -1,0 +1,122 @@
+"""Unit tests for the dispatcher's white/black/gray sorting."""
+
+from repro.core.challenge import ChallengeManager
+from repro.core.dispatcher import Dispatcher
+from repro.core.filters.base import FilterChain, SpamFilter
+from repro.core.message import make_message
+from repro.core.spools import Category, GraySpool
+from repro.core.whitelist import WhitelistDirectory, WhitelistSource
+from repro.util.simtime import DAY
+
+USER = "u@c.com"
+
+
+class _DropVirusOnly(SpamFilter):
+    name = "virus-only"
+
+    def should_drop(self, message, now):
+        return message.has_virus
+
+
+def _dispatcher(filters=()):
+    whitelists = WhitelistDirectory()
+    return (
+        Dispatcher(
+            whitelists=whitelists,
+            filter_chain=FilterChain(list(filters)),
+            gray_spool=GraySpool(),
+            challenge_manager=ChallengeManager("c-test"),
+            quarantine_days=30,
+            challenge_size=1800,
+        ),
+        whitelists,
+    )
+
+
+def _msg(sender="s@x.com", has_virus=False, t=0.0):
+    return make_message(t, sender, USER, has_virus=has_virus)
+
+
+class TestCategories:
+    def test_whitelisted_sender_goes_white(self):
+        dispatcher, whitelists = _dispatcher()
+        whitelists.lists_for(USER).add_to_whitelist(
+            "s@x.com", 0.0, WhitelistSource.SEED
+        )
+        decision = dispatcher.process(_msg(), USER, 0.0)
+        assert decision.category is Category.WHITE
+        assert decision.challenge is None
+        assert dispatcher.white_count == 1
+
+    def test_whitelist_check_case_insensitive(self):
+        dispatcher, whitelists = _dispatcher()
+        whitelists.lists_for(USER).add_to_whitelist(
+            "S@X.COM", 0.0, WhitelistSource.SEED
+        )
+        assert (
+            dispatcher.process(_msg(sender="s@x.com"), USER, 0.0).category
+            is Category.WHITE
+        )
+
+    def test_blacklisted_sender_goes_black(self):
+        dispatcher, whitelists = _dispatcher()
+        whitelists.lists_for(USER).add_to_blacklist("s@x.com")
+        decision = dispatcher.process(_msg(), USER, 0.0)
+        assert decision.category is Category.BLACK
+        assert dispatcher.black_count == 1
+
+    def test_unknown_sender_goes_gray_and_challenged(self):
+        dispatcher, _ = _dispatcher()
+        decision = dispatcher.process(_msg(), USER, 0.0)
+        assert decision.category is Category.GRAY
+        assert decision.filter_drop is None
+        assert decision.challenge is not None
+        assert decision.challenge_created
+
+    def test_later_whitelisting_overrides_blacklist(self):
+        # Whitelisting un-blacklists (UserLists invariant), so the sender's
+        # next message goes white.
+        dispatcher, whitelists = _dispatcher()
+        lists = whitelists.lists_for(USER)
+        lists.add_to_blacklist("s@x.com")
+        lists.add_to_whitelist("s@x.com", 1.0, WhitelistSource.DIGEST)
+        decision = dispatcher.process(_msg(t=2.0), USER, 2.0)
+        assert decision.category is Category.WHITE
+
+
+class TestGrayFlow:
+    def test_filter_dropped_message_not_quarantined(self):
+        dispatcher, _ = _dispatcher(filters=[_DropVirusOnly()])
+        decision = dispatcher.process(_msg(has_virus=True), USER, 0.0)
+        assert decision.category is Category.GRAY
+        assert decision.filter_drop == "virus-only"
+        assert decision.challenge is None
+        assert dispatcher.gray_spool.pending_count == 0
+
+    def test_quarantine_expiry_set_from_config(self):
+        dispatcher, _ = _dispatcher()
+        message = _msg(t=100.0)
+        dispatcher.process(message, USER, 100.0)
+        entry = dispatcher.gray_spool.get(message.msg_id)
+        assert entry.expires_at == 100.0 + 30 * DAY
+
+    def test_repeat_sender_attaches_no_new_challenge(self):
+        dispatcher, _ = _dispatcher()
+        first = dispatcher.process(_msg(), USER, 0.0)
+        second = dispatcher.process(_msg(t=10.0), USER, 10.0)
+        assert not second.challenge_created
+        assert second.challenge is first.challenge
+        assert dispatcher.gray_spool.pending_count == 2
+
+    def test_distinct_senders_get_distinct_challenges(self):
+        dispatcher, _ = _dispatcher()
+        a = dispatcher.process(_msg(sender="a@x.com"), USER, 0.0)
+        b = dispatcher.process(_msg(sender="b@x.com"), USER, 0.0)
+        assert a.challenge.challenge_id != b.challenge.challenge_id
+
+    def test_gray_entry_links_challenge(self):
+        dispatcher, _ = _dispatcher()
+        message = _msg()
+        decision = dispatcher.process(message, USER, 0.0)
+        entry = dispatcher.gray_spool.get(message.msg_id)
+        assert entry.challenge_id == decision.challenge.challenge_id

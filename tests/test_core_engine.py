@@ -1,0 +1,380 @@
+"""End-to-end unit tests of one CompanyInstallation on a micro world."""
+
+import pytest
+
+from repro.analysis.records import DispatchRecord
+from repro.core.challenge import WebAction
+from repro.core.digest import DigestAction, DigestDecision
+from repro.core.engine import BehaviorHooks
+from repro.core.message import SenderClass
+from repro.core.spools import Category, ReleaseMechanism
+from repro.core.whitelist import WhitelistSource
+from repro.net.smtp import BounceReason, FinalStatus
+from repro.util.simtime import DAY, HOUR
+
+from tests.helpers import (
+    CHALLENGE_IP,
+    CONTACT,
+    CONTACT_DOMAIN,
+    DEAD_DOMAIN,
+    MTA_OUT_IP,
+    USER,
+    USER_ADDRESS,
+    make_micro_env,
+)
+
+
+class TestInboundPath:
+    def test_mta_record_written_for_every_message(self):
+        env = make_micro_env()
+        env.inbound()
+        env.inbound(env_from="x@ghost.example")  # dropped: unresolvable
+        assert len(env.store.mta) == 2
+        assert sum(1 for r in env.store.mta if r.accepted) == 1
+
+    def test_dropped_message_has_no_dispatch_record(self):
+        env = make_micro_env()
+        env.inbound(env_from="x@ghost.example")
+        assert env.store.dispatch == []
+
+    def test_unknown_sender_quarantined_and_challenged(self):
+        env = make_micro_env()
+        message = env.inbound()
+        record = env.store.dispatch[0]
+        assert record.category is Category.GRAY
+        assert record.challenge_created
+        assert env.installation.gray_spool.get(message.msg_id) is not None
+        assert len(env.store.challenges) == 1
+
+    def test_challenge_sent_from_challenge_ip(self):
+        env = make_micro_env(dual_outbound=True)
+        env.inbound()
+        assert env.store.challenges[0].server_ip == CHALLENGE_IP
+
+    def test_single_mta_config_uses_one_ip(self):
+        env = make_micro_env(dual_outbound=False)
+        env.inbound()
+        assert env.store.challenges[0].server_ip == MTA_OUT_IP
+        assert env.installation.challenge_mta is env.installation.user_mta
+
+    def test_seeded_whitelist_sender_delivered_instantly(self):
+        env = make_micro_env()
+        env.installation.seed_whitelist(USER_ADDRESS, [CONTACT])
+        env.inbound()
+        record = env.store.dispatch[0]
+        assert record.category is Category.WHITE
+        assert env.store.challenges == []
+        assert env.installation.inbox_delivered == 1
+
+    def test_blacklisted_sender_dropped_silently(self):
+        env = make_micro_env()
+        env.installation.seed_blacklist(USER_ADDRESS, [CONTACT])
+        env.inbound()
+        assert env.store.dispatch[0].category is Category.BLACK
+        assert env.store.challenges == []
+
+    def test_spf_evaluated_only_for_quarantined(self):
+        env = make_micro_env()
+        env.installation.seed_whitelist(USER_ADDRESS, [CONTACT])
+        env.inbound()  # white
+        env.inbound(env_from=f"carol@{CONTACT_DOMAIN}")  # gray, quarantined
+        from repro.core.filters.spf import SpfResult
+
+        white, gray = env.store.dispatch
+        assert white.spf is SpfResult.NONE
+        assert gray.spf is SpfResult.PASS  # contact domain publishes SPF
+
+
+class TestChallengeDelivery:
+    def test_challenge_to_real_sender_delivered(self):
+        env = make_micro_env()
+        env.inbound()
+        env.drain()
+        (outcome,) = env.store.challenge_outcomes
+        assert outcome.status is FinalStatus.DELIVERED
+
+    def test_challenge_to_nonexistent_sender_bounces(self):
+        env = make_micro_env()
+        env.inbound(
+            env_from=f"ghost@{CONTACT_DOMAIN}",
+            sender_class=SenderClass.NONEXISTENT_MAILBOX,
+        )
+        env.drain()
+        (outcome,) = env.store.challenge_outcomes
+        assert outcome.status is FinalStatus.BOUNCED
+        assert outcome.bounce_reason is BounceReason.NONEXISTENT_RECIPIENT
+
+    def test_challenge_to_dead_domain_expires(self):
+        env = make_micro_env()
+        env.inbound(
+            env_from=f"x@{DEAD_DOMAIN}", sender_class=SenderClass.DEAD_DOMAIN
+        )
+        env.drain()
+        (outcome,) = env.store.challenge_outcomes
+        assert outcome.status is FinalStatus.EXPIRED
+        assert outcome.attempts > 1
+
+    def test_delivered_hook_fires(self):
+        seen = []
+        hooks = BehaviorHooks(
+            on_challenge_delivered=lambda inst, ch: seen.append(ch.sender)
+        )
+        env = make_micro_env(hooks=hooks)
+        env.inbound()
+        env.drain()
+        assert seen == [CONTACT.lower()]
+
+    def test_hook_not_fired_on_bounce(self):
+        seen = []
+        hooks = BehaviorHooks(
+            on_challenge_delivered=lambda inst, ch: seen.append(ch)
+        )
+        env = make_micro_env(hooks=hooks)
+        env.inbound(env_from=f"ghost@{CONTACT_DOMAIN}")
+        env.drain()
+        assert seen == []
+
+
+class TestSolveFlow:
+    def test_solve_whitelists_and_releases(self):
+        env = make_micro_env()
+        message = env.inbound()
+        challenge_id = env.store.challenges[0].challenge_id
+        env.simulator.run(until=1 * HOUR)
+        env.installation.record_web_open(challenge_id)
+        env.installation.solve_challenge(challenge_id)
+
+        lists = env.installation.whitelists.lists_for(USER_ADDRESS)
+        entry = lists.entry_for(CONTACT)
+        assert entry is not None
+        assert entry.source is WhitelistSource.CAPTCHA
+        (release,) = env.store.releases
+        assert release.msg_id == message.msg_id
+        assert release.mechanism is ReleaseMechanism.CAPTCHA
+        assert release.delay == pytest.approx(1 * HOUR)
+        assert env.installation.gray_spool.pending_count == 0
+
+    def test_solve_releases_all_pending_from_sender(self):
+        env = make_micro_env()
+        env.inbound()
+        env.simulator.run(until=10.0)
+        env.inbound()  # second message, same sender: attaches
+        challenge_id = env.store.challenges[0].challenge_id
+        env.installation.solve_challenge(challenge_id)
+        assert len(env.store.releases) == 2
+
+    def test_next_message_after_solve_is_white(self):
+        env = make_micro_env()
+        env.inbound()
+        env.installation.solve_challenge(env.store.challenges[0].challenge_id)
+        env.simulator.run(until=100.0)
+        env.inbound()
+        assert env.store.dispatch[-1].category is Category.WHITE
+
+    def test_double_solve_is_idempotent(self):
+        env = make_micro_env()
+        env.inbound()
+        challenge_id = env.store.challenges[0].challenge_id
+        env.installation.solve_challenge(challenge_id)
+        env.installation.solve_challenge(challenge_id)
+        assert len(env.store.releases) == 1
+        solves = [
+            w for w in env.store.web_access if w.action is WebAction.SOLVE
+        ]
+        assert len(solves) == 1
+
+    def test_whitelist_change_logged_once(self):
+        env = make_micro_env()
+        env.inbound()
+        env.installation.solve_challenge(env.store.challenges[0].challenge_id)
+        changes = [
+            c
+            for c in env.store.whitelist_changes
+            if c.source is WhitelistSource.CAPTCHA
+        ]
+        assert len(changes) == 1
+
+
+class TestDigestFlow:
+    def _env_with_digest(self, action):
+        decisions = []
+
+        def review(installation, user, entries, now):
+            return [
+                DigestDecision(
+                    msg_id=entry.message.msg_id, action=action, act_delay=600.0
+                )
+                for entry in entries
+            ]
+
+        hooks = BehaviorHooks(digest_review=review)
+        return make_micro_env(hooks=hooks)
+
+    def test_digest_whitelist_releases_message(self):
+        env = self._env_with_digest(DigestAction.WHITELIST)
+        message = env.inbound()
+        env.run_days(2)
+        (release,) = env.store.releases
+        assert release.mechanism is ReleaseMechanism.DIGEST
+        assert release.msg_id == message.msg_id
+        lists = env.installation.whitelists.lists_for(USER_ADDRESS)
+        assert lists.entry_for(CONTACT).source is WhitelistSource.DIGEST
+
+    def test_digest_delete_removes_entry(self):
+        env = self._env_with_digest(DigestAction.DELETE)
+        env.inbound()
+        env.run_days(2)
+        assert env.store.releases == []
+        assert env.installation.gray_spool.pending_count == 0
+        assert env.installation.gray_spool.total_deleted == 1
+
+    def test_digest_record_written_daily_while_pending(self):
+        env = self._env_with_digest(DigestAction.IGNORE)
+        env.inbound()
+        env.run_days(3)
+        assert len(env.store.digests) >= 2
+        assert all(d.pending_count == 1 for d in env.store.digests)
+
+    def test_digest_action_skipped_if_already_released(self):
+        # The sender solves between digest generation and the user's click.
+        decisions_seen = []
+
+        def review(installation, user, entries, now):
+            decisions_seen.extend(entries)
+            return [
+                DigestDecision(
+                    msg_id=entry.message.msg_id,
+                    action=DigestAction.WHITELIST,
+                    act_delay=2 * HOUR,
+                )
+                for entry in entries
+            ]
+
+        env = make_micro_env(hooks=BehaviorHooks(digest_review=review))
+        env.inbound()
+        challenge_id = env.store.challenges[0].challenge_id
+        # Run to just past digest generation (07:00 next day), then solve.
+        env.simulator.run(until=1 * DAY + 7 * HOUR + 60)
+        assert decisions_seen, "digest should have been reviewed"
+        env.installation.solve_challenge(challenge_id)
+        env.run_days(1)
+        mechanisms = {r.mechanism for r in env.store.releases}
+        assert mechanisms == {ReleaseMechanism.CAPTCHA}
+        assert len(env.store.releases) == 1
+
+
+class TestExpiry:
+    def test_quarantine_expires_after_30_days(self):
+        env = make_micro_env()
+        message = env.inbound()
+        env.run_days(31)
+        assert env.installation.gray_spool.pending_count == 0
+        (expiry,) = env.store.expiries
+        assert expiry.msg_id == message.msg_id
+
+    def test_expiry_reopens_challenge_slot(self):
+        env = make_micro_env()
+        env.inbound()
+        env.run_days(31)
+        env.inbound()
+        assert len(env.store.challenges) == 2
+
+    def test_no_expiry_before_deadline(self):
+        env = make_micro_env()
+        env.inbound()
+        env.run_days(15)
+        assert env.store.expiries == []
+
+
+class TestUserActions:
+    def test_outbound_mail_whitelists_recipient(self):
+        env = make_micro_env()
+        env.installation.send_user_mail(USER, f"carol@{CONTACT_DOMAIN}", 4000)
+        lists = env.installation.whitelists.lists_for(USER_ADDRESS)
+        entry = lists.entry_for(f"carol@{CONTACT_DOMAIN}")
+        assert entry.source is WhitelistSource.OUTBOUND
+        assert len(env.store.outbound) == 1
+
+    def test_outbound_then_inbound_is_white(self):
+        env = make_micro_env()
+        env.installation.send_user_mail(USER, f"carol@{CONTACT_DOMAIN}", 4000)
+        env.inbound(env_from=f"carol@{CONTACT_DOMAIN}")
+        assert env.store.dispatch[0].category is Category.WHITE
+
+    def test_manual_whitelist(self):
+        env = make_micro_env()
+        env.installation.manual_whitelist(USER_ADDRESS, "new@elsewhere.example")
+        lists = env.installation.whitelists.lists_for(USER_ADDRESS)
+        assert lists.entry_for("new@elsewhere.example").source is (
+            WhitelistSource.MANUAL
+        )
+
+
+class TestRelayRecipients:
+    def test_relayed_recipient_processed_without_digest(self):
+        env = make_micro_env(open_relay=True)
+        env.inbound(env_to="whoever@relayed.example")
+        record = env.store.dispatch[0]
+        assert record.category is Category.GRAY
+        assert not record.protected_user
+        env.run_days(2)
+        # Relayed recipients never receive digests.
+        assert env.store.digests == []
+
+    def test_relayed_recipient_still_challenged(self):
+        env = make_micro_env(open_relay=True)
+        env.inbound(env_to="whoever@relayed.example")
+        assert len(env.store.challenges) == 1
+
+
+class TestConservation:
+    def test_every_accepted_message_has_one_disposition(self):
+        env = make_micro_env()
+        env.installation.seed_whitelist(USER_ADDRESS, [CONTACT])
+        env.inbound()  # white
+        env.inbound(env_from=f"carol@{CONTACT_DOMAIN}")  # gray quarantined
+        env.inbound(env_from="x@ghost.example")  # MTA drop
+        env.drain()
+        accepted = sum(1 for r in env.store.mta if r.accepted)
+        assert accepted == len(env.store.dispatch)
+        for record in env.store.dispatch:
+            assert isinstance(record, DispatchRecord)
+            in_spool = (
+                record.category is Category.GRAY
+                and record.filter_drop is None
+            )
+            assert in_spool == (record.challenge_id is not None)
+
+
+class TestNullSenderHandling:
+    """RFC 3834 loop protection: bounces are never challenged."""
+
+    def test_null_sender_accepted_at_mta(self):
+        env = make_micro_env()
+        env.inbound(env_from="")
+        assert env.store.mta[-1].accepted
+
+    def test_null_sender_quarantined_without_challenge(self):
+        env = make_micro_env()
+        message = env.inbound(env_from="")
+        record = env.store.dispatch[-1]
+        assert record.category is Category.GRAY
+        assert record.challenge_id is None
+        assert env.store.challenges == []
+        entry = env.installation.gray_spool.get(message.msg_id)
+        assert entry is not None
+        assert entry.challenge_id is None
+
+    def test_null_sender_skips_whitelist_and_blacklist(self):
+        env = make_micro_env()
+        # Even with "" somehow blacklisted, the dispatcher must not consult
+        # the lists for the null path.
+        env.installation.seed_blacklist(USER_ADDRESS, [""])
+        env.inbound(env_from="")
+        assert env.store.dispatch[-1].category is Category.GRAY
+
+    def test_null_sender_expires_normally(self):
+        env = make_micro_env()
+        env.inbound(env_from="")
+        env.run_days(31)
+        assert len(env.store.expiries) == 1

@@ -1,0 +1,126 @@
+"""Unit tests for the auxiliary filter chain (antivirus, rDNS, RBL)."""
+
+import random
+
+from repro.blacklistd.service import DnsblService, ListingPolicy
+from repro.core.filters.antivirus import AntivirusFilter
+from repro.core.filters.base import FilterChain, SpamFilter
+from repro.core.filters.rbl import RblFilter
+from repro.core.filters.reverse_dns import ReverseDnsFilter
+from repro.core.message import make_message
+from repro.net.dns import DnsRegistry, Resolver
+from repro.util.simtime import DAY
+
+
+def _msg(client_ip="1.2.3.4", has_virus=False):
+    return make_message(
+        0.0, "s@x.com", "u@c.com", client_ip=client_ip, has_virus=has_virus
+    )
+
+
+class TestAntivirus:
+    def test_clean_message_passes(self):
+        av = AntivirusFilter(detection_rate=1.0, rng=random.Random(0))
+        assert not av.should_drop(_msg(has_virus=False), 0.0)
+
+    def test_virus_detected_at_full_rate(self):
+        av = AntivirusFilter(detection_rate=1.0, rng=random.Random(0))
+        assert av.should_drop(_msg(has_virus=True), 0.0)
+
+    def test_zero_rate_misses_everything(self):
+        av = AntivirusFilter(detection_rate=0.0, rng=random.Random(0))
+        assert not av.should_drop(_msg(has_virus=True), 0.0)
+
+    def test_partial_rate_statistics(self):
+        av = AntivirusFilter(detection_rate=0.6, rng=random.Random(42))
+        hits = sum(av.should_drop(_msg(has_virus=True), 0.0) for _ in range(2000))
+        assert 0.55 < hits / 2000 < 0.65
+
+    def test_invalid_rate_rejected(self):
+        try:
+            AntivirusFilter(detection_rate=1.5)
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError
+
+
+class TestReverseDns:
+    def test_drops_ip_without_ptr(self):
+        registry = DnsRegistry()
+        rdns = ReverseDnsFilter(Resolver(registry))
+        assert rdns.should_drop(_msg(client_ip="9.9.9.9"), 0.0)
+
+    def test_passes_ip_with_ptr(self):
+        registry = DnsRegistry()
+        registry.register_client_ptr("9.9.9.9", "mail.host.example")
+        rdns = ReverseDnsFilter(Resolver(registry))
+        assert not rdns.should_drop(_msg(client_ip="9.9.9.9"), 0.0)
+
+
+class TestRbl:
+    def _service(self):
+        return DnsblService(
+            "rbl", ListingPolicy(threshold=1, window=DAY, base_duration=DAY)
+        )
+
+    def test_drops_listed_ip(self):
+        service = self._service()
+        service.force_list("9.9.9.9", 0.0, DAY)
+        assert RblFilter(service).should_drop(_msg(client_ip="9.9.9.9"), 0.0)
+
+    def test_passes_unlisted_ip(self):
+        assert not RblFilter(self._service()).should_drop(_msg(), 0.0)
+
+    def test_listing_is_time_sensitive(self):
+        service = self._service()
+        service.force_list("9.9.9.9", 0.0, DAY)
+        rbl = RblFilter(service)
+        assert rbl.should_drop(_msg(client_ip="9.9.9.9"), 0.5 * DAY)
+        assert not rbl.should_drop(_msg(client_ip="9.9.9.9"), 2 * DAY)
+
+
+class _AlwaysDrop(SpamFilter):
+    name = "always"
+
+    def should_drop(self, message, now):
+        return True
+
+
+class _NeverDrop(SpamFilter):
+    name = "never"
+
+    def should_drop(self, message, now):
+        return False
+
+
+class _Exploding(SpamFilter):
+    name = "exploding"
+
+    def should_drop(self, message, now):  # pragma: no cover
+        raise AssertionError("must not be reached after a drop")
+
+
+class TestFilterChain:
+    def test_first_dropping_filter_reported(self):
+        chain = FilterChain([_NeverDrop(), _AlwaysDrop(), _Exploding()])
+        assert chain.first_drop(_msg(), 0.0) == "always"
+
+    def test_short_circuit(self):
+        chain = FilterChain([_AlwaysDrop(), _Exploding()])
+        assert chain.first_drop(_msg(), 0.0) == "always"
+
+    def test_pass_through(self):
+        chain = FilterChain([_NeverDrop(), _NeverDrop()])
+        assert chain.first_drop(_msg(), 0.0) is None
+        assert chain.passed == 1
+
+    def test_drop_counters(self):
+        chain = FilterChain([_NeverDrop(), _AlwaysDrop()])
+        chain.first_drop(_msg(), 0.0)
+        chain.first_drop(_msg(), 0.0)
+        assert chain.drops_by_filter == {"never": 0, "always": 2}
+
+    def test_empty_chain_passes_everything(self):
+        chain = FilterChain([])
+        assert chain.first_drop(_msg(), 0.0) is None

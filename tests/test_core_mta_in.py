@@ -1,0 +1,137 @@
+"""Unit tests for the inbound MTA checks (the §2 drop table)."""
+
+import pytest
+
+from repro.core.message import make_message
+from repro.core.mta_in import DropReason, MtaIn
+from repro.net.dns import DnsRegistry, Resolver
+
+from tests.helpers import (
+    COMPANY_DOMAIN,
+    CONTACT,
+    CONTACT_DOMAIN,
+    USER_ADDRESS,
+    make_micro_env,
+)
+
+
+@pytest.fixture
+def env():
+    return make_micro_env()
+
+
+def _check(env, env_from=CONTACT, env_to=USER_ADDRESS):
+    message = make_message(0.0, env_from, env_to)
+    return env.installation.mta_in.check(message)
+
+
+class TestChecks:
+    def test_accepts_clean_message(self, env):
+        assert _check(env) is None
+
+    def test_malformed_sender(self, env):
+        assert _check(env, env_from="no-at-sign") is DropReason.MALFORMED
+
+    def test_malformed_recipient(self, env):
+        assert (
+            _check(env, env_to="double@@" + COMPANY_DOMAIN)
+            is DropReason.MALFORMED
+        )
+
+    def test_unresolvable_sender_domain(self, env):
+        assert (
+            _check(env, env_from="x@ghost-domain.example")
+            is DropReason.UNRESOLVABLE_DOMAIN
+        )
+
+    def test_no_relay_for_foreign_recipient(self, env):
+        assert (
+            _check(env, env_to=f"someone@{CONTACT_DOMAIN}")
+            is DropReason.NO_RELAY
+        )
+
+    def test_rejected_sender(self, env):
+        assert (
+            _check(env, env_from=f"blocked@{CONTACT_DOMAIN}")
+            is DropReason.SENDER_REJECTED
+        )
+
+    def test_rejected_sender_case_insensitive(self, env):
+        assert (
+            _check(env, env_from=f"Blocked@{CONTACT_DOMAIN.upper()}")
+            is DropReason.SENDER_REJECTED
+        )
+
+    def test_unknown_recipient(self, env):
+        assert (
+            _check(env, env_to=f"ghost@{COMPANY_DOMAIN}")
+            is DropReason.UNKNOWN_RECIPIENT
+        )
+
+    def test_check_order_malformed_before_unresolvable(self, env):
+        # A malformed sender is reported as MALFORMED even though its
+        # "domain" would also fail to resolve.
+        assert _check(env, env_from="bad<chars>@ghost.example") is (
+            DropReason.MALFORMED
+        )
+
+    def test_check_order_unresolvable_before_unknown_recipient(self, env):
+        assert _check(
+            env,
+            env_from="x@ghost-domain.example",
+            env_to=f"ghost@{COMPANY_DOMAIN}",
+        ) is DropReason.UNRESOLVABLE_DOMAIN
+
+    def test_check_order_relay_before_recipient_validation(self, env):
+        # Foreign recipients hit the relay policy, not recipient validation.
+        assert (
+            _check(env, env_to="anyone@unrelated.example")
+            is DropReason.NO_RELAY
+        )
+
+
+class TestOpenRelay:
+    def test_relay_domain_recipient_accepted_without_validation(self):
+        env = make_micro_env(open_relay=True)
+        assert _check(env, env_to="whoever@relayed.example") is None
+
+    def test_non_relay_foreign_domain_still_refused(self):
+        env = make_micro_env(open_relay=True)
+        assert (
+            _check(env, env_to="whoever@other.example") is DropReason.NO_RELAY
+        )
+
+    def test_own_domain_still_validated(self):
+        env = make_micro_env(open_relay=True)
+        assert (
+            _check(env, env_to=f"ghost@{COMPANY_DOMAIN}")
+            is DropReason.UNKNOWN_RECIPIENT
+        )
+
+
+class TestCounters:
+    def test_counters_track_decisions(self, env):
+        mta = env.installation.mta_in
+        _check(env)
+        _check(env, env_to=f"ghost@{COMPANY_DOMAIN}")
+        _check(env, env_to=f"ghost2@{COMPANY_DOMAIN}")
+        assert mta.accepted == 1
+        assert mta.dropped[DropReason.UNKNOWN_RECIPIENT] == 2
+
+    def test_standalone_mta_in(self):
+        registry = DnsRegistry()
+        registry.register_mail_domain(CONTACT_DOMAIN, "1.1.1.1")
+        from repro.core.config import CompanyConfig
+
+        config = CompanyConfig(
+            company_id="c",
+            name="C",
+            domain="solo.example",
+            users=("a",),
+            mta_in_ip="2.2.2.2",
+            mta_out_ip="2.2.2.3",
+            challenge_ip="2.2.2.3",
+        )
+        mta = MtaIn(config, Resolver(registry))
+        message = make_message(0.0, CONTACT, "a@solo.example")
+        assert mta.check(message) is None

@@ -1,0 +1,148 @@
+"""Unit + property tests for the SPF evaluator (RFC 4408 subset)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.filters.spf import (
+    SpfEvaluator,
+    SpfFilter,
+    SpfResult,
+    _ip4_matches,
+    _ip_to_int,
+)
+from repro.core.message import make_message
+from repro.net.dns import DnsRegistry, Resolver
+
+
+def _evaluator(**policies):
+    registry = DnsRegistry()
+    for domain, policy in policies.items():
+        domain = domain.replace("_", "-") + ".example"
+        registry.add_record(domain, "TXT", policy)
+    return SpfEvaluator(Resolver(registry))
+
+
+class TestIpParsing:
+    def test_valid_ip(self):
+        assert _ip_to_int("1.2.3.4") == (1 << 24) + (2 << 16) + (3 << 8) + 4
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "a.b.c.d", "256.1.1.1", "", "1..2.3"]
+    )
+    def test_invalid_ips(self, bad):
+        assert _ip_to_int(bad) is None
+
+    def test_exact_match(self):
+        assert _ip4_matches("1.2.3.4", "1.2.3.4")
+        assert not _ip4_matches("1.2.3.4", "1.2.3.5")
+
+    def test_prefix_match(self):
+        assert _ip4_matches("10.0.0.0/8", "10.200.1.1")
+        assert not _ip4_matches("10.0.0.0/8", "11.0.0.1")
+
+    def test_slash24(self):
+        assert _ip4_matches("192.0.2.0/24", "192.0.2.200")
+        assert not _ip4_matches("192.0.2.0/24", "192.0.3.1")
+
+    def test_slash_zero_matches_everything(self):
+        assert _ip4_matches("0.0.0.0/0", "8.8.8.8")
+
+    @pytest.mark.parametrize("bad", ["1.2.3.4/33", "1.2.3.4/-1", "1.2.3.4/x"])
+    def test_invalid_prefix_never_matches(self, bad):
+        assert not _ip4_matches(bad, "1.2.3.4")
+
+
+class TestEvaluation:
+    def test_no_policy_is_none(self):
+        evaluator = _evaluator()
+        assert evaluator.evaluate("ghost.example", "1.1.1.1") is SpfResult.NONE
+
+    def test_matching_ip_passes(self):
+        evaluator = _evaluator(corp="v=spf1 ip4:9.9.9.9 -all")
+        assert evaluator.evaluate("corp.example", "9.9.9.9") is SpfResult.PASS
+
+    def test_non_matching_ip_hard_fails(self):
+        evaluator = _evaluator(corp="v=spf1 ip4:9.9.9.9 -all")
+        assert evaluator.evaluate("corp.example", "8.8.8.8") is SpfResult.FAIL
+
+    def test_softfail_qualifier(self):
+        evaluator = _evaluator(corp="v=spf1 ip4:9.9.9.9 ~all")
+        assert (
+            evaluator.evaluate("corp.example", "8.8.8.8") is SpfResult.SOFTFAIL
+        )
+
+    def test_neutral_qualifier(self):
+        evaluator = _evaluator(corp="v=spf1 ip4:9.9.9.9 ?all")
+        assert (
+            evaluator.evaluate("corp.example", "8.8.8.8") is SpfResult.NEUTRAL
+        )
+
+    def test_spammer_plus_all_passes_anything(self):
+        evaluator = _evaluator(bulk="v=spf1 +all")
+        assert evaluator.evaluate("bulk.example", "6.6.6.6") is SpfResult.PASS
+
+    def test_policy_without_all_defaults_neutral(self):
+        evaluator = _evaluator(corp="v=spf1 ip4:9.9.9.9")
+        assert (
+            evaluator.evaluate("corp.example", "8.8.8.8") is SpfResult.NEUTRAL
+        )
+
+    def test_multiple_ip4_mechanisms(self):
+        evaluator = _evaluator(corp="v=spf1 ip4:1.1.1.1 ip4:2.2.2.2 -all")
+        assert evaluator.evaluate("corp.example", "2.2.2.2") is SpfResult.PASS
+
+    def test_first_match_wins(self):
+        evaluator = _evaluator(corp="v=spf1 -ip4:1.1.1.1 ip4:1.1.1.1 -all")
+        assert evaluator.evaluate("corp.example", "1.1.1.1") is SpfResult.FAIL
+
+    def test_evaluate_message_uses_sender_domain(self):
+        evaluator = _evaluator(corp="v=spf1 ip4:9.9.9.9 -all")
+        message = make_message(
+            0.0, "anyone@corp.example", "u@c.com", client_ip="9.9.9.9"
+        )
+        assert evaluator.evaluate_message(message) is SpfResult.PASS
+
+    def test_evaluate_message_malformed_sender(self):
+        evaluator = _evaluator()
+        message = make_message(0.0, "no-at-sign", "u@c.com")
+        assert evaluator.evaluate_message(message) is SpfResult.NONE
+
+
+class TestSpfFilter:
+    def test_drops_only_hard_fail(self):
+        evaluator = _evaluator(
+            strict="v=spf1 ip4:9.9.9.9 -all", soft="v=spf1 ip4:9.9.9.9 ~all"
+        )
+        spf_filter = SpfFilter(evaluator)
+        failing = make_message(
+            0.0, "a@strict.example", "u@c.com", client_ip="1.1.1.1"
+        )
+        softfailing = make_message(
+            0.0, "a@soft.example", "u@c.com", client_ip="1.1.1.1"
+        )
+        passing = make_message(
+            0.0, "a@strict.example", "u@c.com", client_ip="9.9.9.9"
+        )
+        assert spf_filter.should_drop(failing, 0.0)
+        assert not spf_filter.should_drop(softfailing, 0.0)
+        assert not spf_filter.should_drop(passing, 0.0)
+
+
+class TestProperties:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 32),
+    )
+    def test_prefix_match_agrees_with_mask_arithmetic(self, net, client, prefix):
+        def int_to_ip(value):
+            return ".".join(
+                str((value >> s) & 0xFF) for s in (24, 16, 8, 0)
+            )
+
+        mask = ((1 << prefix) - 1) << (32 - prefix) if prefix else 0
+        expected = (net & mask) == (client & mask)
+        assert (
+            _ip4_matches(f"{int_to_ip(net)}/{prefix}", int_to_ip(client))
+            == expected
+        )

@@ -1,0 +1,163 @@
+"""Unit + property tests for the gray spool (quarantine)."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.core.message import make_message
+from repro.core.spools import GraySpool, GrayStatus
+from repro.util.simtime import DAY
+
+
+def _msg(sender="s@x.com", rcpt="u@c.com", t=0.0):
+    return make_message(t, sender, rcpt)
+
+
+def _add(spool, message, user="u@c.com", now=0.0, quarantine=30 * DAY):
+    return spool.add(
+        message, user, now, expires_at=now + quarantine, challenge_id=1
+    )
+
+
+class TestLifecycle:
+    def test_add_and_get(self):
+        spool = GraySpool()
+        message = _msg()
+        entry = _add(spool, message)
+        assert spool.get(message.msg_id) is entry
+        assert entry.status is GrayStatus.PENDING
+        assert spool.pending_count == 1
+        assert spool.total_entered == 1
+
+    def test_release(self):
+        spool = GraySpool()
+        message = _msg()
+        _add(spool, message)
+        released = spool.release(message.msg_id)
+        assert released.status is GrayStatus.RELEASED
+        assert spool.get(message.msg_id) is None
+        assert spool.pending_count == 0
+        assert spool.total_released == 1
+
+    def test_release_absent_returns_none(self):
+        assert GraySpool().release(12345) is None
+
+    def test_delete(self):
+        spool = GraySpool()
+        message = _msg()
+        _add(spool, message)
+        deleted = spool.delete(message.msg_id)
+        assert deleted.status is GrayStatus.DELETED
+        assert spool.total_deleted == 1
+
+    def test_double_release_is_noop(self):
+        spool = GraySpool()
+        message = _msg()
+        _add(spool, message)
+        spool.release(message.msg_id)
+        assert spool.release(message.msg_id) is None
+        assert spool.total_released == 1
+
+
+class TestIndices:
+    def test_pending_for_user(self):
+        spool = GraySpool()
+        m1, m2 = _msg(), _msg()
+        _add(spool, m1, user="a@c.com")
+        _add(spool, m2, user="b@c.com")
+        assert [e.message.msg_id for e in spool.pending_for_user("a@c.com")] == [
+            m1.msg_id
+        ]
+
+    def test_pending_from_sender_groups_messages(self):
+        spool = GraySpool()
+        m1 = _msg(sender="spam@x.com")
+        m2 = _msg(sender="spam@x.com")
+        m3 = _msg(sender="other@x.com")
+        for m in (m1, m2, m3):
+            _add(spool, m)
+        pending = spool.pending_from_sender("u@c.com", "SPAM@X.COM")
+        assert {e.message.msg_id for e in pending} == {m1.msg_id, m2.msg_id}
+
+    def test_user_index_cleaned_on_release(self):
+        spool = GraySpool()
+        message = _msg()
+        _add(spool, message)
+        spool.release(message.msg_id)
+        assert spool.pending_for_user("u@c.com") == []
+        assert spool.users_with_pending() == []
+
+
+class TestExpiry:
+    def test_expire_due_respects_deadline(self):
+        spool = GraySpool()
+        early = _msg(t=0.0)
+        late = _msg(t=0.0)
+        spool.add(early, "u@c.com", 0.0, expires_at=10.0, challenge_id=None)
+        spool.add(late, "u@c.com", 0.0, expires_at=100.0, challenge_id=None)
+        expired = spool.expire_due(50.0)
+        assert [e.message.msg_id for e in expired] == [early.msg_id]
+        assert spool.total_expired == 1
+        assert spool.pending_count == 1
+
+    def test_expire_exact_boundary(self):
+        spool = GraySpool()
+        message = _msg()
+        spool.add(message, "u@c.com", 0.0, expires_at=10.0, challenge_id=None)
+        assert spool.expire_due(10.0) != []
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a@x.com", "b@x.com", "c@y.com"]),
+                st.sampled_from(["u1@c.com", "u2@c.com"]),
+                st.sampled_from(["keep", "release", "delete"]),
+            ),
+            max_size=40,
+        )
+    )
+    def test_conservation_of_entries(self, operations):
+        """entered == pending + released + expired + deleted, always."""
+        spool = GraySpool()
+        for sender, user, action in operations:
+            message = _msg(sender=sender, rcpt=user)
+            spool.add(message, user, 0.0, expires_at=100.0, challenge_id=None)
+            if action == "release":
+                spool.release(message.msg_id)
+            elif action == "delete":
+                spool.delete(message.msg_id)
+        spool.expire_due(random.Random(0).uniform(0, 200))
+        total = (
+            spool.pending_count
+            + spool.total_released
+            + spool.total_expired
+            + spool.total_deleted
+        )
+        assert total == spool.total_entered
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a@x.com", "b@x.com"]),
+                st.sampled_from(["u1@c.com", "u2@c.com"]),
+            ),
+            max_size=30,
+        )
+    )
+    def test_indices_consistent_with_entries(self, pairs):
+        spool = GraySpool()
+        for sender, user in pairs:
+            message = _msg(sender=sender, rcpt=user)
+            spool.add(message, user, 0.0, expires_at=100.0, challenge_id=None)
+        by_user = sum(
+            len(spool.pending_for_user(u)) for u in spool.users_with_pending()
+        )
+        assert by_user == spool.pending_count
+        by_pair = sum(
+            len(spool.pending_from_sender(u, s))
+            for s in ("a@x.com", "b@x.com")
+            for u in ("u1@c.com", "u2@c.com")
+        )
+        assert by_pair == spool.pending_count

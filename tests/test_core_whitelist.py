@@ -1,0 +1,105 @@
+"""Unit + property tests for per-user whitelists/blacklists."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.whitelist import (
+    UserLists,
+    WhitelistDirectory,
+    WhitelistSource,
+)
+
+addresses = st.from_regex(r"[a-z]{1,8}@[a-z]{1,8}\.(com|net)", fullmatch=True)
+
+
+class TestUserLists:
+    def test_add_and_lookup(self):
+        lists = UserLists()
+        assert lists.add_to_whitelist("A@B.com", 1.0, WhitelistSource.MANUAL)
+        assert lists.in_whitelist("a@b.com")
+        assert lists.in_whitelist("A@B.COM")
+
+    def test_add_is_idempotent(self):
+        lists = UserLists()
+        assert lists.add_to_whitelist("a@b.com", 1.0, WhitelistSource.MANUAL)
+        assert not lists.add_to_whitelist("a@b.com", 2.0, WhitelistSource.CAPTCHA)
+        entry = lists.entry_for("a@b.com")
+        assert entry.added_at == 1.0
+        assert entry.source is WhitelistSource.MANUAL
+
+    def test_seed_additions_not_logged(self):
+        lists = UserLists()
+        lists.add_to_whitelist("a@b.com", 0.0, WhitelistSource.SEED)
+        assert lists.changes == []
+
+    def test_non_seed_additions_logged(self):
+        lists = UserLists()
+        lists.add_to_whitelist("a@b.com", 5.0, WhitelistSource.CAPTCHA)
+        assert len(lists.changes) == 1
+        assert lists.changes[0].t == 5.0
+        assert lists.changes[0].source is WhitelistSource.CAPTCHA
+
+    def test_whitelisting_removes_from_blacklist(self):
+        lists = UserLists()
+        lists.add_to_blacklist("a@b.com")
+        lists.add_to_whitelist("a@b.com", 1.0, WhitelistSource.DIGEST)
+        assert not lists.in_blacklist("a@b.com")
+        assert lists.in_whitelist("a@b.com")
+
+    def test_blacklisting_removes_from_whitelist(self):
+        lists = UserLists()
+        lists.add_to_whitelist("a@b.com", 1.0, WhitelistSource.MANUAL)
+        lists.add_to_blacklist("a@b.com")
+        assert lists.in_blacklist("a@b.com")
+        assert not lists.in_whitelist("a@b.com")
+
+    def test_remove_from_whitelist(self):
+        lists = UserLists()
+        lists.add_to_whitelist("a@b.com", 1.0, WhitelistSource.MANUAL)
+        assert lists.remove_from_whitelist("a@b.com")
+        assert not lists.in_whitelist("a@b.com")
+        assert not lists.remove_from_whitelist("a@b.com")
+
+    def test_changes_between_window(self):
+        lists = UserLists()
+        for t in (1.0, 5.0, 9.0):
+            lists.add_to_whitelist(f"x{t}@b.com", t, WhitelistSource.OUTBOUND)
+        window = lists.changes_between(2.0, 9.0)
+        assert [c.t for c in window] == [5.0]
+
+    @given(st.lists(st.tuples(addresses, st.floats(0, 100)), max_size=30))
+    def test_whitelist_size_equals_distinct_addresses(self, additions):
+        lists = UserLists()
+        for address, t in additions:
+            lists.add_to_whitelist(address, t, WhitelistSource.MANUAL)
+        assert len(lists.whitelist) == len(
+            {a.lower() for a, _ in additions}
+        )
+        # Change log has exactly one entry per distinct address.
+        assert len(lists.changes) == len(lists.whitelist)
+
+    @given(st.lists(addresses, max_size=30))
+    def test_never_in_both_lists(self, stream):
+        lists = UserLists()
+        for i, address in enumerate(stream):
+            if i % 2:
+                lists.add_to_blacklist(address)
+            else:
+                lists.add_to_whitelist(address, float(i), WhitelistSource.DIGEST)
+        overlap = set(lists.whitelist) & lists.blacklist
+        assert overlap == set()
+
+
+class TestDirectory:
+    def test_lists_created_on_first_touch(self):
+        directory = WhitelistDirectory()
+        assert "u@c.com" not in directory
+        lists = directory.lists_for("U@C.com")
+        assert "u@c.com" in directory
+        assert directory.lists_for("u@c.com") is lists
+
+    def test_len_and_known_users(self):
+        directory = WhitelistDirectory()
+        directory.lists_for("a@c.com")
+        directory.lists_for("b@c.com")
+        assert len(directory) == 2
+        assert sorted(directory.known_users()) == ["a@c.com", "b@c.com"]

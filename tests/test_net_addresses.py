@@ -1,0 +1,112 @@
+"""Unit + property tests for RFC822-lite address parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import (
+    Address,
+    AddressError,
+    domain_of,
+    is_well_formed,
+    parse_address,
+)
+
+VALID = [
+    "alice@example.com",
+    "a@b.co",
+    "dept-x.p@scn-1.com",
+    "first.last@sub.domain.example.org",
+    "user+tag@example.com",
+    "o'brien@example.ie",
+    "x_y=z{q}@weird-but-legal.net",
+    "UPPER@CASE.COM",
+    "1digit@start.com",
+]
+
+INVALID = [
+    "",
+    "no-at-sign.example.com",
+    "double@@at.example.com",
+    "@missing-local.com",
+    "missing-domain@",
+    "two@at@signs.com",
+    "bad local@example.com",
+    "local@nodot",
+    "local@.leadingdot.com",
+    "local@trailing.dot.",
+    "local@-dash.start.com",
+    "local@dash.end-.com",
+    "local@example.c0m0@",
+    "local@example.1234",  # all-numeric TLD
+    ".leading@example.com",
+    "trailing.@example.com",
+    "dou..ble@example.com",
+    "unicodeé@exaçmple.com",
+    "a" * 65 + "@example.com",  # local too long
+    "x@" + "a" * 250 + ".com",  # domain too long
+]
+
+
+class TestParsing:
+    @pytest.mark.parametrize("raw", VALID)
+    def test_valid_addresses_parse(self, raw):
+        address = parse_address(raw)
+        assert address.local
+        assert "." in address.domain
+
+    @pytest.mark.parametrize("raw", INVALID)
+    def test_invalid_addresses_rejected(self, raw):
+        with pytest.raises(AddressError):
+            parse_address(raw)
+        assert not is_well_formed(raw)
+
+    def test_domain_lowercased_local_preserved(self):
+        address = parse_address("Dept-X.P@SCN-1.COM")
+        assert address.domain == "scn-1.com"
+        assert address.local == "Dept-X.P"
+
+    def test_full_roundtrip(self):
+        assert parse_address("a.b@c.de").full == "a.b@c.de"
+
+    def test_str_is_full(self):
+        assert str(Address("a", "b.com")) == "a@b.com"
+
+    def test_domain_of(self):
+        assert domain_of("x@Example.COM") == "example.com"
+
+    def test_domain_of_malformed_raises(self):
+        with pytest.raises(AddressError):
+            domain_of("nonsense")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(AddressError):
+            parse_address(None)  # type: ignore[arg-type]
+
+
+class TestProperties:
+    @given(st.text(max_size=300))
+    def test_never_crashes_on_arbitrary_text(self, raw):
+        # Must classify, never raise anything but AddressError.
+        is_well_formed(raw)
+
+    @given(st.text(max_size=300))
+    def test_parse_agrees_with_is_well_formed(self, raw):
+        if is_well_formed(raw):
+            parsed = parse_address(raw)
+            # Re-parsing the canonical form must succeed and be stable.
+            again = parse_address(parsed.full)
+            assert again == parsed
+        else:
+            with pytest.raises(AddressError):
+                parse_address(raw)
+
+    @given(
+        st.from_regex(r"[A-Za-z0-9]{1,10}(\.[A-Za-z0-9]{1,10}){0,2}", fullmatch=True),
+        st.from_regex(
+            r"[a-z0-9]{1,10}(\.[a-z0-9]{1,10}){0,2}\.[a-z]{2,6}", fullmatch=True
+        ),
+    )
+    def test_generated_dot_atoms_always_parse(self, local, domain):
+        address = parse_address(f"{local}@{domain}")
+        assert address.local == local
+        assert address.domain == domain

@@ -1,0 +1,117 @@
+"""Unit tests for the simulated DNS registry and resolver."""
+
+from repro.net.dns import DnsRegistry, Resolver, iter_spf_mechanisms
+
+
+class TestRegistry:
+    def test_lookup_empty(self):
+        registry = DnsRegistry()
+        assert registry.lookup("nothing.example", "A") == []
+
+    def test_add_and_lookup(self):
+        registry = DnsRegistry()
+        registry.add_record("example.com", "A", "1.2.3.4")
+        assert registry.lookup("example.com", "A") == ["1.2.3.4"]
+
+    def test_names_case_insensitive(self):
+        registry = DnsRegistry()
+        registry.add_record("Example.COM", "A", "1.2.3.4")
+        assert registry.lookup("example.com", "a") == ["1.2.3.4"]
+
+    def test_duplicate_values_ignored(self):
+        registry = DnsRegistry()
+        registry.add_record("example.com", "A", "1.2.3.4")
+        registry.add_record("example.com", "A", "1.2.3.4")
+        assert registry.lookup("example.com", "A") == ["1.2.3.4"]
+
+    def test_multiple_values_kept_in_order(self):
+        registry = DnsRegistry()
+        registry.add_record("example.com", "MX", "mx1.example.com")
+        registry.add_record("example.com", "MX", "mx2.example.com")
+        assert registry.lookup("example.com", "MX") == [
+            "mx1.example.com",
+            "mx2.example.com",
+        ]
+
+    def test_remove_records(self):
+        registry = DnsRegistry()
+        registry.add_record("example.com", "A", "1.2.3.4")
+        registry.remove_records("example.com", "A")
+        assert registry.lookup("example.com", "A") == []
+        registry.remove_records("example.com", "A")  # idempotent
+
+    def test_register_mail_domain_full_set(self):
+        registry = DnsRegistry()
+        registry.register_mail_domain(
+            "corp.example", "9.9.9.9", spf="v=spf1 ip4:9.9.9.9 -all"
+        )
+        assert registry.lookup("corp.example", "A") == ["9.9.9.9"]
+        assert registry.lookup("corp.example", "MX") == ["mail.corp.example"]
+        assert registry.lookup("mail.corp.example", "A") == ["9.9.9.9"]
+        assert registry.lookup("9.9.9.9", "PTR") == ["mail.corp.example"]
+        assert registry.lookup("corp.example", "TXT") == [
+            "v=spf1 ip4:9.9.9.9 -all"
+        ]
+
+    def test_register_mail_domain_without_ptr(self):
+        registry = DnsRegistry()
+        registry.register_mail_domain("corp.example", "9.9.9.9", with_ptr=False)
+        assert registry.lookup("9.9.9.9", "PTR") == []
+
+
+class TestResolver:
+    def _resolver(self):
+        registry = DnsRegistry()
+        registry.register_mail_domain(
+            "corp.example", "9.9.9.9", spf="v=spf1 ip4:9.9.9.9 -all"
+        )
+        registry.add_record("a-only.example", "A", "8.8.8.8")
+        return Resolver(registry)
+
+    def test_resolves_registered_domain(self):
+        assert self._resolver().resolves("corp.example")
+
+    def test_resolves_a_only_domain(self):
+        assert self._resolver().resolves("a-only.example")
+
+    def test_unregistered_domain_does_not_resolve(self):
+        assert not self._resolver().resolves("ghost.example")
+
+    def test_mx_host(self):
+        resolver = self._resolver()
+        assert resolver.mx_host("corp.example") == "mail.corp.example"
+        assert resolver.mx_host("ghost.example") is None
+
+    def test_ptr(self):
+        resolver = self._resolver()
+        assert resolver.ptr("9.9.9.9") == "mail.corp.example"
+        assert resolver.ptr("1.1.1.1") is None
+
+    def test_spf_policy_found(self):
+        assert self._resolver().spf_policy("corp.example") == (
+            "v=spf1 ip4:9.9.9.9 -all"
+        )
+
+    def test_spf_policy_absent(self):
+        assert self._resolver().spf_policy("a-only.example") is None
+
+    def test_non_spf_txt_ignored(self):
+        registry = DnsRegistry()
+        registry.add_record("x.example", "TXT", "verification=abc")
+        assert Resolver(registry).spf_policy("x.example") is None
+
+    def test_query_counter_increments(self):
+        resolver = self._resolver()
+        before = resolver.queries
+        resolver.resolves("corp.example")
+        resolver.ptr("9.9.9.9")
+        assert resolver.queries == before + 2
+
+
+class TestSpfMechanismIteration:
+    def test_skips_version_tag(self):
+        terms = list(iter_spf_mechanisms("v=spf1 ip4:1.2.3.4 -all"))
+        assert terms == ["ip4:1.2.3.4", "-all"]
+
+    def test_empty_policy(self):
+        assert list(iter_spf_mechanisms("v=spf1")) == []

@@ -1,0 +1,197 @@
+"""Unit tests for remote mail hosts and the internet router."""
+
+from repro.blacklistd.service import DnsblService, ListingPolicy
+from repro.net.dns import DnsRegistry, Resolver
+from repro.net.hosts import RemoteMailHost
+from repro.net.internet import Internet
+from repro.net.smtp import Envelope, Reply
+from repro.util.simtime import DAY
+
+
+def _envelope(rcpt, client_ip="5.5.5.5", size=1000):
+    return Envelope(
+        mail_from="challenge@corp.example",
+        rcpt_to=rcpt,
+        size=size,
+        client_ip=client_ip,
+    )
+
+
+class TestRemoteMailHost:
+    def test_delivers_to_known_mailbox(self):
+        host = RemoteMailHost("x.example", "1.1.1.1", mailboxes={"bob"})
+        response = host.deliver(_envelope("bob@x.example"), now=0.0)
+        assert response.accepted
+        assert host.accepted_count == 1
+
+    def test_rejects_unknown_mailbox_with_550(self):
+        host = RemoteMailHost("x.example", "1.1.1.1", mailboxes={"bob"})
+        response = host.deliver(_envelope("ghost@x.example"), now=0.0)
+        assert response.code == Reply.MAILBOX_UNAVAILABLE
+        assert host.rejected_count == 1
+
+    def test_catch_all_accepts_anything(self):
+        host = RemoteMailHost("x.example", "1.1.1.1", catch_all=True)
+        assert host.deliver(_envelope("anything@x.example"), now=0.0).accepted
+
+    def test_unreachable_host_times_out(self):
+        host = RemoteMailHost("x.example", "1.1.1.1", reachable=False)
+        response = host.deliver(_envelope("bob@x.example"), now=0.0)
+        assert response.code == Reply.CONNECT_FAIL
+        assert response.transient
+
+    def test_dnsbl_rejection_precedes_mailbox_check(self):
+        service = DnsblService(
+            "rbl", ListingPolicy(threshold=1, window=DAY, base_duration=DAY)
+        )
+        service.force_list("5.5.5.5", now=0.0, duration=DAY)
+        host = RemoteMailHost(
+            "x.example", "1.1.1.1", mailboxes={"bob"}, dnsbl_services=[service]
+        )
+        response = host.deliver(_envelope("bob@x.example"), now=0.0)
+        assert response.code == Reply.BLACKLISTED
+
+    def test_dnsbl_rejection_expires(self):
+        service = DnsblService(
+            "rbl", ListingPolicy(threshold=1, window=DAY, base_duration=DAY)
+        )
+        service.force_list("5.5.5.5", now=0.0, duration=DAY)
+        host = RemoteMailHost(
+            "x.example", "1.1.1.1", mailboxes={"bob"}, dnsbl_services=[service]
+        )
+        assert host.deliver(_envelope("bob@x.example"), now=2 * DAY).accepted
+
+    def test_on_delivered_hook_fires_with_time(self):
+        seen = []
+        host = RemoteMailHost(
+            "x.example",
+            "1.1.1.1",
+            catch_all=True,
+            on_delivered=lambda env, now: seen.append((env.rcpt_to, now)),
+        )
+        host.deliver(_envelope("trap@x.example"), now=7.0)
+        assert seen == [("trap@x.example", 7.0)]
+
+    def test_hook_not_fired_on_rejection(self):
+        seen = []
+        host = RemoteMailHost(
+            "x.example",
+            "1.1.1.1",
+            mailboxes=set(),
+            on_delivered=lambda env, now: seen.append(env),
+        )
+        host.deliver(_envelope("ghost@x.example"), now=0.0)
+        assert seen == []
+
+    def test_add_mailbox(self):
+        host = RemoteMailHost("x.example", "1.1.1.1")
+        assert not host.has_mailbox("new")
+        host.add_mailbox("new")
+        assert host.has_mailbox("new")
+
+
+class TestInternetRouting:
+    def _internet(self):
+        registry = DnsRegistry()
+        resolver = Resolver(registry)
+        internet = Internet(resolver)
+        registry.register_mail_domain("alive.example", "1.1.1.1")
+        registry.register_mail_domain("dead.example", "2.2.2.2")
+        internet.register_host(
+            RemoteMailHost("alive.example", "1.1.1.1", mailboxes={"bob"})
+        )
+        return internet
+
+    def test_routes_to_registered_host(self):
+        internet = self._internet()
+        assert internet.submit(_envelope("bob@alive.example"), 0.0).accepted
+
+    def test_unresolvable_domain_is_permanent_failure(self):
+        internet = self._internet()
+        response = internet.submit(_envelope("x@ghost.example"), 0.0)
+        assert response.permanent
+
+    def test_resolvable_but_dead_domain_is_transient(self):
+        # dead.example resolves in DNS but no server answers: the classic
+        # forged/parked sender domain, which makes challenges expire.
+        internet = self._internet()
+        response = internet.submit(_envelope("x@dead.example"), 0.0)
+        assert response.code == Reply.CONNECT_FAIL
+        assert response.transient
+
+    def test_duplicate_host_registration_rejected(self):
+        internet = self._internet()
+        try:
+            internet.register_host(RemoteMailHost("alive.example", "3.3.3.3"))
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_byte_accounting(self):
+        internet = self._internet()
+        before = internet.bytes_routed
+        internet.submit(_envelope("bob@alive.example", size=2500), 0.0)
+        assert internet.bytes_routed == before + 2500
+
+    def test_host_lookup_case_insensitive(self):
+        internet = self._internet()
+        assert internet.host_for("ALIVE.example") is not None
+
+
+class TestGreylisting:
+    def test_first_attempt_greylisted_retry_accepted(self):
+        host = RemoteMailHost(
+            "x.example", "1.1.1.1", mailboxes={"bob"}, greylisting=True
+        )
+        first = host.deliver(_envelope("bob@x.example"), now=0.0)
+        assert first.code == Reply.GREYLISTED
+        assert first.transient
+        second = host.deliver(_envelope("bob@x.example"), now=900.0)
+        assert second.accepted
+        assert host.greylisted_count == 1
+
+    def test_greylist_memory_is_per_client_ip(self):
+        host = RemoteMailHost(
+            "x.example", "1.1.1.1", mailboxes={"bob"}, greylisting=True
+        )
+        host.deliver(_envelope("bob@x.example", client_ip="5.5.5.5"), now=0.0)
+        other = host.deliver(
+            _envelope("bob@x.example", client_ip="6.6.6.6"), now=1.0
+        )
+        assert other.code == Reply.GREYLISTED
+
+    def test_greylisting_applies_after_mailbox_check(self):
+        # Unknown mailboxes still bounce immediately (no greylist delay).
+        host = RemoteMailHost(
+            "x.example", "1.1.1.1", mailboxes={"bob"}, greylisting=True
+        )
+        response = host.deliver(_envelope("ghost@x.example"), now=0.0)
+        assert response.code == Reply.MAILBOX_UNAVAILABLE
+
+    def test_greylisted_challenge_delivered_on_retry_end_to_end(self):
+        from repro.net.mta_out import OutboundMta
+        from repro.net.smtp import FinalStatus
+        from repro.sim.engine import Simulator
+
+        simulator = Simulator()
+        registry = DnsRegistry()
+        resolver = Resolver(registry)
+        internet = Internet(resolver)
+        registry.register_mail_domain("grey.example", "7.7.7.7")
+        internet.register_host(
+            RemoteMailHost(
+                "grey.example", "7.7.7.7", mailboxes={"bob"}, greylisting=True
+            )
+        )
+        mta = OutboundMta("m", "9.0.0.9", simulator, internet)
+        results = []
+        mta.send(
+            Envelope("c@x.com", "bob@grey.example", 1800, "ignored"),
+            lambda env, result: results.append(result),
+        )
+        simulator.run()
+        (result,) = results
+        assert result.status is FinalStatus.DELIVERED
+        assert result.attempts == 2
+        assert result.t_final > 0

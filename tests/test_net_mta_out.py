@@ -1,0 +1,160 @@
+"""Unit tests for the outbound MTA (retry schedule, expiry, stamping)."""
+
+from repro.blacklistd.service import DnsblService, ListingPolicy
+from repro.net.dns import DnsRegistry, Resolver
+from repro.net.hosts import RemoteMailHost
+from repro.net.internet import Internet
+from repro.net.mta_out import DEFAULT_RETRY_DELAYS, OutboundMta
+from repro.net.smtp import BounceReason, Envelope, FinalStatus
+from repro.sim.engine import Simulator
+from repro.util.simtime import DAY
+
+
+def _setup():
+    simulator = Simulator()
+    registry = DnsRegistry()
+    resolver = Resolver(registry)
+    internet = Internet(resolver)
+    registry.register_mail_domain("alive.example", "1.1.1.1")
+    registry.register_mail_domain("dead.example", "2.2.2.2")
+    host = RemoteMailHost("alive.example", "1.1.1.1", mailboxes={"bob"})
+    internet.register_host(host)
+    mta = OutboundMta("test-mta", "9.0.0.1", simulator, internet)
+    return simulator, internet, mta, host, registry
+
+
+def _send(mta, rcpt, results):
+    envelope = Envelope(
+        mail_from="challenge@corp.example",
+        rcpt_to=rcpt,
+        size=1800,
+        client_ip="ignored",
+        payload_id=42,
+    )
+    mta.send(envelope, lambda env, result: results.append((env, result)))
+
+
+class TestDelivery:
+    def test_immediate_delivery(self):
+        simulator, _, mta, _, _ = _setup()
+        results = []
+        _send(mta, "bob@alive.example", results)
+        simulator.run()
+        assert len(results) == 1
+        _, result = results[0]
+        assert result.status is FinalStatus.DELIVERED
+        assert result.attempts == 1
+        assert result.t_final == 0.0
+
+    def test_mta_stamps_its_own_ip(self):
+        simulator, _, mta, host, _ = _setup()
+        seen_ips = []
+        host.on_delivered = lambda env, now: seen_ips.append(env.client_ip)
+        results = []
+        _send(mta, "bob@alive.example", results)
+        simulator.run()
+        assert seen_ips == ["9.0.0.1"]
+
+    def test_payload_id_preserved(self):
+        simulator, _, mta, _, _ = _setup()
+        results = []
+        _send(mta, "bob@alive.example", results)
+        simulator.run()
+        assert results[0][0].payload_id == 42
+
+    def test_counters(self):
+        simulator, _, mta, _, _ = _setup()
+        results = []
+        _send(mta, "bob@alive.example", results)
+        simulator.run()
+        assert mta.sent_messages == 1
+        assert mta.sent_bytes == 1800
+
+
+class TestBounces:
+    def test_nonexistent_recipient_bounces_without_retry(self):
+        simulator, _, mta, _, _ = _setup()
+        results = []
+        _send(mta, "ghost@alive.example", results)
+        simulator.run()
+        _, result = results[0]
+        assert result.status is FinalStatus.BOUNCED
+        assert result.bounce_reason is BounceReason.NONEXISTENT_RECIPIENT
+        assert result.attempts == 1
+
+    def test_blacklist_bounce_counted(self):
+        simulator, internet, mta, host, _ = _setup()
+        service = DnsblService(
+            "rbl", ListingPolicy(threshold=1, window=DAY, base_duration=DAY)
+        )
+        service.force_list("9.0.0.1", now=0.0, duration=DAY)
+        host.dnsbl_services.append(service)
+        results = []
+        _send(mta, "bob@alive.example", results)
+        simulator.run()
+        assert results[0][1].bounce_reason is BounceReason.BLACKLISTED
+        assert mta.blacklist_bounces == 1
+
+
+class TestRetriesAndExpiry:
+    def test_dead_domain_retries_then_expires(self):
+        simulator, _, mta, _, _ = _setup()
+        results = []
+        _send(mta, "x@dead.example", results)
+        simulator.run()
+        _, result = results[0]
+        assert result.status is FinalStatus.EXPIRED
+        assert result.attempts == len(DEFAULT_RETRY_DELAYS) + 1
+        assert result.t_final == sum(DEFAULT_RETRY_DELAYS)
+
+    def test_recovery_during_retries_delivers(self):
+        simulator, internet, mta, _, registry = _setup()
+        registry.register_mail_domain("flaky.example", "3.3.3.3")
+        results = []
+        # Domain resolves but no host yet: first attempts fail transiently.
+        _send(mta, "carol@flaky.example", results)
+        simulator.run(until=DEFAULT_RETRY_DELAYS[0] + 1)
+        assert results == []
+        internet.register_host(
+            RemoteMailHost("flaky.example", "3.3.3.3", mailboxes={"carol"})
+        )
+        simulator.run()
+        _, result = results[0]
+        assert result.status is FinalStatus.DELIVERED
+        assert result.attempts >= 2
+
+    def test_blacklisting_between_retries_bounces(self):
+        # The server gets listed while a transient failure is retrying:
+        # the retry then hits a 554 and the message bounces as blacklisted.
+        simulator, internet, mta, _, registry = _setup()
+        service = DnsblService(
+            "rbl", ListingPolicy(threshold=1, window=DAY, base_duration=5 * DAY)
+        )
+        registry.register_mail_domain("late.example", "4.4.4.4")
+        results = []
+        _send(mta, "dave@late.example", results)
+        simulator.run(until=1.0)
+        service.force_list("9.0.0.1", now=1.0, duration=5 * DAY)
+        internet.register_host(
+            RemoteMailHost(
+                "late.example",
+                "4.4.4.4",
+                mailboxes={"dave"},
+                dnsbl_services=[service],
+            )
+        )
+        simulator.run()
+        assert results[0][1].bounce_reason is BounceReason.BLACKLISTED
+
+    def test_custom_retry_schedule(self):
+        simulator, internet, _, _, registry = _setup()
+        mta = OutboundMta(
+            "short", "9.0.0.2", simulator, internet, retry_delays=(10.0,)
+        )
+        results = []
+        _send(mta, "x@dead.example", results)
+        simulator.run()
+        result = results[0][1]
+        assert result.status is FinalStatus.EXPIRED
+        assert result.attempts == 2
+        assert result.t_final == 10.0

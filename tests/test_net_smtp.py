@@ -1,0 +1,66 @@
+"""Unit tests for SMTP primitives."""
+
+from repro.net.smtp import (
+    BounceReason,
+    Envelope,
+    Reply,
+    SmtpResponse,
+    bounce_reason_for,
+)
+
+
+class TestSmtpResponse:
+    def test_250_accepted(self):
+        response = SmtpResponse(Reply.OK)
+        assert response.accepted
+        assert not response.transient
+        assert not response.permanent
+
+    def test_451_transient(self):
+        response = SmtpResponse(Reply.GREYLISTED)
+        assert response.transient
+        assert not response.accepted
+        assert not response.permanent
+
+    def test_connect_fail_treated_as_transient(self):
+        response = SmtpResponse(Reply.CONNECT_FAIL)
+        assert response.transient
+        assert not response.permanent
+
+    def test_550_permanent(self):
+        response = SmtpResponse(Reply.MAILBOX_UNAVAILABLE)
+        assert response.permanent
+        assert not response.transient
+        assert not response.accepted
+
+    def test_554_permanent(self):
+        assert SmtpResponse(Reply.BLACKLISTED).permanent
+
+
+class TestBounceReasonMapping:
+    def test_550_is_nonexistent_recipient(self):
+        assert (
+            bounce_reason_for(Reply.MAILBOX_UNAVAILABLE)
+            is BounceReason.NONEXISTENT_RECIPIENT
+        )
+
+    def test_554_is_blacklisted(self):
+        assert bounce_reason_for(Reply.BLACKLISTED) is BounceReason.BLACKLISTED
+
+    def test_other_5xx_is_other(self):
+        assert bounce_reason_for(Reply.RELAY_DENIED) is BounceReason.OTHER
+        assert bounce_reason_for(Reply.CONTENT_REJECTED) is BounceReason.OTHER
+
+
+class TestEnvelope:
+    def test_fields_and_immutability(self):
+        envelope = Envelope(
+            mail_from="a@x.com", rcpt_to="b@y.com", size=100, client_ip="1.1.1.1"
+        )
+        assert envelope.payload_id is None
+        try:
+            envelope.size = 5  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("Envelope should be frozen")

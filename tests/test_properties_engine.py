@@ -1,0 +1,150 @@
+"""Cross-module property tests: arbitrary traces through a full installation.
+
+Hypothesis drives randomized message sequences and user actions through a
+micro CompanyInstallation and checks the global invariants that every
+analysis relies on:
+
+* disposition conservation — every accepted message is dispatched exactly
+  once, every quarantined message ends in exactly one of
+  {pending, released, expired, deleted};
+* challenge conservation — challenge emails sent == challenge records ==
+  delivery outcomes (after drain); suppressed messages attach to an
+  existing challenge;
+* whitelist coherence — a sender is never in a user's whitelist and
+  blacklist at once, and solved challenges always whitelist their sender.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.message import MessageKind, SenderClass
+from repro.core.spools import Category
+from repro.util.simtime import DAY, HOUR
+
+from tests.helpers import (
+    CONTACT_DOMAIN,
+    USER_ADDRESS,
+    make_micro_env,
+)
+
+# One step of a trace: (hours_gap, sender_index, sender_kind, action)
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=20.0),  # hours between events
+        st.integers(0, 5),  # sender index
+        st.sampled_from(["real", "nonexistent", "dead"]),
+        st.sampled_from(["send", "send", "send", "solve_last", "outbound"]),
+    ),
+    max_size=25,
+)
+
+
+def _sender(index: int, kind: str) -> str:
+    if kind == "real":
+        return f"bob{index}@{CONTACT_DOMAIN}"
+    if kind == "nonexistent":
+        return f"ghost{index}@{CONTACT_DOMAIN}"
+    return f"dead{index}@parked.example"
+
+
+class TestEngineInvariants:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(steps)
+    def test_disposition_and_challenge_conservation(self, trace):
+        env = make_micro_env()
+        # Register the "real" mailboxes so challenges to them deliver.
+        for i in range(6):
+            env.contact_host.add_mailbox(f"bob{i}")
+        last_challenge_id = None
+        for hours_gap, index, kind, action in trace:
+            env.simulator.run(until=env.simulator.now + hours_gap * HOUR)
+            if action == "solve_last" and last_challenge_id is not None:
+                env.installation.solve_challenge(last_challenge_id)
+            elif action == "outbound":
+                env.installation.send_user_mail(
+                    "alice", _sender(index, "real"), 2_000
+                )
+            else:
+                sender_class = {
+                    "real": SenderClass.REAL,
+                    "nonexistent": SenderClass.NONEXISTENT_MAILBOX,
+                    "dead": SenderClass.DEAD_DOMAIN,
+                }[kind]
+                env.inbound(
+                    env_from=_sender(index, kind),
+                    kind=MessageKind.LEGIT,
+                    sender_class=sender_class,
+                )
+                if env.store.challenges:
+                    last_challenge_id = env.store.challenges[-1].challenge_id
+        env.drain()
+        store = env.store
+
+        # Disposition conservation at the MTA/dispatch boundary.
+        accepted = sum(1 for r in store.mta if r.accepted)
+        assert accepted == len(store.dispatch)
+
+        # Quarantine conservation.
+        quarantined = sum(
+            1
+            for r in store.dispatch
+            if r.category is Category.GRAY and r.filter_drop is None
+        )
+        spool = env.installation.gray_spool
+        assert quarantined == spool.total_entered
+        assert (
+            spool.pending_count
+            + spool.total_released
+            + spool.total_expired
+            + spool.total_deleted
+            == spool.total_entered
+        )
+        assert len(store.releases) == spool.total_released
+
+        # Challenge conservation (after drain every send has an outcome).
+        assert len(store.challenge_outcomes) == len(store.challenges)
+        challenge_ids = {c.challenge_id for c in store.challenges}
+        attached = {
+            r.challenge_id
+            for r in store.dispatch
+            if r.challenge_id is not None
+        }
+        assert attached == challenge_ids
+
+        # Whitelist coherence.
+        for _user, lists in env.installation.whitelists.items():
+            assert not (set(lists.whitelist) & lists.blacklist)
+
+        # Every solved challenge whitelisted its sender for its user.
+        for challenge in env.installation.challenge_manager.all_challenges():
+            if challenge.solved:
+                lists = env.installation.whitelists.lists_for(challenge.user)
+                assert lists.in_whitelist(challenge.sender)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 40), st.integers(0, 2**32 - 1))
+    def test_repeat_sender_never_gets_parallel_challenges(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        env = make_micro_env()
+        sender = f"carol@{CONTACT_DOMAIN}"
+        for _ in range(n):
+            env.simulator.run(
+                until=env.simulator.now + rng.uniform(0, 2 * DAY)
+            )
+            env.inbound(env_from=sender)
+        # With dedup on, at most one *pending* challenge per (user, sender)
+        # exists at any time; all messages attach to the chain of
+        # challenges created after expiries.
+        manager = env.installation.challenge_manager
+        pending = manager.pending_challenge_for(USER_ADDRESS, sender)
+        total_attached = sum(
+            len(c.msg_ids) for c in manager.all_challenges()
+        )
+        assert total_attached == n
+        if pending is not None:
+            assert pending.solved_at is None

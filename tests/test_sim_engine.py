@@ -1,0 +1,144 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("b"))
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(9.0, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        seen = []
+        for label in "abc":
+            sim.schedule(1.0, lambda l=label: seen.append(l))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        observed = []
+        sim.schedule(3.5, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == [3.5]
+
+    def test_scheduling_into_the_past_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(5.0, lambda: None)
+
+    def test_schedule_after(self):
+        sim = Simulator(start_time=2.0)
+        fired = []
+        sim.schedule_after(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule_after(1.0, lambda: seen.append("second"))
+            seen.append("first")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == ["first", "second"]
+
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append("cancelled"))
+        sim.schedule(2.0, lambda: seen.append("kept"))
+        event.cancel()
+        sim.run()
+        assert seen == ["kept"]
+        assert sim.events_processed == 1
+
+
+class TestRunUntil:
+    def test_until_is_exclusive(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("at-5"))
+        sim.run(until=5.0)
+        assert seen == []
+        sim.run()
+        assert seen == ["at-5"]
+
+    def test_consecutive_runs_do_not_double_fire(self):
+        sim = Simulator()
+        count = [0]
+        sim.schedule(1.0, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run(until=2.0)
+        sim.run(until=3.0)
+        assert count[0] == 1
+
+    def test_clock_advances_to_until_even_if_queue_empty(self):
+        sim = Simulator()
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_clock_does_not_rewind(self):
+        sim = Simulator()
+        sim.schedule(50.0, lambda: None)
+        sim.run()
+        sim.run(until=10.0)
+        assert sim.now == 50.0
+
+
+class TestRecurring:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_every(10.0, lambda: times.append(sim.now), until=35.0)
+        sim.run()
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_explicit_start(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_every(
+            10.0, lambda: times.append(sim.now), start=5.0, until=26.0
+        )
+        sim.run()
+        assert times == [5.0, 15.0, 25.0]
+
+    def test_non_positive_interval_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_every(0.0, lambda: None)
+
+    def test_recurrence_sees_mutated_state(self):
+        sim = Simulator()
+        values = []
+        state = {"x": 0}
+
+        def tick():
+            state["x"] += 1
+            values.append(state["x"])
+
+        sim.schedule_every(1.0, tick, until=4.5)
+        sim.run()
+        assert values == [1, 2, 3, 4]
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending == 1

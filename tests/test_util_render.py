@@ -1,0 +1,92 @@
+"""Unit tests for text rendering (tables, comparisons, histograms, CDFs)."""
+
+import pytest
+
+from repro.util.render import (
+    ComparisonTable,
+    TextTable,
+    render_cdf,
+    render_histogram,
+)
+from repro.util.stats import empirical_cdf, histogram
+
+
+class TestTextTable:
+    def test_renders_headers_and_rows(self):
+        table = TextTable(headers=["a", "b"], title="T")
+        table.add_row("x", 1)
+        out = table.render()
+        assert "T" in out
+        assert "x" in out
+        assert "1" in out
+
+    def test_alignment_pads_columns(self):
+        table = TextTable(headers=["name", "v"])
+        table.add_row("long-name-here", 2)
+        table.add_row("x", 31)
+        lines = table.render().splitlines()
+        data_lines = lines[-2:]
+        # Both rows pad the first column to the same width, so the second
+        # column starts at the same character offset.
+        assert data_lines[0].index("2") == data_lines[1].index("31")
+
+    def test_wrong_arity_raises(self):
+        table = TextTable(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_thousands_separator(self):
+        table = TextTable(headers=["n"])
+        table.add_row(1234567)
+        assert "1,234,567" in table.render()
+
+
+class TestComparisonTable:
+    def test_delta_computed(self):
+        table = ComparisonTable("cmp")
+        table.add("metric", 100.0, 110.0)
+        out = table.render()
+        assert "+10.0%" in out
+
+    def test_missing_paper_value_renders_dash(self):
+        table = ComparisonTable("cmp")
+        table.add("metric", None, 5.0)
+        out = table.render()
+        assert "-" in out
+        assert "delta" in out
+
+    def test_percent_unit(self):
+        table = ComparisonTable("cmp")
+        table.add("metric", 19.3, 18.4, "%")
+        out = table.render()
+        assert "19.30%" in out
+        assert "18.40%" in out
+
+    def test_zero_paper_value_no_crash(self):
+        table = ComparisonTable("cmp")
+        table.add("metric", 0.0, 1.0)
+        assert "n/a" in table.render()
+
+
+class TestHistogramRendering:
+    def test_bars_scale_with_counts(self):
+        bins = histogram([1] * 10 + [6] * 5, [0, 5, 10])
+        out = render_histogram(bins, title="h", width=20)
+        lines = out.splitlines()
+        assert lines[0] == "h"
+        first_bar = lines[1].count("#")
+        second_bar = lines[2].count("#")
+        assert first_bar > second_bar > 0
+
+    def test_empty_bins_render(self):
+        bins = histogram([], [0, 1])
+        out = render_histogram(bins)
+        assert "0.00%" in out
+
+
+class TestCdfRendering:
+    def test_probes_rendered_in_order(self):
+        points = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        out = render_cdf(points, probes=[2.0, 4.0], title="cdf")
+        assert "50.00%" in out
+        assert "100.00%" in out

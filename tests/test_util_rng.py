@@ -1,0 +1,93 @@
+"""Unit tests for the deterministic RNG streams and Poisson sampler."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import RngStreams, poisson
+
+
+class TestRngStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RngStreams(seed=1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_different_names_are_independent_objects(self):
+        streams = RngStreams(seed=1)
+        assert streams.stream("a") is not streams.stream("b")
+
+    def test_deterministic_across_instances(self):
+        one = RngStreams(seed=42).stream("spam")
+        two = RngStreams(seed=42).stream("spam")
+        assert [one.random() for _ in range(10)] == [
+            two.random() for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        one = RngStreams(seed=1).stream("spam")
+        two = RngStreams(seed=2).stream("spam")
+        assert [one.random() for _ in range(5)] != [
+            two.random() for _ in range(5)
+        ]
+
+    def test_different_names_produce_different_sequences(self):
+        streams = RngStreams(seed=3)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_draws_on_one_stream_do_not_perturb_another(self):
+        baseline = RngStreams(seed=9)
+        expected = [baseline.stream("stable").random() for _ in range(5)]
+
+        perturbed = RngStreams(seed=9)
+        for _ in range(1000):
+            perturbed.stream("noisy").random()
+        observed = [perturbed.stream("stable").random() for _ in range(5)]
+        assert observed == expected
+
+    def test_child_namespacing_is_deterministic(self):
+        a = RngStreams(seed=5).child("campaigns").stream("c1")
+        b = RngStreams(seed=5).child("campaigns").stream("c1")
+        assert a.random() == b.random()
+
+    def test_child_differs_from_parent_stream(self):
+        streams = RngStreams(seed=5)
+        child_value = streams.child("x").stream("y").random()
+        parent_value = streams.stream("y").random()
+        assert child_value != parent_value
+
+
+class TestPoisson:
+    def test_zero_rate_returns_zero(self):
+        assert poisson(random.Random(0), 0.0) == 0
+
+    def test_negative_rate_returns_zero(self):
+        assert poisson(random.Random(0), -1.0) == 0
+
+    @pytest.mark.parametrize("lam", [0.1, 1.0, 5.0, 30.0])
+    def test_small_lambda_mean(self, lam):
+        rng = random.Random(123)
+        n = 4000
+        mean = sum(poisson(rng, lam) for _ in range(n)) / n
+        assert mean == pytest.approx(lam, rel=0.12)
+
+    def test_large_lambda_uses_normal_approximation(self):
+        rng = random.Random(7)
+        samples = [poisson(rng, 500.0) for _ in range(500)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(500.0, rel=0.05)
+        variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert variance == pytest.approx(500.0, rel=0.35)
+
+    @given(st.floats(min_value=0.0, max_value=100.0), st.integers(0, 2**32))
+    def test_always_nonnegative_integer(self, lam, seed):
+        value = poisson(random.Random(seed), lam)
+        assert isinstance(value, int)
+        assert value >= 0
+
+    def test_large_lambda_never_negative(self):
+        # The normal approximation is clamped at zero.
+        rng = random.Random(11)
+        assert all(poisson(rng, 51.0) >= 0 for _ in range(2000))

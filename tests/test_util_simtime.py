@@ -1,0 +1,75 @@
+"""Unit tests for simulated-time helpers."""
+
+import pytest
+
+from repro.util import simtime
+from repro.util.simtime import (
+    DAY,
+    HOUR,
+    MINUTE,
+    day_of,
+    format_duration,
+    format_timestamp,
+    is_weekend,
+    seconds_into_day,
+    weekday_of,
+)
+
+
+class TestDayArithmetic:
+    def test_day_of_epoch(self):
+        assert day_of(0) == 0
+
+    def test_day_of_boundary(self):
+        assert day_of(DAY - 1) == 0
+        assert day_of(DAY) == 1
+
+    def test_seconds_into_day(self):
+        assert seconds_into_day(3 * DAY + 42.0) == 42.0
+
+    def test_epoch_is_a_thursday(self):
+        # 2010-07-01 was a Thursday (weekday index 3).
+        assert weekday_of(0) == 3
+
+    def test_weekday_cycles(self):
+        assert weekday_of(7 * DAY) == weekday_of(0)
+
+    def test_weekend_detection(self):
+        # Epoch Thursday -> +2 days = Saturday, +3 = Sunday, +4 = Monday.
+        assert not is_weekend(0)
+        assert is_weekend(2 * DAY)
+        assert is_weekend(3 * DAY)
+        assert not is_weekend(4 * DAY)
+
+
+class TestFormatting:
+    def test_format_timestamp_epoch(self):
+        assert format_timestamp(0) == "2010-07-01T00:00:00"
+
+    def test_format_timestamp_mid_window(self):
+        # 92 days into the window lands in October.
+        assert format_timestamp(92 * DAY).startswith("2010-10-01")
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0, "0s"),
+            (59, "59s"),
+            (MINUTE, "1m"),
+            (90, "1m30s"),
+            (HOUR, "1h"),
+            (HOUR + 5 * MINUTE, "1h5m"),
+            (DAY, "1d"),
+            (DAY + HOUR, "1d1h"),
+            (25 * HOUR, "1d1h"),
+        ],
+    )
+    def test_format_duration(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_format_duration_negative(self):
+        assert format_duration(-90) == "-1m30s"
+
+    def test_constants_are_consistent(self):
+        assert simtime.WEEK == 7 * DAY
+        assert DAY == 24 * HOUR == 1440 * MINUTE

@@ -1,0 +1,187 @@
+"""Unit + property tests for the statistics toolkit, cross-checked against
+numpy where available."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    cdf_at,
+    empirical_cdf,
+    histogram,
+    mean,
+    median,
+    pearson,
+    percentile,
+    safe_ratio,
+    stddev,
+    variance,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMoments:
+    def test_mean_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_variance_constant_is_zero(self):
+        assert variance([4.0, 4.0, 4.0]) == 0.0
+
+    def test_stddev_matches_numpy(self):
+        data = [1.5, 2.5, 9.0, -3.0, 0.25]
+        assert stddev(data) == pytest.approx(np.std(data))
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_mean_matches_numpy(self, data):
+        assert mean(data) == pytest.approx(float(np.mean(data)), abs=1e-6)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_single_value(self):
+        assert percentile([42.0], 99.0) == 42.0
+
+    def test_bounds(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(
+        st.lists(finite_floats, min_size=2, max_size=40),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_matches_numpy_linear(self, data, pct):
+        assert percentile(data, pct) == pytest.approx(
+            float(np.percentile(data, pct)), abs=1e-6
+        )
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+
+    def test_matches_numpy(self):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        ys = [1.1, 1.9, 4.5, 7.2, 18.0]
+        assert pearson(xs, ys) == pytest.approx(
+            float(np.corrcoef(xs, ys)[0, 1])
+        )
+
+    @given(
+        st.lists(
+            st.tuples(finite_floats, finite_floats), min_size=2, max_size=30
+        )
+    )
+    def test_always_in_unit_interval(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        r = pearson(xs, ys)
+        assert -1.0 <= r <= 1.0
+        assert not math.isnan(r)
+
+
+class TestCdf:
+    def test_empirical_cdf_basic(self):
+        points = empirical_cdf([3.0, 1.0, 2.0])
+        assert [(p.value, p.fraction) for p in points] == [
+            (1.0, pytest.approx(1 / 3)),
+            (2.0, pytest.approx(2 / 3)),
+            (3.0, 1.0),
+        ]
+
+    def test_duplicates_collapse(self):
+        points = empirical_cdf([1.0, 1.0, 2.0])
+        assert len(points) == 2
+        assert points[0].fraction == pytest.approx(2 / 3)
+
+    def test_cdf_at_below_min_is_zero(self):
+        points = empirical_cdf([5.0, 10.0])
+        assert cdf_at(points, 4.9) == 0.0
+
+    def test_cdf_at_above_max_is_one(self):
+        points = empirical_cdf([5.0, 10.0])
+        assert cdf_at(points, 11.0) == 1.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_cdf_is_monotone_and_ends_at_one(self, data):
+        points = empirical_cdf(data)
+        fractions = [p.fraction for p in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+        values = [p.value for p in points]
+        assert values == sorted(values)
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        bins = histogram([1, 2, 3, 10, 11], [0, 5, 20])
+        assert [b.count for b in bins] == [3, 2]
+
+    def test_values_outside_edges_ignored(self):
+        bins = histogram([-5, 25], [0, 10, 20])
+        assert sum(b.count for b in bins) == 0
+
+    def test_right_edge_exclusive(self):
+        bins = histogram([10], [0, 10, 20])
+        assert [b.count for b in bins] == [0, 1]
+
+    def test_non_monotone_edges_raise(self):
+        with pytest.raises(ValueError):
+            histogram([1], [0, 0, 1])
+
+    def test_too_few_edges_raise(self):
+        with pytest.raises(ValueError):
+            histogram([1], [0])
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), max_size=100),
+    )
+    def test_total_count_preserved_inside_range(self, data):
+        edges = [0, 25, 50, 75, 100.0001]
+        bins = histogram(data, edges)
+        inside = sum(1 for v in data if 0 <= v < 100.0001)
+        assert sum(b.count for b in bins) == inside
+
+
+class TestSafeRatio:
+    def test_normal_division(self):
+        assert safe_ratio(1, 4) == 0.25
+
+    def test_zero_denominator(self):
+        assert safe_ratio(5, 0) == 0.0

@@ -1,0 +1,100 @@
+"""Unit tests for calibration constants and the size model."""
+
+import random
+
+import pytest
+
+from repro.core.message import MessageKind
+from repro.workload.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.workload.sizes import SizeModel
+
+
+class TestCalibration:
+    def test_spoof_mix_sums_to_one(self):
+        for affinity in (0.0, 0.0005, 0.05, 0.16, 0.9):
+            mix = DEFAULT_CALIBRATION.spoof_mix(affinity)
+            assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_trap_share_tracks_affinity(self):
+        mix = DEFAULT_CALIBRATION.spoof_mix(0.05)
+        assert mix["trap"] == pytest.approx(0.05)
+
+    def test_trap_share_capped(self):
+        assert DEFAULT_CALIBRATION.spoof_trap_frac(0.9) == 0.5
+
+    def test_trap_displaces_nonexistent(self):
+        clean = DEFAULT_CALIBRATION.spoof_mix(0.0)
+        dirty = DEFAULT_CALIBRATION.spoof_mix(0.1)
+        assert dirty["nonexistent"] == pytest.approx(
+            clean["nonexistent"] - 0.1
+        )
+        assert dirty["innocent"] == clean["innocent"]
+
+    def test_defaults_are_probabilities(self):
+        cal = DEFAULT_CALIBRATION
+        for name in (
+            "bot_ptr_prob",
+            "bot_listed_prob",
+            "legit_solve_prob",
+            "digest_review_prob",
+            "seed_whitelist_share",
+            "newsletter_seed_prob",
+        ):
+            value = getattr(cal, name)
+            assert 0.0 <= value <= 1.0, name
+
+    def test_attempt_distribution_sums_below_one(self):
+        # The residual mass folds into the last bucket (5 attempts).
+        assert sum(DEFAULT_CALIBRATION.captcha_attempts_probs) <= 1.0
+        assert len(DEFAULT_CALIBRATION.captcha_attempts_probs) == 5
+
+    def test_hour_weights_cover_a_day(self):
+        assert len(DEFAULT_CALIBRATION.legit_hour_weights) == 24
+        assert len(DEFAULT_CALIBRATION.spam_hour_weights) == 24
+
+    def test_calibration_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CALIBRATION.white_rate = 99.0  # type: ignore[misc]
+
+    def test_custom_calibration_override(self):
+        custom = Calibration(white_rate=2.0)
+        assert custom.white_rate == 2.0
+        assert custom.spam_valid_rate == DEFAULT_CALIBRATION.spam_valid_rate
+
+
+class TestSizeModel:
+    def _model(self):
+        return SizeModel(DEFAULT_CALIBRATION, random.Random(3))
+
+    def test_sizes_positive_and_capped(self):
+        model = self._model()
+        for _ in range(500):
+            for draw in (model.spam, model.legit, model.newsletter):
+                size = draw()
+                assert 500 <= size <= DEFAULT_CALIBRATION.size_cap
+
+    def test_legit_bigger_than_spam_on_average(self):
+        model = self._model()
+        n = 3000
+        spam_mean = sum(model.spam() for _ in range(n)) / n
+        legit_mean = sum(model.legit() for _ in range(n)) / n
+        assert legit_mean > spam_mean
+
+    def test_spam_median_near_calibration(self):
+        model = self._model()
+        sizes = sorted(model.spam() for _ in range(4001))
+        median = sizes[len(sizes) // 2]
+        assert median == pytest.approx(
+            DEFAULT_CALIBRATION.spam_size_median, rel=0.15
+        )
+
+    def test_challenge_size_fixed(self):
+        model = self._model()
+        assert model.challenge() == DEFAULT_CALIBRATION.challenge_size
+        assert model.challenge() == model.challenge()
+
+    def test_for_kind_dispatch(self):
+        model = self._model()
+        assert model.for_kind(MessageKind.SPAM) >= 500
+        assert model.for_kind(MessageKind.LEGIT) >= 500
+        assert model.for_kind(MessageKind.NEWSLETTER) >= 500

@@ -1,0 +1,159 @@
+"""Unit tests for spam campaigns and behaviour models."""
+
+import random
+
+import pytest
+
+from repro.core.message import MessageKind, SenderClass, make_message
+from repro.util.rng import RngStreams
+from repro.workload.behavior import BehaviorModel
+from repro.workload.calibration import DEFAULT_CALIBRATION
+from repro.workload.entities import build_world
+from repro.workload.scale import get_preset
+from repro.workload.spamcampaign import CampaignFactory
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(get_preset("tiny"), DEFAULT_CALIBRATION, RngStreams(5))
+
+
+@pytest.fixture()
+def campaign(world):
+    factory = CampaignFactory(DEFAULT_CALIBRATION, random.Random(1))
+    return factory.spawn(world, now=0.0)
+
+
+class TestCampaign:
+    def test_subject_long_enough_for_clustering(self, campaign):
+        low, high = DEFAULT_CALIBRATION.campaign_subject_words
+        assert low <= len(campaign.subject.split()) <= high
+
+    def test_activity_window(self, campaign):
+        assert campaign.active_at(campaign.start)
+        assert not campaign.active_at(campaign.end)
+
+    def test_bots_from_world_pool(self, world, campaign):
+        assert campaign.bot_ips
+        bot = campaign.sample_bot(random.Random(0))
+        assert bot in campaign.bot_ips
+
+    def test_sender_classes_match_company_mix(self, world, campaign):
+        rng = random.Random(2)
+        company = world.companies[0]
+        classes = []
+        for _ in range(3000):
+            _, sender_class = campaign.sample_sender(world, company, rng)
+            classes.append(sender_class)
+        mix = DEFAULT_CALIBRATION.spoof_mix(company.trap_affinity)
+        observed_innocent = classes.count(
+            SenderClass.INNOCENT_THIRD_PARTY
+        ) / len(classes)
+        assert observed_innocent == pytest.approx(mix["innocent"], abs=0.05)
+        observed_dead = classes.count(SenderClass.DEAD_DOMAIN) / len(classes)
+        assert observed_dead == pytest.approx(mix["dead_domain"], abs=0.05)
+
+    def test_sender_pool_reuse(self, world, campaign):
+        rng = random.Random(3)
+        company = world.companies[0]
+        senders = [
+            campaign.sample_sender(world, company, rng)[0] for _ in range(400)
+        ]
+        # Finite pools: substantially fewer distinct senders than draws.
+        assert len(set(senders)) < len(senders) * 0.8
+
+    def test_targets_are_subset_of_company_users(self, world, campaign):
+        rng = random.Random(4)
+        company = world.companies[0]
+        targets = {
+            campaign.sample_target(company, rng).address for _ in range(200)
+        }
+        all_users = {u.address for u in company.users}
+        assert targets <= all_users
+        coverage = len(targets) / len(all_users)
+        low, high = campaign.target_coverage
+        assert coverage <= high + 0.25
+
+    def test_factory_ids_unique(self, world):
+        factory = CampaignFactory(DEFAULT_CALIBRATION, random.Random(5))
+        a = factory.spawn(world, 0.0)
+        b = factory.spawn(world, 0.0)
+        assert a.campaign_id != b.campaign_id
+
+    def test_virus_campaigns_are_minority(self, world):
+        factory = CampaignFactory(DEFAULT_CALIBRATION, random.Random(6))
+        campaigns = [factory.spawn(world, 0.0) for _ in range(200)]
+        with_virus = sum(1 for c in campaigns if c.virus_prob > 0)
+        assert 0 < with_virus < 40
+
+
+class TestBehaviorModel:
+    def _model(self, world):
+        return BehaviorModel(world, DEFAULT_CALIBRATION, random.Random(7))
+
+    def test_solve_delay_distribution_shape(self, world):
+        model = self._model(world)
+        delays = [model._solve_delay() for _ in range(5000)]
+        under_5min = sum(1 for d in delays if d < 300) / len(delays)
+        under_30min = sum(1 for d in delays if d < 1800) / len(delays)
+        assert 0.15 < under_5min < 0.5
+        assert under_30min > under_5min
+        assert max(delays) <= 3 * 86400 * 1.01
+
+    def test_attempts_capped_at_five(self, world):
+        model = self._model(world)
+        attempts = [model._sample_attempts() for _ in range(5000)]
+        assert max(attempts) <= 5
+        assert min(attempts) >= 1
+        share_one = attempts.count(1) / len(attempts)
+        assert share_one == pytest.approx(
+            DEFAULT_CALIBRATION.captcha_attempts_probs[0], abs=0.05
+        )
+
+    def test_newsletter_solve_probs_include_marketing(self, world):
+        model = self._model(world)
+        for source in world.marketing_sources:
+            assert source.source_id in model._newsletter_solve_prob
+
+    @staticmethod
+    def _fresh_entry(kind=MessageKind.LEGIT):
+        from repro.core.spools import GrayEntry, GrayStatus
+
+        return GrayEntry(
+            message=make_message(0.0, "s@x.com", "u@c.com", kind=kind),
+            user="u@c.com",
+            entered_at=0.0,
+            expires_at=100.0,
+            challenge_id=None,
+            status=GrayStatus.PENDING,
+        )
+
+    def test_digest_review_sometimes_skipped(self, world):
+        model = self._model(world)
+        outcomes = {True: 0, False: 0}
+        for _ in range(300):
+            decisions = model.digest_review(
+                None, "u@c.com", [self._fresh_entry()], 0.0
+            )
+            outcomes[bool(decisions)] += 1
+        assert outcomes[True] > 0
+        assert outcomes[False] > 0
+
+    def test_digest_decisions_are_one_shot(self, world):
+        model = self._model(world)
+        entry = self._fresh_entry()
+        total = 0
+        for _ in range(200):
+            total += len(model.digest_review(None, "u@c.com", [entry], 0.0))
+        # Once decided (whitelist/delete/ignore), an entry is never
+        # re-decided on later digests.
+        assert total <= 1
+
+    def test_digest_never_whitelists_spam(self, world):
+        model = self._model(world)
+        from repro.core.digest import DigestAction
+
+        for _ in range(300):
+            entries = [self._fresh_entry(kind=MessageKind.SPAM)]
+            for decision in model.digest_review(None, "u@c.com", entries, 0.0):
+                assert decision.action is DigestAction.DELETE

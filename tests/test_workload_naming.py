@@ -1,0 +1,60 @@
+"""Unit + property tests for synthetic name generation."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import is_well_formed
+from repro.workload import naming
+
+seeds = st.integers(0, 2**32 - 1)
+
+
+class TestDomains:
+    @given(seeds)
+    def test_domains_are_valid_address_domains(self, seed):
+        domain = naming.make_domain(random.Random(seed))
+        assert is_well_formed(f"user@{domain}")
+
+    @given(seeds)
+    def test_suffix_embedded(self, seed):
+        domain = naming.make_domain(random.Random(seed), suffix="e7")
+        assert "-e7." in domain
+
+
+class TestLocals:
+    @given(seeds)
+    def test_person_locals_form_valid_addresses(self, seed):
+        local = naming.make_person_local(random.Random(seed))
+        assert is_well_formed(f"{local}@example.com")
+
+
+class TestSubjects:
+    @given(seeds, st.integers(10, 14))
+    def test_campaign_subject_word_count(self, seed, n_words):
+        subject = naming.make_campaign_subject(random.Random(seed), n_words)
+        assert len(subject.split()) == n_words
+
+    @given(seeds)
+    def test_short_subjects_are_short(self, seed):
+        subject = naming.make_short_subject(random.Random(seed))
+        assert 2 <= len(subject.split()) <= 6
+
+    @given(seeds, st.integers(1, 100))
+    def test_newsletter_subject_contains_issue_and_is_long(self, seed, issue):
+        subject = naming.make_newsletter_subject(random.Random(seed), issue)
+        assert f"issue {issue}" in subject
+        # Long enough to survive Fig. 6's >=10-word clustering filter.
+        assert len(subject.split()) >= 10
+
+    def test_campaign_subjects_deterministic_per_seed(self):
+        a = naming.make_campaign_subject(random.Random(5), 12)
+        b = naming.make_campaign_subject(random.Random(5), 12)
+        assert a == b
+
+
+class TestMalformed:
+    @given(seeds)
+    def test_malformed_addresses_are_actually_malformed(self, seed):
+        address = naming.make_malformed_address(random.Random(seed))
+        assert not is_well_formed(address)
