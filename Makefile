@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments reports stability clean
+.PHONY: install test bench experiments reports stability sweep goldens clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -19,8 +19,14 @@ experiments:
 stability:
 	$(PYTHON) scripts/scale_stability.py
 
+sweep:
+	$(PYTHON) -m repro sweep --preset tiny --runs 4 --jobs 4
+
+goldens:
+	$(PYTHON) scripts/update_goldens.py
+
 reports: bench experiments
 
 clean:
-	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis .cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -10,38 +10,64 @@ contributes to the published behaviour:
 * **dual outbound MTAs** — the §5.1 mitigation keeping user mail off the
   blacklisted challenge IP.
 
-Each ablation re-runs the `small` deployment under the modified
-configuration, so these benches measure end-to-end simulation cost too.
+The ablation fleet (the baseline `small` deployment plus each modified
+configuration) is independent run-by-run, so it executes once per module
+through the parallel runner — fanned out over worker processes when the
+machine has them — and every bench then times its analysis over the
+shared summaries.
 """
 
+import os
 from collections import defaultdict
+
+import pytest
 
 from repro.analysis import reflection
 from repro.core.config import FilterSettings
-from repro.experiments import run_simulation
+from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.util.render import TextTable
 from repro.util.simtime import DAY
 
 SEED = 11
 
+#: The whole ablation fleet, executed in one fan-out.
+SPECS = {
+    "baseline": RunSpec("small", seed=SEED, label="baseline"),
+    "no_filters": RunSpec(
+        "small",
+        seed=SEED,
+        filters_template=FilterSettings(
+            antivirus=False, reverse_dns=False, rbl=False
+        ),
+        label="no-auxiliary-filters",
+    ),
+    "no_dedup": RunSpec(
+        "small",
+        seed=SEED,
+        config_overrides={"challenge_dedup": False},
+        label="no-challenge-dedup",
+    ),
+}
 
-def test_ablation_auxiliary_filters(benchmark, emit_report):
+
+@pytest.fixture(scope="module")
+def ablation_summaries():
+    """Run the ablation fleet once, in parallel, uncached (benches measure)."""
+    jobs = min(len(SPECS), os.cpu_count() or 1)
+    runner = ParallelRunner(jobs=jobs, cache=None)
+    summaries = runner.run(list(SPECS.values()))
+    return dict(zip(SPECS, summaries))
+
+
+def test_ablation_auxiliary_filters(benchmark, emit_report, ablation_summaries):
     """Without the filter chain, R explodes toward the spam share."""
+    baseline = ablation_summaries["baseline"]
+    unfiltered = ablation_summaries["no_filters"]
 
-    def run_unfiltered():
-        return run_simulation(
-            "small",
-            seed=SEED,
-            filters_template=FilterSettings(
-                antivirus=False, reverse_dns=False, rbl=False
-            ),
-        )
-
-    unfiltered = benchmark.pedantic(run_unfiltered, rounds=1, iterations=1)
-    baseline = run_simulation("small", seed=SEED)
-
+    r_unfiltered = benchmark.pedantic(
+        reflection.compute, args=(unfiltered.store,), rounds=3, iterations=1
+    )
     r_base = reflection.compute(baseline.store)
-    r_unfiltered = reflection.compute(unfiltered.store)
     table = TextTable(
         headers=["configuration", "R (CR filter)", "beta", "challenges"],
         title="Ablation — auxiliary filters (Sec. 3.1's spam-multiplier bound)",
@@ -67,25 +93,22 @@ def test_ablation_auxiliary_filters(benchmark, emit_report):
     assert r_unfiltered.beta_cr > 2.5 * r_base.beta_cr
 
 
-def test_ablation_challenge_dedup(benchmark, emit_report):
+def test_ablation_challenge_dedup(benchmark, emit_report, ablation_summaries):
     """Without pending-challenge suppression, repeat senders get one
     challenge per message."""
+    baseline = ablation_summaries["baseline"]
+    nodedup = ablation_summaries["no_dedup"]
 
-    def run_nodedup():
-        return run_simulation(
-            "small", seed=SEED, config_overrides={"challenge_dedup": False}
+    def count_suppressed():
+        return sum(
+            1
+            for r in baseline.store.dispatch
+            if r.challenge_id is not None and not r.challenge_created
         )
 
-    nodedup = benchmark.pedantic(run_nodedup, rounds=1, iterations=1)
-    baseline = run_simulation("small", seed=SEED)
-
+    suppressed = benchmark.pedantic(count_suppressed, rounds=3, iterations=1)
     base_challenges = len(baseline.store.challenges)
     nodedup_challenges = len(nodedup.store.challenges)
-    suppressed = sum(
-        1
-        for r in baseline.store.dispatch
-        if r.challenge_id is not None and not r.challenge_created
-    )
     table = TextTable(
         headers=["configuration", "challenges sent", "suppressed duplicates"],
         title="Ablation — challenge de-duplication",
@@ -101,18 +124,18 @@ def test_ablation_challenge_dedup(benchmark, emit_report):
     assert nodedup_challenges >= base_challenges + 0.5 * suppressed
 
 
-def test_ablation_dual_outbound_mta(benchmark, emit_report):
+def test_ablation_dual_outbound_mta(benchmark, emit_report, ablation_summaries):
     """Dual-MTA installations keep user mail off the blacklisted IP."""
+    result = ablation_summaries["baseline"]
 
-    def run_baseline():
-        return run_simulation("small", seed=SEED)
+    def listed_days_by_ip():
+        listed = defaultdict(set)
+        for probe in result.store.probes:
+            if probe.listed:
+                listed[probe.ip].add(int(probe.t // DAY))
+        return listed
 
-    result = benchmark.pedantic(run_baseline, rounds=1, iterations=1)
-
-    listed_days = defaultdict(set)
-    for probe in result.store.probes:
-        if probe.listed:
-            listed_days[probe.ip].add(int(probe.t // DAY))
+    listed_days = benchmark.pedantic(listed_days_by_ip, rounds=3, iterations=1)
 
     table = TextTable(
         headers=["config", "challenge-IP listed-days", "user-IP listed-days"],
@@ -120,8 +143,7 @@ def test_ablation_dual_outbound_mta(benchmark, emit_report):
     )
     dual_user_days = 0
     dual_challenge_days = 0
-    for installation in result.installations.values():
-        config = installation.config
+    for config in result.company_configs.values():
         challenge_days = len(listed_days.get(config.challenge_ip, ()))
         user_days = len(listed_days.get(config.mta_out_ip, ()))
         if config.dual_outbound:

@@ -15,16 +15,25 @@ It also sweeps the Bayes decision threshold to show the FP/FN trade-off
 content filters are stuck with — the curve CR systems side-step by
 shifting the work to senders.
 
+The per-seed deployments are independent, so they fan out over the
+parallel runner (``--jobs``) and share the on-disk result cache.
+
 Usage::
 
     python examples/baseline_comparison.py [--preset tiny|small|bench]
+                                           [--runs N] [--jobs N] [--no-cache]
 """
 
 import argparse
 
-from repro.baselines.comparison import build_table, compare_defences
+from repro.baselines.comparison import (
+    build_table,
+    compare_defences,
+    defences_from_summaries,
+    render_sweep,
+)
 from repro.baselines.naive_bayes import NaiveBayesFilter, score_classifier
-from repro.experiments import run_simulation
+from repro.experiments import RunSpec, run_specs
 from repro.util.render import TextTable
 
 
@@ -32,13 +41,31 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--preset", default="small")
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--runs", type=int, default=3, help="independent seeds (default: 3)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="worker processes (default: 2)"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the .cache/runs/ cache"
+    )
     args = parser.parse_args()
 
-    print(f"Simulating preset={args.preset!r} ...")
-    result = run_simulation(args.preset, seed=args.seed)
+    seeds = [args.seed + offset for offset in range(args.runs)]
+    print(f"Simulating preset={args.preset!r} at seeds {seeds} ...")
+    summaries = run_specs(
+        [RunSpec(args.preset, seed=seed) for seed in seeds],
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
+    result = summaries[0]
     comparison = compare_defences(result.store)
     print()
     print(build_table(comparison).render())
+    if len(summaries) > 1:
+        print()
+        print(render_sweep(defences_from_summaries(summaries)))
 
     # Threshold sweep: the content filter's FP/FN trade-off curve.
     records = result.store.dispatch

@@ -9,16 +9,22 @@ actually *deploys* SPF in the product's filter chain, then compares:
 * the measured difference between the baseline deployment and one with
   the inline SPF filter (challenges avoided, solved challenges lost).
 
+The baseline and ablation runs are independent, so they fan out over the
+parallel runner (two worker processes by default) and land in the shared
+result cache — re-running the study with unchanged parameters simulates
+nothing.
+
 Usage::
 
     python examples/spf_ablation.py [--preset tiny|small] [--seed N]
+                                    [--jobs N] [--no-cache]
 """
 
 import argparse
 
 from repro.analysis import challenges, spf_study
 from repro.core.config import FilterSettings
-from repro.experiments import run_simulation
+from repro.experiments import RunSpec, run_specs
 from repro.util.render import TextTable
 
 
@@ -26,13 +32,27 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--preset", default="small")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="worker processes (default: 2)"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the .cache/runs/ cache"
+    )
     args = parser.parse_args()
 
-    print("Baseline run (no SPF, as deployed in the paper) ...")
-    baseline = run_simulation(args.preset, seed=args.seed)
-    print("Ablation run (inline SPF filter enabled) ...")
-    with_spf = run_simulation(
-        args.preset, seed=args.seed, filters_template=FilterSettings(spf=True)
+    print("Running baseline (no SPF) and inline-SPF deployments ...")
+    baseline, with_spf = run_specs(
+        [
+            RunSpec(args.preset, seed=args.seed, label="baseline"),
+            RunSpec(
+                args.preset,
+                seed=args.seed,
+                filters_template=FilterSettings(spf=True),
+                label="inline-spf",
+            ),
+        ],
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
     )
 
     print()

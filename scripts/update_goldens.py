@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Regenerate the committed golden reports under tests/goldens/.
+
+Run this ONLY when a change is *supposed* to alter simulation output
+(new mechanics, recalibration); commit the refreshed goldens with that
+change so the diff is reviewed. Perf refactors must leave these files
+byte-identical — that is the point of the goldens.
+
+Usage::
+
+    PYTHONPATH=src python scripts/update_goldens.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.analysis import engine_breakdown, flow, general_stats  # noqa: E402
+from repro.experiments import run_simulation  # noqa: E402
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "tests" / "goldens"
+
+#: exp_id -> renderer over the tiny/seed-7 run (must mirror
+#: tests/test_golden_reports.py).
+GOLDEN_RENDERERS = {
+    "fig1": lambda r: flow.render(r.store),
+    "fig3": lambda r: engine_breakdown.render(r.store),
+    "tab1": lambda r: general_stats.render(r.store, r.info),
+}
+
+
+def main() -> int:
+    result = run_simulation("tiny", seed=7)
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for exp_id, render in GOLDEN_RENDERERS.items():
+        path = GOLDEN_DIR / f"{exp_id}.txt"
+        path.write_text(render(result) + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -264,6 +264,18 @@ _CODECS: dict = {
 }
 
 
+def encoded_records(store: LogStore):
+    """Yield every record as ``(tag, payload_dict)`` in codec order.
+
+    The payloads are the exact JSON-ready dicts :func:`save_run` writes,
+    which makes this the canonical byte-stable serialisation of a store —
+    the parallel runner hashes it to fingerprint a run's content.
+    """
+    for tag, (attribute, encode, _decode) in _CODECS.items():
+        for record in getattr(store, attribute):
+            yield tag, encode(record)
+
+
 def save_run(store: LogStore, info: DeploymentInfo, path) -> int:
     """Write the store + metadata to *path*; returns records written."""
     written = 0

@@ -84,6 +84,16 @@ class LogStore:
     def add_probe(self, record: ProbeObservation) -> None:
         self.probes.append(record)
 
+    def drop_indices(self) -> None:
+        """Discard the lazily-built correlation indices.
+
+        They are pure caches over the record lists, so dropping them never
+        loses data; the parallel runner calls this before pickling a store
+        so worker→parent payloads carry records only.
+        """
+        self._outcome_by_challenge = None
+        self._web_by_challenge = None
+
     # -- correlation indices --------------------------------------------
 
     def outcome_of(

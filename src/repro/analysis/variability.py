@@ -172,3 +172,79 @@ def render(store: LogStore, info: DeploymentInfo) -> str:
             f"  corr({a}, {b}) = {stats.correlation(a, b):+.2f}   [{expectation}]"
         )
     return "\n\n".join(parts[:2]) + "\n\n" + "\n".join(parts[2:])
+
+
+# ----------------------------------------------------------------------
+# Multi-seed sweep: how stable are the Fig. 5 correlations run-to-run?
+# The paper observes one deployment; re-simulating across seeds shows
+# which of its qualitative findings are robust properties of the system
+# and which are one-sample accidents.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VariabilitySweep:
+    """Fig. 5 statistics recomputed over several independent seeds."""
+
+    #: ``(seed, stats)`` per run, in seed order.
+    per_seed: Sequence[tuple]
+
+    def correlations_of(self, a: str, b: str) -> list[float]:
+        return [stats.correlation(a, b) for _seed, stats in self.per_seed]
+
+
+def sweep_seeds(
+    preset="tiny",
+    seeds: Sequence[int] = (3, 5, 7),
+    jobs: int = 1,
+    runner=None,
+) -> VariabilitySweep:
+    """Re-run the deployment at every seed (fanned out over *jobs*
+    processes) and recompute the Fig. 5 statistics per run.
+
+    Pass an existing :class:`~repro.experiments.parallel.ParallelRunner`
+    as *runner* to share its cache and hit counters across studies.
+    """
+    from repro.experiments.parallel import ParallelRunner, RunSpec
+
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs)
+    summaries = runner.run([RunSpec(preset=preset, seed=s) for s in seeds])
+    return sweep_from_summaries(summaries)
+
+
+def sweep_from_summaries(summaries) -> VariabilitySweep:
+    """Fig. 5 sweep over already-executed runs (shared fan-outs)."""
+    return VariabilitySweep(
+        per_seed=tuple(
+            (summary.seed, compute(summary.store, summary.info))
+            for summary in summaries
+        )
+    )
+
+
+def build_sweep_table(sweep: VariabilitySweep) -> TextTable:
+    from repro.util.stats import median
+
+    table = TextTable(
+        headers=["pair", "min r", "median r", "max r", "paper expectation"],
+        title=(
+            "Fig. 5 — correlation stability across "
+            f"{len(sweep.per_seed)} seeds"
+        ),
+    )
+    for a, b, expectation in PAPER_EXPECTATIONS:
+        values = sweep.correlations_of(a, b)
+        table.add_row(
+            f"{a}~{b}",
+            f"{min(values):+.2f}",
+            f"{median(values):+.2f}",
+            f"{max(values):+.2f}",
+            expectation,
+        )
+    return table
+
+
+def render_sweep(sweep: VariabilitySweep) -> str:
+    seeds = ", ".join(str(seed) for seed, _stats in sweep.per_seed)
+    return build_sweep_table(sweep).render() + f"\n\nseeds: {seeds}"

@@ -123,3 +123,74 @@ def build_table(comparison: DefenceComparison) -> TextTable:
 
 def render(store: LogStore) -> str:
     return build_table(compare_defences(store)).render()
+
+
+# ----------------------------------------------------------------------
+# Multi-seed sweep: the Erickson comparison over independent deployments.
+# One simulated deployment gives one FP/FN point per defence; sweeping
+# seeds (fanned out over worker processes) shows the spread behind the
+# paper's "1 % FP, zero FN" headline numbers.
+# ----------------------------------------------------------------------
+
+
+def sweep_defences(
+    preset="tiny",
+    seeds=(3, 5, 7),
+    jobs: int = 1,
+    runner=None,
+    train_fraction: float = 0.3,
+) -> list[tuple[int, DefenceComparison]]:
+    """Run the CR-vs-Bayes comparison at every seed, in parallel.
+
+    Returns ``(seed, comparison)`` pairs in seed order. Pass an existing
+    :class:`~repro.experiments.parallel.ParallelRunner` as *runner* to
+    share its result cache and counters.
+    """
+    from repro.experiments.parallel import ParallelRunner, RunSpec
+
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs)
+    summaries = runner.run([RunSpec(preset=preset, seed=s) for s in seeds])
+    return defences_from_summaries(summaries, train_fraction)
+
+
+def defences_from_summaries(
+    summaries, train_fraction: float = 0.3
+) -> list[tuple[int, DefenceComparison]]:
+    """The comparison over already-executed runs (shared fan-outs)."""
+    return [
+        (summary.seed, compare_defences(summary.store, train_fraction))
+        for summary in summaries
+    ]
+
+
+def build_sweep_table(results) -> TextTable:
+    table = TextTable(
+        headers=["seed", "bayes FP", "bayes FN", "CR FP", "CR FN"],
+        title=(
+            "CR vs naive Bayes across "
+            f"{len(results)} independent deployments"
+        ),
+    )
+    for seed, comparison in results:
+        table.add_row(
+            seed,
+            f"{100.0 * comparison.bayes.false_positive_rate:.2f}%",
+            f"{100.0 * comparison.bayes.false_negative_rate:.2f}%",
+            f"{100.0 * comparison.cr_false_positive_rate:.2f}%",
+            f"{100.0 * comparison.cr_false_negative_rate:.4f}%",
+        )
+    if results:
+        n = len(results)
+        table.add_row(
+            "mean",
+            f"{100.0 * sum(c.bayes.false_positive_rate for _, c in results) / n:.2f}%",
+            f"{100.0 * sum(c.bayes.false_negative_rate for _, c in results) / n:.2f}%",
+            f"{100.0 * sum(c.cr_false_positive_rate for _, c in results) / n:.2f}%",
+            f"{100.0 * sum(c.cr_false_negative_rate for _, c in results) / n:.4f}%",
+        )
+    return table
+
+
+def render_sweep(results) -> str:
+    return build_sweep_table(results).render()

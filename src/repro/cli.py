@@ -4,6 +4,9 @@ Commands:
 
 * ``run`` — simulate a deployment and print summary statistics;
 * ``experiment`` — regenerate one (or all) of the paper's tables/figures;
+* ``sweep`` — re-simulate across several seeds in parallel (``--jobs``)
+  and report cross-seed stability of the Fig. 5 correlations and the
+  CR-vs-Bayes comparison;
 * ``list`` — list available experiments and scale presets.
 """
 
@@ -66,6 +69,39 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="COMPANY",
         help="company ids (e.g. c00 c07); default: top 3 by traffic",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="multi-seed re-simulation with parallel fan-out",
+    )
+    sweep_parser.add_argument(
+        "--preset",
+        default="tiny",
+        choices=preset_names(),
+        help="scale preset (default: tiny)",
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=3, help="first seed of the sweep"
+    )
+    sweep_parser.add_argument(
+        "--runs",
+        type=int,
+        default=3,
+        metavar="N",
+        help="number of consecutive seeds to simulate (default: 3)",
+    )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; 1 (default) runs serially in-process",
+    )
+    sweep_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache under .cache/runs/",
     )
 
     subparsers.add_parser("list", help="list experiments and presets")
@@ -149,6 +185,41 @@ def _command_company(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import variability
+    from repro.baselines import comparison
+    from repro.experiments.parallel import ParallelRunner, RunCache, RunSpec
+
+    if args.runs < 1:
+        print("--runs must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    seeds = [args.seed + offset for offset in range(args.runs)]
+    cache = None if args.no_cache else RunCache()
+    runner = ParallelRunner(jobs=args.jobs, cache=cache)
+
+    print(
+        f"sweeping preset={args.preset!r} over seeds {seeds} "
+        f"with jobs={args.jobs} ..."
+    )
+    summaries = runner.run(
+        [RunSpec(preset=args.preset, seed=seed) for seed in seeds]
+    )
+    print()
+    print(variability.render_sweep(variability.sweep_from_summaries(summaries)))
+    print()
+    print(
+        comparison.render_sweep(comparison.defences_from_summaries(summaries))
+    )
+    print(
+        f"\n{runner.runs_executed} simulated, {runner.cache_hits} from cache"
+        + ("" if cache is None else f" ({cache.root}/)")
+    )
+    return 0
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     print("experiments:")
     for exp_id in sorted(EXPERIMENTS):
@@ -168,6 +239,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_experiment(args)
     if args.command == "company":
         return _command_company(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     if args.command == "list":
         return _command_list(args)
     parser.print_help()

@@ -1,7 +1,25 @@
-"""Experiment orchestration: run the simulated deployment, then regenerate
-each of the paper's tables and figures from its logs."""
+"""Experiment orchestration: run the simulated deployment (serially or
+fanned out over a process pool), then regenerate each of the paper's
+tables and figures from its logs."""
 
 from repro.experiments.runner import SimulationResult, run_simulation
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.parallel import (
+    ParallelRunner,
+    RunCache,
+    RunSpec,
+    RunSummary,
+    run_specs,
+)
 
-__all__ = ["run_simulation", "SimulationResult", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "run_simulation",
+    "SimulationResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "ParallelRunner",
+    "RunCache",
+    "RunSpec",
+    "RunSummary",
+    "run_specs",
+]

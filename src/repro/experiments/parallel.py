@@ -1,0 +1,305 @@
+"""Parallel multi-run execution with deterministic result merging.
+
+Every multi-run study in this repo — the Fig. 5 variability sweep, the
+filter ablations, the baseline comparison — re-simulates the deployment
+across seeds and configurations, and each run is independent of the
+others. This module fans those runs out across worker processes and
+merges the results back **in spec order**, so callers see exactly the
+list they would have produced serially:
+
+    specs = [RunSpec("tiny", seed=s) for s in (3, 5, 7, 11)]
+    summaries = run_specs(specs, jobs=4)
+
+Three design points worth knowing:
+
+* **The pickling boundary.** :class:`~repro.experiments.runner.SimulationResult`
+  holds live objects — the :class:`~repro.sim.engine.Simulator` with its
+  scheduled closures, the installations, the monitor — none of which can
+  cross a process boundary. Workers therefore ship back a
+  :class:`RunSummary`: the :class:`~repro.analysis.store.LogStore` record
+  lists plus :class:`~repro.analysis.context.DeploymentInfo`, the static
+  per-company configs, the seed, the wall time, and a content digest of
+  the records. Everything the analysis layer consumes is in there; the
+  live simulation machinery stays in the worker and dies with it.
+
+* **Serial bypass.** ``jobs=1`` never touches ``multiprocessing`` at all:
+  specs execute inline, in order, in the calling process — bit-for-bit
+  the behaviour of calling :func:`run_simulation` in a loop. The worker
+  pool (preferring the ``fork`` start method so children share the
+  parent's hash seed) is only spun up for two or more uncached specs.
+
+* **The result cache.** Each spec hashes to a key covering the resolved
+  scale config, seed, calibration, filter template, config overrides, and
+  the package version; summaries are pickled under ``.cache/runs/<key>.pkl``
+  (override with ``$REPRO_CACHE_DIR``). Re-running a benchmark or ablation
+  sweep with an unchanged spec set performs zero simulations. The runner
+  counts ``cache_hits`` and ``runs_executed`` so tests can assert exactly
+  that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro._version import __version__
+from repro.analysis.context import DeploymentInfo
+from repro.analysis.persistence import encoded_records
+from repro.analysis.store import LogStore
+from repro.core.config import CompanyConfig, FilterSettings
+from repro.experiments.runner import SimulationResult, run_simulation
+from repro.workload.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.workload.scale import ScaleConfig, get_preset
+
+#: Default on-disk cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".cache/runs"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation job: everything ``run_simulation`` needs.
+
+    Deliberately excludes ``scenarios`` — attack scenarios hold arbitrary
+    callables and are not picklable; studies that need them run serially.
+    """
+
+    preset: Union[str, ScaleConfig] = "tiny"
+    seed: int = 7
+    calibration: Optional[Calibration] = None
+    filters_template: Optional[FilterSettings] = None
+    config_overrides: Optional[dict] = None
+    #: Free-form display name (not part of the cache key).
+    label: str = ""
+
+    def resolved_scale(self) -> ScaleConfig:
+        return (
+            get_preset(self.preset)
+            if isinstance(self.preset, str)
+            else self.preset
+        )
+
+    def cache_key(self) -> str:
+        """Content hash of the spec, tied to the package version.
+
+        Built from dataclass ``repr``s, which are deterministic for the
+        frozen config types involved; overrides are sorted so dict
+        insertion order never changes the key.
+        """
+        overrides = sorted((self.config_overrides or {}).items())
+        canonical = repr(
+            (
+                __version__,
+                self.resolved_scale(),
+                self.seed,
+                self.calibration or DEFAULT_CALIBRATION,
+                self.filters_template,
+                overrides,
+            )
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RunSummary:
+    """The picklable cross-process residue of one simulation run.
+
+    Carries the full measurement database (:class:`LogStore` — record
+    lists only, indices dropped) plus the static facts analyses and
+    ablation reports need. Live objects (simulator, installations,
+    world) never leave the worker.
+    """
+
+    store: LogStore
+    info: DeploymentInfo
+    #: Static per-company configuration (company_id -> config); stands in
+    #: for ``SimulationResult.installations`` in config-level analyses
+    #: such as the dual-MTA ablation.
+    company_configs: dict[str, CompanyConfig] = field(default_factory=dict)
+    seed: int = 0
+    wall_seconds: float = 0.0
+    #: SHA-256 over the canonical JSON encoding of every record, in codec
+    #: order — two runs with equal digests produced identical logs.
+    digest: str = ""
+
+
+def store_digest(store: LogStore) -> str:
+    """Content fingerprint of a measurement database.
+
+    Hashes the same JSON payloads :func:`repro.analysis.persistence.save_run`
+    would write, so the digest is stable across processes, platforms, and
+    hash-seed randomisation.
+    """
+    digest = hashlib.sha256()
+    for tag, payload in encoded_records(store):
+        digest.update(tag.encode("utf-8"))
+        digest.update(json.dumps(payload, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def summarize_result(result: SimulationResult) -> RunSummary:
+    """Boil a live :class:`SimulationResult` down to its picklable summary."""
+    result.store.drop_indices()
+    return RunSummary(
+        store=result.store,
+        info=result.info,
+        company_configs={
+            company_id: installation.config
+            for company_id, installation in result.installations.items()
+        },
+        seed=result.seed,
+        wall_seconds=result.wall_seconds,
+        digest=store_digest(result.store),
+    )
+
+
+def _execute_spec(spec: RunSpec) -> RunSummary:
+    """Worker entry point: one full simulation, summarised. Module-level
+    so the process pool can pickle it."""
+    result = run_simulation(
+        spec.preset,
+        seed=spec.seed,
+        calibration=spec.calibration,
+        filters_template=spec.filters_template,
+        config_overrides=spec.config_overrides,
+    )
+    return summarize_result(result)
+
+
+class RunCache:
+    """Pickle-per-key result cache under a directory.
+
+    Corrupt or unreadable entries are treated as misses — a half-written
+    file from an interrupted run never poisons later sweeps.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(
+            root or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        )
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str) -> Optional[RunSummary]:
+        try:
+            with open(self.path_for(key), "rb") as handle:
+                summary = pickle.load(handle)
+        except Exception:
+            # The unpickler raises a different exception type for nearly
+            # every flavour of truncation/garbage (UnpicklingError,
+            # EOFError, ValueError, KeyError, ...); any unreadable entry
+            # is simply a miss.
+            return None
+        return summary if isinstance(summary, RunSummary) else None
+
+    def save(self, key: str, summary: RunSummary) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so concurrent workers/readers never observe a
+        # partial pickle.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(summary, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+def _pool_context():
+    """Prefer ``fork`` so workers inherit the parent's hash seed; fall back
+    to the platform default elsewhere."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+class ParallelRunner:
+    """Executes batches of :class:`RunSpec` and merges results in spec order.
+
+    ``jobs=1`` (the default) runs everything inline — no pool, no pickling
+    of specs, identical to a serial loop. ``cache=None`` disables the
+    on-disk result cache entirely.
+    """
+
+    def __init__(
+        self, jobs: int = 1, cache: Optional[RunCache] = None
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        #: Specs answered from the on-disk cache, lifetime total.
+        self.cache_hits = 0
+        #: Specs actually simulated, lifetime total.
+        self.runs_executed = 0
+
+    def run(self, specs: Sequence[RunSpec]) -> list[RunSummary]:
+        """Execute every spec, returning summaries in spec order.
+
+        Completion order never matters: parallel results are matched back
+        to their originating index, so ``run(specs)[i]`` always belongs to
+        ``specs[i]``.
+        """
+        specs = list(specs)
+        results: list[Optional[RunSummary]] = [None] * len(specs)
+
+        pending: list[tuple[int, RunSpec]] = []
+        for index, spec in enumerate(specs):
+            cached = (
+                self.cache.load(spec.cache_key()) if self.cache else None
+            )
+            if cached is not None:
+                results[index] = cached
+                self.cache_hits += 1
+            else:
+                pending.append((index, spec))
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                completed = [
+                    (index, _execute_spec(spec)) for index, spec in pending
+                ]
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=_pool_context()
+                ) as pool:
+                    summaries = pool.map(
+                        _execute_spec, [spec for _, spec in pending]
+                    )
+                    completed = [
+                        (index, summary)
+                        for (index, _), summary in zip(pending, summaries)
+                    ]
+            for index, summary in completed:
+                results[index] = summary
+                self.runs_executed += 1
+                if self.cache:
+                    self.cache.save(specs[index].cache_key(), summary)
+
+        return results  # type: ignore[return-value]  # every slot is filled
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Union[str, Path, None] = None,
+) -> list[RunSummary]:
+    """One-shot convenience wrapper around :class:`ParallelRunner`."""
+    cache = RunCache(cache_dir) if use_cache else None
+    return ParallelRunner(jobs=jobs, cache=cache).run(specs)

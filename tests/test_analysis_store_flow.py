@@ -27,9 +27,38 @@ class TestLogStore:
     def test_outcome_index_invalidated_on_append(self):
         store = LogStore()
         rf.outcome(store, 1)
+        # Materialize the lazy index, then append: the new record must be
+        # visible on re-query (the append helper drops the stale index).
         assert store.outcome_of("c0", 1) is not None
+        assert store._outcome_by_challenge is not None
         rf.outcome(store, 2)
+        assert store._outcome_by_challenge is None
         assert store.outcome_of("c0", 2) is not None
+
+    def test_web_index_invalidated_on_append(self):
+        store = LogStore()
+        rf.web(store, 1, WebAction.OPEN, t=10.0)
+        assert len(store.web_events_of("c0", 1)) == 1
+        assert store._web_by_challenge is not None
+        rf.web(store, 1, WebAction.SOLVE, t=20.0)
+        assert store._web_by_challenge is None
+        assert [e.action for e in store.web_events_of("c0", 1)] == [
+            WebAction.OPEN,
+            WebAction.SOLVE,
+        ]
+
+    def test_drop_indices_discards_caches_without_losing_records(self):
+        store = LogStore()
+        rf.outcome(store, 1)
+        rf.web(store, 1, WebAction.OPEN, t=10.0)
+        store.outcome_of("c0", 1)
+        store.web_events_of("c0", 1)
+        store.drop_indices()
+        assert store._outcome_by_challenge is None
+        assert store._web_by_challenge is None
+        # Queries rebuild transparently.
+        assert store.outcome_of("c0", 1) is not None
+        assert len(store.web_events_of("c0", 1)) == 1
 
     def test_web_index_groups_events(self):
         store = LogStore()
@@ -46,6 +75,48 @@ class TestLogStore:
         rf.mta(store, company="c0")
         rf.mta(store, company="c2")
         assert store.company_ids() == ["c2", "c0"]
+
+
+class TestRunSummaryPickling:
+    def _summary(self):
+        from repro.analysis.context import DeploymentInfo
+        from repro.experiments.parallel import RunSummary, store_digest
+
+        store = LogStore()
+        rf.mta(store)
+        msg = rf.dispatch(store, challenge_id=1, challenge_created=True)
+        rf.outcome(store, 1)
+        rf.web(store, 1, WebAction.SOLVE, t=5.0)
+        rf.release(store, msg_id=msg, mechanism=ReleaseMechanism.CAPTCHA)
+        info = DeploymentInfo(
+            n_companies=1,
+            n_open_relays=0,
+            users_per_company={"c0": 5},
+            horizon_days=10.0,
+            min_cluster_size=2,
+        )
+        return RunSummary(
+            store=store,
+            info=info,
+            seed=7,
+            wall_seconds=0.1,
+            digest=store_digest(store),
+        )
+
+    def test_round_trips_through_pickle_unchanged(self):
+        import pickle
+
+        from repro.experiments.parallel import store_digest
+
+        summary = self._summary()
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone.digest == summary.digest
+        assert store_digest(clone.store) == summary.digest
+        assert clone.store.summary_counts() == summary.store.summary_counts()
+        assert clone.info == summary.info
+        assert clone.seed == summary.seed
+        # Correlation indices still work on the clone.
+        assert clone.store.outcome_of("c0", 1) is not None
 
 
 class TestMtaBreakdown:

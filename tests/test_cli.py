@@ -54,3 +54,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "=== fig1 ===" in out
         assert "=== sec31 ===" in out
+
+
+class TestSweep:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.runs == 3
+        assert args.jobs == 1
+        assert args.no_cache is False
+
+    def test_invalid_runs_rejected(self, capsys):
+        assert main(["sweep", "--runs", "0", "--no-cache"]) == 2
+        assert "--runs" in capsys.readouterr().err
+
+    def test_invalid_jobs_rejected(self, capsys):
+        assert main(["sweep", "--jobs", "0", "--no-cache"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_sweep_runs_and_reports_counters(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "runs"))
+        assert main(["sweep", "--preset", "tiny", "--seed", "3",
+                     "--runs", "1", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "correlation stability" in out
+        assert "1 simulated, 0 from cache" in out
+        # Second invocation answers from the cache: zero simulations.
+        assert main(["sweep", "--preset", "tiny", "--seed", "3",
+                     "--runs", "1", "--jobs", "1"]) == 0
+        assert "0 simulated, 1 from cache" in capsys.readouterr().out

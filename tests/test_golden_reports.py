@@ -1,0 +1,65 @@
+"""Golden-report regression tests.
+
+The Fig. 1 / Fig. 3 / Tab. 1 reports at ``tiny``/seed 7, compared
+line-by-line against the committed files in ``tests/goldens/``. These
+pin the *exact* simulation output: any refactor that perturbs event
+order, RNG stream consumption, or record emission — however subtly —
+fails here loudly instead of silently shifting every measured number.
+
+If a change is *meant* to alter the output, regenerate with::
+
+    PYTHONPATH=src python scripts/update_goldens.py
+
+and commit the refreshed goldens alongside the change.
+"""
+
+import difflib
+import pathlib
+
+import pytest
+
+from repro.analysis import engine_breakdown, flow, general_stats
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "goldens"
+
+#: exp_id -> renderer over the tiny/seed-7 run (must mirror
+#: scripts/update_goldens.py).
+GOLDEN_RENDERERS = {
+    "fig1": lambda r: flow.render(r.store),
+    "fig3": lambda r: engine_breakdown.render(r.store),
+    "tab1": lambda r: general_stats.render(r.store, r.info),
+}
+
+
+@pytest.mark.parametrize("exp_id", sorted(GOLDEN_RENDERERS))
+def test_report_matches_golden(exp_id, tiny_result):
+    golden_path = GOLDEN_DIR / f"{exp_id}.txt"
+    assert golden_path.exists(), (
+        f"missing golden {golden_path}; generate it with "
+        "`PYTHONPATH=src python scripts/update_goldens.py`"
+    )
+    expected = golden_path.read_text(encoding="utf-8").splitlines()
+    actual = (GOLDEN_RENDERERS[exp_id](tiny_result) + "\n").splitlines()
+
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected,
+                actual,
+                fromfile=f"goldens/{exp_id}.txt",
+                tofile="rendered",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"{exp_id} report drifted from its golden — if intentional, "
+            f"rerun scripts/update_goldens.py and commit.\n{diff}"
+        )
+
+
+def test_goldens_have_no_stray_files():
+    """Every committed golden corresponds to a rendered report."""
+    stray = {
+        path.stem for path in GOLDEN_DIR.glob("*.txt")
+    } - set(GOLDEN_RENDERERS)
+    assert not stray, f"goldens without a renderer: {sorted(stray)}"

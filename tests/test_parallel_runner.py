@@ -1,0 +1,188 @@
+"""The parallel execution layer's contract: determinism, ordering, caching.
+
+The one property everything downstream leans on: fanning runs out over a
+process pool changes *nothing* about the results — same content digests,
+same spec order — so `jobs=N` is always a pure wall-time optimisation.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.parallel import (
+    ParallelRunner,
+    RunCache,
+    RunSpec,
+    RunSummary,
+    run_specs,
+)
+from repro.core.config import FilterSettings
+
+#: The sweep both execution modes must agree on.
+SPECS = [RunSpec("tiny", seed=3), RunSpec("tiny", seed=5)]
+
+
+@pytest.fixture(scope="module")
+def serial_summaries():
+    """The sweep, executed on the jobs=1 bypass (no multiprocessing)."""
+    return ParallelRunner(jobs=1, cache=None).run(SPECS)
+
+
+class TestDeterminism:
+    def test_jobs4_digests_match_jobs1(self, serial_summaries):
+        """The acceptance gate: parallel output is bit-identical to serial."""
+        parallel_summaries = ParallelRunner(jobs=4, cache=None).run(SPECS)
+        assert [s.digest for s in parallel_summaries] == [
+            s.digest for s in serial_summaries
+        ]
+        # Digest equality is meaningful: it covers every record list.
+        assert all(len(s.digest) == 64 for s in parallel_summaries)
+        for serial, par in zip(serial_summaries, parallel_summaries):
+            assert serial.store.summary_counts() == par.store.summary_counts()
+
+    def test_results_in_spec_order(self, serial_summaries):
+        assert [s.seed for s in serial_summaries] == [s.seed for s in SPECS]
+        # Different seeds really did produce different runs.
+        assert serial_summaries[0].digest != serial_summaries[1].digest
+
+    def test_summary_carries_analysis_inputs(self, serial_summaries):
+        summary = serial_summaries[0]
+        assert summary.store.summary_counts()["mta"] > 0
+        assert summary.info.n_companies == 6
+        assert set(summary.company_configs) == set(
+            summary.info.users_per_company
+        )
+        assert summary.wall_seconds > 0
+
+
+class TestSerialBypass:
+    def test_jobs1_never_touches_multiprocessing(self, monkeypatch):
+        """The jobs=1 path must not even construct a pool."""
+
+        def explode(*_args, **_kwargs):
+            raise AssertionError("jobs=1 must not create a process pool")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", explode)
+        runner = ParallelRunner(jobs=1, cache=None)
+        [summary] = runner.run([RunSpec("tiny", seed=3)])
+        assert summary.seed == 3
+
+    def test_single_pending_spec_skips_pool_even_with_jobs4(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel,
+            "ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("pool")),
+        )
+        runner = ParallelRunner(jobs=4, cache=None)
+        [summary] = runner.run([RunSpec("tiny", seed=3)])
+        assert summary.seed == 3
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=0)
+
+
+class TestCache:
+    def test_cached_sweep_performs_zero_simulations(
+        self, tmp_path, serial_summaries
+    ):
+        """Second invocation of a cached sweep is simulation-free."""
+        cache = RunCache(tmp_path / "runs")
+        # Warm the cache from the already-executed serial summaries.
+        for spec, summary in zip(SPECS, serial_summaries):
+            cache.save(spec.cache_key(), summary)
+
+        runner = ParallelRunner(jobs=4, cache=cache)
+        summaries = runner.run(SPECS)
+        assert runner.runs_executed == 0
+        assert runner.cache_hits == len(SPECS)
+        assert [s.digest for s in summaries] == [
+            s.digest for s in serial_summaries
+        ]
+
+    def test_runner_populates_cache_on_miss(self, tmp_path):
+        cache = RunCache(tmp_path / "runs")
+        first = ParallelRunner(jobs=1, cache=cache)
+        first.run([RunSpec("tiny", seed=3)])
+        assert (first.cache_hits, first.runs_executed) == (0, 1)
+        assert cache.path_for(RunSpec("tiny", seed=3).cache_key()).exists()
+
+        second = ParallelRunner(jobs=1, cache=cache)
+        second.run([RunSpec("tiny", seed=3)])
+        assert (second.cache_hits, second.runs_executed) == (1, 0)
+
+    @pytest.mark.parametrize(
+        "junk",
+        [
+            b"not a pickle",
+            b"garbage\n",  # 'g' is a GET opcode: raises ValueError, not
+            b"",           # UnpicklingError — load() must eat both
+            pickle.dumps({"not": "a RunSummary"}),
+        ],
+    )
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path, junk):
+        cache = RunCache(tmp_path / "runs")
+        key = SPECS[0].cache_key()
+        cache.root.mkdir(parents=True)
+        cache.path_for(key).write_bytes(junk)
+        assert cache.load(key) is None
+
+    def test_run_specs_respects_use_cache_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "runs"))
+        run_specs([RunSpec("tiny", seed=3)], jobs=1, use_cache=False)
+        assert not (tmp_path / "runs").exists()
+
+
+class TestSpecKeys:
+    def test_key_stable_and_order_insensitive(self):
+        spec_a = RunSpec("tiny", seed=3, config_overrides={"a": 1, "b": 2})
+        spec_b = RunSpec("tiny", seed=3, config_overrides={"b": 2, "a": 1})
+        assert spec_a.cache_key() == spec_b.cache_key()
+
+    def test_key_distinguishes_every_axis(self):
+        base = RunSpec("tiny", seed=3)
+        variants = [
+            RunSpec("small", seed=3),
+            RunSpec("tiny", seed=4),
+            RunSpec("tiny", seed=3, filters_template=FilterSettings(spf=True)),
+            RunSpec(
+                "tiny", seed=3, config_overrides={"challenge_dedup": False}
+            ),
+        ]
+        keys = {base.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_label_not_part_of_key(self):
+        assert (
+            RunSpec("tiny", seed=3, label="x").cache_key()
+            == RunSpec("tiny", seed=3).cache_key()
+        )
+
+
+class TestSummaryPickling:
+    def test_summary_round_trips_through_pickle(self, serial_summaries):
+        summary = serial_summaries[0]
+        clone = pickle.loads(pickle.dumps(summary))
+        assert isinstance(clone, RunSummary)
+        assert clone.digest == summary.digest
+        assert clone.store.summary_counts() == summary.store.summary_counts()
+        assert parallel.store_digest(clone.store) == summary.digest
+        assert clone.info == summary.info
+
+
+class TestSweepConsumers:
+    def test_variability_and_defence_sweeps_share_one_fanout(
+        self, serial_summaries
+    ):
+        from repro.analysis import variability
+        from repro.baselines import comparison
+
+        sweep = variability.sweep_from_summaries(serial_summaries)
+        assert [seed for seed, _stats in sweep.per_seed] == [3, 5]
+        rendered = variability.render_sweep(sweep)
+        assert "correlation stability across 2 seeds" in rendered
+
+        results = comparison.defences_from_summaries(serial_summaries)
+        assert [seed for seed, _cmp in results] == [3, 5]
+        assert "2 independent deployments" in comparison.render_sweep(results)

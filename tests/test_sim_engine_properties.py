@@ -1,0 +1,132 @@
+"""Property-style tests for the discrete-event engine.
+
+Seeded stdlib ``random`` drives randomized schedules — including
+callbacks that schedule further events and cancellations mid-run — and
+checks the invariants every simulation model relies on:
+
+* events fire in nondecreasing time order, ties broken FIFO by ``seq``;
+* scheduling into the past or with a negative delay raises
+  :class:`SimulationError`;
+* ``events_processed`` counts exactly the callbacks that fired.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+SEEDS = range(8)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_schedule_fires_in_nondecreasing_time_order(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    for _ in range(300):
+        # Coarse-grained times so equal timestamps occur often.
+        at = float(rng.randrange(0, 40))
+        sim.schedule(at, lambda at=at: fired.append(at))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == 300
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_equal_times_break_ties_fifo_by_seq(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    events = []
+    for _ in range(200):
+        at = float(rng.randrange(0, 10))  # heavy collisions by design
+        event = sim.schedule(at, lambda: None)
+        event.action = lambda e=event: fired.append((e.time, e.seq))
+        events.append(event)
+    sim.run()
+    # Global order is exactly sort-by-(time, seq): among same-time events
+    # the earlier-scheduled (lower seq) one always fires first.
+    assert fired == sorted(fired)
+    assert len(fired) == len(events)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_callbacks_scheduling_more_work_stay_time_ordered(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+
+    def make_action(depth):
+        def action():
+            fired.append(sim.now)
+            if depth > 0 and rng.random() < 0.7:
+                sim.schedule_after(rng.uniform(0.0, 5.0), make_action(depth - 1))
+
+        return action
+
+    for _ in range(50):
+        sim.schedule(rng.uniform(0.0, 20.0), make_action(3))
+    sim.run()
+    assert fired == sorted(fired)
+    assert sim.events_processed == len(fired)
+    assert sim.pending == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scheduling_into_the_past_raises(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    sim.schedule(rng.uniform(1.0, 10.0), lambda: None)
+    sim.run()
+    assert sim.now > 0.0
+    with pytest.raises(SimulationError):
+        sim.schedule(sim.now - rng.uniform(0.001, sim.now), lambda: None)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_negative_delay_raises(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_after(-rng.uniform(0.001, 100.0), lambda: None)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_events_processed_counts_fired_callbacks_only(seed):
+    """Cancelled events are skipped: they neither fire nor count."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    events = []
+    for index in range(200):
+        at = rng.uniform(0.0, 50.0)
+        events.append(sim.schedule(at, lambda i=index: fired.append(i)))
+    cancelled = rng.sample(events, k=60)
+    for event in cancelled:
+        event.cancel()
+    sim.run()
+    assert len(fired) == 200 - 60
+    assert sim.events_processed == len(fired)
+    # Events are scheduled one per index, so seq == callback index here.
+    assert set(fired).isdisjoint({e.seq for e in cancelled})
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_run_until_is_half_open_and_advances_clock(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    boundary = 10.0
+    times = sorted(rng.uniform(0.0, 20.0) for _ in range(100))
+    times.append(boundary)  # an event exactly at the boundary
+    for at in times:
+        sim.schedule(at, lambda at=at: fired.append(at))
+    sim.run(until=boundary)
+    assert all(at < boundary for at in fired)
+    assert sim.now == boundary
+    before = len(fired)
+    sim.run()
+    assert len(fired) == len(times)
+    assert fired[before:] == sorted(fired[before:])
+    assert all(at >= boundary for at in fired[before:])
