@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Profile one full simulation + report generation with cProfile.
+
+Future perf PRs should start from this data instead of guessing: the
+harness runs ``run_simulation`` at a chosen preset, renders every report
+off the resulting store, and prints the top cumulative hotspots of each
+stage separately (the simulation and the analysis have very different
+profiles and optimising one tells you nothing about the other).
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_run.py --preset small --seed 11
+    PYTHONPATH=src python scripts/profile_run.py --top 40 --sort tottime
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pathlib
+import pstats
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.experiments import run_simulation  # noqa: E402
+from repro.experiments.registry import run_all  # noqa: E402
+
+
+def _print_stats(profiler: cProfile.Profile, sort: str, top: int) -> None:
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--preset",
+        default="small",
+        help="scale preset to simulate (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--top", type=int, default=25, help="hotspot rows to print per stage"
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        help="pstats sort key (cumulative, tottime, ncalls, ...)",
+    )
+    args = parser.parse_args(argv)
+
+    sim_profiler = cProfile.Profile()
+    sim_profiler.enable()
+    result = run_simulation(args.preset, seed=args.seed)
+    sim_profiler.disable()
+
+    result.store.drop_indices()  # profile a cold analysis index
+    report_profiler = cProfile.Profile()
+    started = time.perf_counter()
+    report_profiler.enable()
+    report = run_all(result)
+    report_profiler.disable()
+    report_seconds = time.perf_counter() - started
+
+    counts = result.store.summary_counts()
+    print(f"preset={args.preset} seed={args.seed}")
+    print(
+        f"simulation: {result.wall_seconds:.2f}s wall, "
+        f"{result.simulator.events_processed} events, "
+        f"{sum(counts.values())} log records"
+    )
+    stats = result.cache_stats
+    print(
+        "substrate caches: "
+        f"dns {stats.dns_hits}/{stats.dns_hits + stats.dns_misses} hit "
+        f"({100 * stats.dns_hit_rate:.1f}%), "
+        f"dnsbl {stats.dnsbl_hits}/{stats.dnsbl_hits + stats.dnsbl_misses} "
+        f"({100 * stats.dnsbl_hit_rate:.1f}%), "
+        f"route {stats.route_hits}/{stats.route_hits + stats.route_misses} "
+        f"({100 * stats.route_hit_rate:.1f}%)"
+    )
+    print(f"report generation: {report_seconds:.3f}s, {len(report)} chars")
+
+    print(f"\n--- simulation hotspots (top {args.top}, {args.sort}) ---")
+    _print_stats(sim_profiler, args.sort, args.top)
+    print(f"\n--- report-generation hotspots (top {args.top}, {args.sort}) ---")
+    _print_stats(report_profiler, args.sort, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,15 +15,12 @@ Two measurement methods, exactly as in the paper:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Sequence
 from dataclasses import dataclass
 
 from repro.analysis.context import DeploymentInfo
 from repro.analysis.store import LogStore
-from repro.net.smtp import BounceReason
 from repro.util.render import ComparisonTable, TextTable
-from repro.util.simtime import DAY
 from repro.util.stats import pearson, safe_ratio
 
 
@@ -78,34 +75,28 @@ class BlacklistingStats:
 
 
 def compute(store: LogStore, info: DeploymentInfo) -> BlacklistingStats:
-    challenges_by_company: dict = defaultdict(int)
-    challenges_by_ip: dict = defaultdict(int)
-    for record in store.challenges:
-        challenges_by_company[record.company_id] += 1
-        challenges_by_ip[record.server_ip] += 1
-
-    bounces_by_company: dict = defaultdict(int)
-    for outcome in store.challenge_outcomes:
-        if outcome.bounce_reason is BounceReason.BLACKLISTED:
-            bounces_by_company[outcome.company_id] += 1
+    index = store.index()
+    challenges_by_company = index.challenges.per_company
+    challenges_by_ip = index.challenges.per_ip
+    outcomes_per_company = index.outcomes.per_company
 
     companies = [
         CompanyBlacklisting(
             company_id=company_id,
             challenges_sent=challenges_by_company[company_id],
-            blacklist_bounces=bounces_by_company.get(company_id, 0),
+            blacklist_bounces=(
+                outcomes_per_company[company_id].bounced_blacklisted
+                if company_id in outcomes_per_company
+                else 0
+            ),
         )
         for company_id in sorted(challenges_by_company)
     ]
 
-    listed_days_by_ip: dict = defaultdict(set)
-    probed_ips: set = set()
-    probe_days: set = set()
-    for probe in store.probes:
-        probed_ips.add(probe.ip)
-        probe_days.add(int(probe.t // DAY))
-        if probe.listed:
-            listed_days_by_ip[probe.ip].add(int(probe.t // DAY))
+    probes = index.probes
+    listed_days_by_ip = probes.listed_days_by_ip
+    probed_ips = probes.probed_ips
+    probe_days = probes.probe_days
     servers = [
         ServerListing(
             ip=ip,

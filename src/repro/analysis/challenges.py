@@ -19,8 +19,6 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.analysis.store import LogStore
-from repro.core.challenge import WebAction
-from repro.net.smtp import BounceReason, FinalStatus
 from repro.util.render import ComparisonTable, TextTable
 from repro.util.stats import safe_ratio
 
@@ -75,38 +73,13 @@ class ChallengeStats:
 
 
 def compute(store: LogStore) -> ChallengeStats:
-    sent = len(store.challenges)
-    delivered = bounced_nonexistent = bounced_blacklisted = 0
-    bounced_other = expired = resolved = 0
-    delivered_ids: set = set()
-    for outcome in store.challenge_outcomes:
-        resolved += 1
-        if outcome.status is FinalStatus.DELIVERED:
-            delivered += 1
-            delivered_ids.add((outcome.company_id, outcome.challenge_id))
-        elif outcome.status is FinalStatus.EXPIRED:
-            expired += 1
-        elif outcome.bounce_reason is BounceReason.NONEXISTENT_RECIPIENT:
-            bounced_nonexistent += 1
-        elif outcome.bounce_reason is BounceReason.BLACKLISTED:
-            bounced_blacklisted += 1
-        else:
-            bounced_other += 1
-
-    opened_ids: set = set()
-    solved_ids: set = set()
-    attempts_by_challenge: Counter = Counter()
-    for event in store.web_access:
-        key = (event.company_id, event.challenge_id)
-        if event.action is WebAction.OPEN:
-            opened_ids.add(key)
-        elif event.action is WebAction.ATTEMPT:
-            opened_ids.add(key)
-            attempts_by_challenge[key] += 1
-        elif event.action is WebAction.SOLVE:
-            opened_ids.add(key)
-            attempts_by_challenge[key] += 1
-            solved_ids.add(key)
+    index = store.index()
+    outcomes = index.outcomes
+    web = index.web
+    delivered_ids = outcomes.delivered_ids
+    opened_ids = web.opened_ids
+    solved_ids = web.solved_ids
+    attempts_by_challenge = web.attempts_by_challenge
 
     attempts_histogram: Counter = Counter()
     for key in solved_ids:
@@ -115,13 +88,13 @@ def compute(store: LogStore) -> ChallengeStats:
     opened_delivered = opened_ids & delivered_ids
     solved_delivered = solved_ids & delivered_ids
     return ChallengeStats(
-        sent=sent,
-        resolved=resolved,
-        delivered=delivered,
-        bounced_nonexistent=bounced_nonexistent,
-        bounced_blacklisted=bounced_blacklisted,
-        bounced_other=bounced_other,
-        expired=expired,
+        sent=len(store.challenges),
+        resolved=outcomes.resolved,
+        delivered=outcomes.delivered,
+        bounced_nonexistent=outcomes.bounced_nonexistent,
+        bounced_blacklisted=outcomes.bounced_blacklisted,
+        bounced_other=outcomes.bounced_other,
+        expired=outcomes.expired,
         opened=len(opened_delivered),
         solved=len(solved_delivered),
         visited_not_solved=len(opened_delivered - solved_delivered),

@@ -18,7 +18,6 @@ run's effective churn days (horizon × volume scale — see
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -66,9 +65,7 @@ class DigestSeries:
 
 def compute(store: LogStore, info: DeploymentInfo) -> ChurnStats:
     effective_days = max(info.effective_churn_days, 1e-9)
-    counts: dict = defaultdict(int)
-    for change in store.whitelist_changes:
-        counts[(change.company_id, change.user)] += 1
+    counts = store.index().whitelist.per_user_counts
 
     per_60d = sorted(
         count * 60.0 / effective_days for count in counts.values()
@@ -106,11 +103,7 @@ def pick_digest_examples(
 ) -> list[DigestSeries]:
     """Fig. 10: pick contrasted users — biggest mean digest, the median
     user, and the burstiest (largest peak/mean ratio)."""
-    series: dict = defaultdict(dict)
-    for record in store.digests:
-        series[(record.company_id, record.user)][record.day] = (
-            record.pending_count
-        )
+    series = store.index().digests.per_user_series
     candidates = [
         DigestSeries(company_id=key[0], user=key[1], series=values)
         for key, values in series.items()

@@ -18,15 +18,12 @@ spurious spam delivery per 10,000 challenges.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.context import DeploymentInfo
 from repro.analysis.store import LogStore
-from repro.core.challenge import WebAction
-from repro.core.message import MessageKind
-from repro.core.spools import Category, ReleaseMechanism
 from repro.net.smtp import BounceReason
 from repro.util.render import ComparisonTable, TextTable
 from repro.util.stats import safe_ratio
@@ -92,28 +89,19 @@ class ClusteringStats:
 def compute(store: LogStore, info: DeploymentInfo) -> ClusteringStats:
     """Cluster quarantined gray messages by exact subject."""
     min_size = info.min_cluster_size
+    index = store.index()
 
-    # Collect quarantined messages (the gray spool: gray and not
-    # filter-dropped), keyed by subject.
-    by_subject: dict = defaultdict(list)
-    for record in store.dispatch:
-        if record.category is not Category.GRAY or record.filter_drop is not None:
-            continue
-        if len(record.subject.split()) < MIN_SUBJECT_WORDS:
-            continue
-        by_subject[record.subject].append(record)
-
-    solved_ids = {
-        (w.company_id, w.challenge_id)
-        for w in store.web_access
-        if w.action is WebAction.SOLVE
-    }
-    outcome_by_id = {
-        (o.company_id, o.challenge_id): o for o in store.challenge_outcomes
-    }
+    # Quarantined messages (the gray spool: gray and not filter-dropped)
+    # arrive pre-grouped by subject; the word-count filter applies per
+    # subject, so filtering groups here matches filtering records.
+    by_subject = index.dispatch.quarantined_by_subject
+    solved_ids = index.web.solved_ids
+    outcome_by_id = index.outcomes.by_challenge
 
     clusters = []
     for subject, records in by_subject.items():
+        if len(subject.split()) < MIN_SUBJECT_WORDS:
+            continue
         if len(records) < min_size:
             continue
         senders = {r.env_from for r in records}
@@ -149,11 +137,7 @@ def compute(store: LogStore, info: DeploymentInfo) -> ClusteringStats:
         )
     clusters.sort(key=lambda c: c.size, reverse=True)
 
-    spurious = sum(
-        1
-        for r in store.releases
-        if r.mechanism is ReleaseMechanism.CAPTCHA and r.kind is MessageKind.SPAM
-    )
+    spurious = index.releases.captcha_spam
     return ClusteringStats(
         clusters=clusters,
         spurious_deliveries=spurious,

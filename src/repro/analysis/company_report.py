@@ -9,18 +9,15 @@ it from the shared logs.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.analysis.context import DeploymentInfo
 from repro.analysis.store import LogStore
-from repro.core.challenge import WebAction
 from repro.core.mta_in import DropReason
-from repro.core.spools import Category, ReleaseMechanism
-from repro.net.smtp import BounceReason, FinalStatus
+from repro.core.spools import ReleaseMechanism
 from repro.util.render import TextTable
-from repro.util.simtime import DAY
 from repro.util.stats import safe_ratio
 
 
@@ -68,70 +65,44 @@ def compute(
 
     Raises ``KeyError`` when the company never appears in the MTA logs.
     """
-    inbound_total = 0
-    dropped: Counter = Counter()
-    open_relay = False
-    for record in store.mta:
-        if record.company_id != company_id:
-            continue
-        inbound_total += 1
-        open_relay = record.open_relay
-        if record.drop_reason is not None:
-            dropped[record.drop_reason] += 1
-    if inbound_total == 0:
+    index = store.index()
+    mta = index.mta.per_company.get(company_id)
+    if mta is None or mta.total == 0:
         raise KeyError(f"no traffic recorded for company {company_id!r}")
+    inbound_total = mta.total
+    dropped = mta.drops
+    open_relay = mta.open_relay
 
-    white = black = gray = 0
-    filter_drops: Counter = Counter()
-    for record in store.dispatch:
-        if record.company_id != company_id:
-            continue
-        if record.category is Category.WHITE:
-            white += 1
-        elif record.category is Category.BLACK:
-            black += 1
-        else:
-            gray += 1
-            if record.filter_drop:
-                filter_drops[record.filter_drop] += 1
+    dispatch = index.dispatch.per_company.get(company_id)
+    if dispatch is not None:
+        white, black, gray = dispatch.white, dispatch.black, dispatch.gray
+        filter_drops = dispatch.filter_drops
+    else:
+        white = black = gray = 0
+        filter_drops = Counter()
 
-    challenges_sent = 0
-    server_ips = set()
-    for record in store.challenges:
-        if record.company_id == company_id:
-            challenges_sent += 1
-            server_ips.add(record.server_ip)
+    challenges_sent = index.challenges.per_company.get(company_id, 0)
+    server_ips = index.challenges.server_ips_by_company.get(company_id, set())
 
-    delivered = bounced_nonexistent = bounced_blacklisted = expired = 0
-    for outcome in store.challenge_outcomes:
-        if outcome.company_id != company_id:
-            continue
-        if outcome.status is FinalStatus.DELIVERED:
-            delivered += 1
-        elif outcome.status is FinalStatus.EXPIRED:
-            expired += 1
-        elif outcome.bounce_reason is BounceReason.NONEXISTENT_RECIPIENT:
-            bounced_nonexistent += 1
-        elif outcome.bounce_reason is BounceReason.BLACKLISTED:
-            bounced_blacklisted += 1
+    outcomes = index.outcomes.per_company.get(company_id)
+    if outcomes is not None:
+        delivered = outcomes.delivered
+        expired = outcomes.expired
+        bounced_nonexistent = outcomes.bounced_nonexistent
+        bounced_blacklisted = outcomes.bounced_blacklisted
+    else:
+        delivered = bounced_nonexistent = bounced_blacklisted = expired = 0
 
-    solved = sum(
-        1
-        for w in store.web_access
-        if w.company_id == company_id and w.action is WebAction.SOLVE
+    solved = index.web.solves_per_company.get(company_id, 0)
+    released = index.releases.per_company.get(company_id, Counter())
+    digest_sum, digest_count = index.digests.per_company.get(
+        company_id, (0, 0)
     )
-    released = Counter(
-        r.mechanism
-        for r in store.releases
-        if r.company_id == company_id
-    )
-    digest_sizes = [
-        r.pending_count for r in store.digests if r.company_id == company_id
-    ]
-    listed_days: dict = defaultdict(set)
-    for probe in store.probes:
-        if probe.listed and probe.ip in server_ips:
-            listed_days[probe.ip].add(int(probe.t // DAY))
+    listed_days = {
+        ip: days
+        for ip, days in index.probes.listed_days_by_ip.items()
+        if ip in server_ips
+    }
 
     accepted = inbound_total - sum(dropped.values())
     return CompanyProfile(
@@ -158,7 +129,7 @@ def compute(
         released_captcha=released.get(ReleaseMechanism.CAPTCHA, 0),
         released_digest=released.get(ReleaseMechanism.DIGEST, 0),
         mean_digest_size=(
-            sum(digest_sizes) / len(digest_sizes) if digest_sizes else 0.0
+            digest_sum / digest_count if digest_count else 0.0
         ),
         listed_days_by_ip={ip: len(days) for ip, days in listed_days.items()},
     )
@@ -224,6 +195,6 @@ def render_all(
     store: LogStore, info: DeploymentInfo, limit: Optional[int] = None
 ) -> str:
     """Profiles for every company (or the *limit* largest by traffic)."""
-    volumes: Counter = Counter(r.company_id for r in store.mta)
+    volumes = store.index().mta.company_volumes()
     ordered = [company for company, _ in volumes.most_common(limit)]
     return "\n\n".join(render(store, info, company) for company in ordered)

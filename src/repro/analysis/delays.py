@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.store import LogStore
-from repro.core.spools import Category, ReleaseMechanism
 from repro.util.render import ComparisonTable
 from repro.util.simtime import DAY, HOUR, MINUTE, format_duration
 from repro.util.stats import CdfPoint, cdf_at, empirical_cdf, safe_ratio
@@ -76,16 +75,10 @@ class DelayStats:
 
 
 def compute(store: LogStore) -> DelayStats:
-    captcha_delays = []
-    digest_delays = []
-    for record in store.releases:
-        if record.mechanism is ReleaseMechanism.CAPTCHA:
-            captcha_delays.append(record.delay)
-        else:
-            digest_delays.append(record.delay)
-    white_count = sum(
-        1 for r in store.dispatch if r.category is Category.WHITE
-    )
+    index = store.index()
+    captcha_delays = list(index.releases.captcha_delays)
+    digest_delays = list(index.releases.other_delays)
+    white_count = index.dispatch.white
     all_delays = captcha_delays + digest_delays
     return DelayStats(
         captcha_delays=captcha_delays,

@@ -4,6 +4,10 @@ One challenge per ~21 received emails; a traffic increase under 1 %; ~5 %
 of challenges solved; whitelist steady state (94 % of inbox mail from
 whitelisted senders, 0.3 new entries/user/day); delivery delay affecting
 ~4.3 % of incoming inbox mail with half under 30 minutes.
+
+All inputs come from the per-figure compute() helpers, which themselves
+read the shared :class:`~repro.analysis.index.AnalysisIndex`, so this
+summary costs no extra passes over the logs.
 """
 
 from __future__ import annotations

@@ -10,12 +10,10 @@ more challenges ("an extra 9%").
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping
 
 from repro.analysis.store import LogStore
-from repro.core.spools import Category
 from repro.util.render import ComparisonTable
 from repro.util.stats import safe_ratio
 
@@ -50,24 +48,10 @@ class EngineBreakdown:
 
 
 def compute(store: LogStore) -> EngineBreakdown:
-    gray_total = 0
-    drops: Counter = Counter()
-    challenged = 0
-    suppressed = 0
-    counts = {True: [0, 0], False: [0, 0]}  # open_relay -> [msgs, challenges]
-    for record in store.dispatch:
-        counts[record.open_relay][0] += 1
-        if record.challenge_created:
-            counts[record.open_relay][1] += 1
-        if record.category is not Category.GRAY:
-            continue
-        gray_total += 1
-        if record.filter_drop is not None:
-            drops[record.filter_drop] += 1
-        elif record.challenge_created:
-            challenged += 1
-        else:
-            suppressed += 1
+    dispatch = store.index().dispatch
+    gray_total = dispatch.gray
+    drops = dispatch.filter_drops
+    counts = dispatch.by_relay
     filter_shares = {
         name: safe_ratio(count, gray_total) for name, count in drops.items()
     }
@@ -75,8 +59,8 @@ def compute(store: LogStore) -> EngineBreakdown:
         gray_total=gray_total,
         filter_shares=filter_shares,
         filter_drop_share=safe_ratio(sum(drops.values()), gray_total),
-        challenged_share=safe_ratio(challenged, gray_total),
-        suppressed_share=safe_ratio(suppressed, gray_total),
+        challenged_share=safe_ratio(dispatch.challenged_gray, gray_total),
+        suppressed_share=safe_ratio(dispatch.suppressed, gray_total),
         challenge_rate_closed=safe_ratio(counts[False][1], counts[False][0]),
         challenge_rate_open=safe_ratio(counts[True][1], counts[True][0]),
     )

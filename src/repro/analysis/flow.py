@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.store import LogStore
-from repro.core.spools import Category, ReleaseMechanism
+from repro.core.spools import ReleaseMechanism
 from repro.util.render import ComparisonTable
 
 
@@ -47,52 +47,37 @@ PAPER_FLOW = {
 def compute(store: LogStore) -> LifecycleFlow:
     """Re-derive the per-1000 lifecycle from MTA + dispatch + release logs,
     restricted to non-open-relay companies like the paper's Figure 1."""
-    closed_companies = {
-        r.company_id for r in store.mta if not r.open_relay
-    }
-    mta_total = 0
-    mta_dropped = 0
-    for record in store.mta:
-        if record.open_relay:
-            continue
-        mta_total += 1
-        if not record.accepted:
-            mta_dropped += 1
+    index = store.index()
+    mta = index.mta
+    closed_companies = mta.closed_companies
+    mta_total = mta.closed_total
+    mta_dropped = mta.closed_dropped
     if mta_total == 0:
         raise ValueError("no closed-relay MTA records: cannot compute Fig. 1")
     scale = 1000.0 / mta_total
 
-    white = black = gray = filter_dropped = quarantined = challenges = 0
-    for record in store.dispatch:
-        if record.open_relay:
-            continue
-        if record.category is Category.WHITE:
-            white += 1
-        elif record.category is Category.BLACK:
-            black += 1
-        else:
-            gray += 1
-            if record.filter_drop is not None:
-                filter_dropped += 1
-            else:
-                quarantined += 1
-                if record.challenge_created:
-                    challenges += 1
+    closed = index.dispatch.closed
+    white, black, gray = closed.white, closed.black, closed.gray
+    filter_dropped = closed.filter_dropped
+    quarantined = closed.quarantined
+    challenges = closed.challenges
 
+    releases_per_company = index.releases.per_company
     released_captcha = sum(
-        1
-        for r in store.releases
-        if r.company_id in closed_companies
-        and r.mechanism is ReleaseMechanism.CAPTCHA
+        releases_per_company[company].get(ReleaseMechanism.CAPTCHA, 0)
+        for company in closed_companies
+        if company in releases_per_company
     )
     released_digest = sum(
-        1
-        for r in store.releases
-        if r.company_id in closed_companies
-        and r.mechanism is ReleaseMechanism.DIGEST
+        releases_per_company[company].get(ReleaseMechanism.DIGEST, 0)
+        for company in closed_companies
+        if company in releases_per_company
     )
+    expiries_per_company = index.expiries.per_company
     expired = sum(
-        1 for r in store.expiries if r.company_id in closed_companies
+        expiries_per_company[company]
+        for company in closed_companies
+        if company in expiries_per_company
     )
     return LifecycleFlow(
         mta_in=1000.0,

@@ -12,8 +12,7 @@ from dataclasses import dataclass
 
 from repro.analysis.context import DeploymentInfo
 from repro.analysis.store import LogStore
-from repro.core.challenge import WebAction
-from repro.core.spools import Category, ReleaseMechanism
+from repro.core.spools import ReleaseMechanism
 from repro.util.render import TextTable
 
 #: The paper's Table 1, verbatim.
@@ -62,27 +61,20 @@ class GeneralStats:
 
 
 def compute(store: LogStore, info: DeploymentInfo) -> GeneralStats:
-    total = len(store.mta)
-    dropped = sum(1 for r in store.mta if not r.accepted)
-    white = black = gray = 0
-    drops = {"reverse_dns": 0, "rbl": 0, "antivirus": 0}
-    for record in store.dispatch:
-        if record.category is Category.WHITE:
-            white += 1
-        elif record.category is Category.BLACK:
-            black += 1
-        else:
-            gray += 1
-            if record.filter_drop in drops:
-                drops[record.filter_drop] += 1
+    index = store.index()
+    mta = index.mta
+    dispatch = index.dispatch
+    total = mta.total
+    dropped = mta.dropped
+    white, black, gray = dispatch.white, dispatch.black, dispatch.gray
+    drops = {
+        name: dispatch.filter_drops.get(name, 0)
+        for name in ("reverse_dns", "rbl", "antivirus")
+    }
     challenges = len(store.challenges)
-    solved = sum(
-        1 for w in store.web_access if w.action is WebAction.SOLVE
-    )
-    digest_whitelisted = sum(
-        1
-        for r in store.releases
-        if r.mechanism is ReleaseMechanism.DIGEST
+    solved = index.web.solve_total
+    digest_whitelisted = index.releases.mechanism_counts.get(
+        ReleaseMechanism.DIGEST, 0
     )
     days = info.horizon_days
     return GeneralStats(

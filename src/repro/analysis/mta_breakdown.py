@@ -10,7 +10,6 @@ Paper anchors (non-open-relay servers):
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -47,33 +46,18 @@ class MtaBreakdown:
 
 def compute(store: LogStore) -> MtaBreakdown:
     """Re-measure the MTA drop table from the MTA logs."""
-    closed_drops: Counter = Counter()
-    closed_total = 0
-    closed_accepted = 0
-    open_total = 0
-    open_accepted = 0
-    for record in store.mta:
-        if record.open_relay:
-            open_total += 1
-            if record.accepted:
-                open_accepted += 1
-        else:
-            closed_total += 1
-            if record.accepted:
-                closed_accepted += 1
-            else:
-                closed_drops[record.drop_reason] += 1
+    mta = store.index().mta
     drop_shares = {
-        reason: safe_ratio(closed_drops.get(reason, 0), closed_total)
+        reason: safe_ratio(mta.closed_drops.get(reason, 0), mta.closed_total)
         for reason in DropReason
     }
     return MtaBreakdown(
-        total=closed_total + open_total,
-        closed_total=closed_total,
-        open_total=open_total,
+        total=mta.closed_total + mta.open_total,
+        closed_total=mta.closed_total,
+        open_total=mta.open_total,
         drop_shares=drop_shares,
-        closed_pass_rate=safe_ratio(closed_accepted, closed_total),
-        open_pass_rate=safe_ratio(open_accepted, open_total),
+        closed_pass_rate=safe_ratio(mta.closed_accepted, mta.closed_total),
+        open_pass_rate=safe_ratio(mta.open_accepted, mta.open_total),
     )
 
 

@@ -19,10 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.store import LogStore
-from repro.core.challenge import WebAction
-from repro.core.spools import Category
-from repro.core.whitelist import WhitelistSource
-from repro.net.smtp import FinalStatus
 from repro.util.render import ComparisonTable
 from repro.util.stats import safe_ratio
 
@@ -91,45 +87,22 @@ class ReflectionStats:
 
 
 def compute(store: LogStore) -> ReflectionStats:
-    mta_messages = len(store.mta)
-    mta_bytes = sum(r.size for r in store.mta)
-    cr_messages = len(store.dispatch)
-    cr_bytes = sum(r.size for r in store.dispatch)
-    challenges = len(store.challenges)
-    challenge_bytes = sum(r.size for r in store.challenges)
-
-    delivered_ids = {
-        (o.company_id, o.challenge_id)
-        for o in store.challenge_outcomes
-        if o.status is FinalStatus.DELIVERED
-    }
-    solved_ids = {
-        (w.company_id, w.challenge_id)
-        for w in store.web_access
-        if w.action is WebAction.SOLVE
-    }
-
-    gray_senders = {
-        (r.company_id, r.user, r.env_from)
-        for r in store.dispatch
-        if r.category is Category.GRAY and r.filter_drop is None
-    }
-    digest_senders = {
-        (c.company_id, c.user, c.address)
-        for c in store.whitelist_changes
-        if c.source is WhitelistSource.DIGEST
-    }
+    index = store.index()
+    delivered_ids = index.outcomes.delivered_ids
+    solved_ids = index.web.solved_ids
+    gray_senders = index.dispatch.gray_senders
+    digest_senders = index.whitelist.digest_senders
     return ReflectionStats(
-        mta_messages=mta_messages,
-        cr_messages=cr_messages,
-        challenges=challenges,
+        mta_messages=index.mta.total,
+        cr_messages=index.dispatch.total,
+        challenges=len(store.challenges),
         delivered=len(delivered_ids),
         solved=len(solved_ids & delivered_ids),
         digest_whitelisted_senders=len(digest_senders & gray_senders),
         gray_spool_senders=len(gray_senders),
-        challenge_bytes=challenge_bytes,
-        cr_bytes=cr_bytes,
-        mta_bytes=mta_bytes,
+        challenge_bytes=index.challenges.total_bytes,
+        cr_bytes=index.dispatch.total_bytes,
+        mta_bytes=index.mta.total_bytes,
     )
 
 

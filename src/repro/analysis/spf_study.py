@@ -16,9 +16,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.analysis.store import LogStore
-from repro.core.challenge import WebAction
 from repro.core.filters.spf import SpfResult
-from repro.core.spools import Category
 from repro.net.smtp import FinalStatus
 from repro.util.render import ComparisonTable, TextTable
 from repro.util.stats import safe_ratio
@@ -60,21 +58,12 @@ class SpfStats:
 
 
 def compute(store: LogStore) -> SpfStats:
-    solved_ids = {
-        (w.company_id, w.challenge_id)
-        for w in store.web_access
-        if w.action is WebAction.SOLVE
-    }
-    outcome_by_id = {
-        (o.company_id, o.challenge_id): o for o in store.challenge_outcomes
-    }
+    index = store.index()
+    solved_ids = index.web.solved_ids
+    outcome_by_id = index.outcomes.by_challenge
 
     by_fate: dict = {fate: Counter() for fate in ChallengeFate}
-    for record in store.dispatch:
-        if record.category is not Category.GRAY or record.filter_drop is not None:
-            continue
-        if record.challenge_id is None:
-            continue
+    for record in index.dispatch.quarantined_with_challenge:
         key = (record.company_id, record.challenge_id)
         outcome = outcome_by_id.get(key)
         if outcome is None:

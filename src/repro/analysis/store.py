@@ -1,15 +1,21 @@
 """The aggregation store — our stand-in for the paper's Postgres database.
 
 A :class:`LogStore` holds every log record the simulated deployment emits,
-in insertion (= time) order, plus a few lazily-built indices the analyses
-share. It is append-only during a run; analyses treat it as read-only.
+in insertion (= time) order, plus a shared, lazily-materialised
+:class:`~repro.analysis.index.AnalysisIndex` over them. It is append-only
+during a run; analyses treat it as read-only.
+
+Every append helper bumps its table's version counter, so aggregates the
+index built over that table are invalidated precisely — an append to
+``releases`` never throws away the expensive MTA pass, and a stale
+aggregate is never served after any append.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Optional
 
+from repro.analysis.index import AnalysisIndex
 from repro.analysis.records import (
     ChallengeOutcomeRecord,
     ChallengeRecord,
@@ -23,6 +29,21 @@ from repro.analysis.records import (
     WhitelistChangeRecord,
 )
 from repro.blacklistd.monitor import ProbeObservation
+
+#: Names of the record-list attributes, in schema order.
+TABLES = (
+    "mta",
+    "dispatch",
+    "challenges",
+    "challenge_outcomes",
+    "web_access",
+    "releases",
+    "whitelist_changes",
+    "digests",
+    "expiries",
+    "outbound",
+    "probes",
+)
 
 
 class LogStore:
@@ -40,59 +61,81 @@ class LogStore:
         self.expiries: list[ExpiryRecord] = []
         self.outbound: list[OutboundMailRecord] = []
         self.probes: list[ProbeObservation] = []
-        self._outcome_by_challenge: Optional[
-            dict[tuple[str, int], ChallengeOutcomeRecord]
-        ] = None
-        self._web_by_challenge: Optional[
-            dict[tuple[str, int], list[WebAccessRecord]]
-        ] = None
+        self._versions: dict[str, int] = {table: 0 for table in TABLES}
+        self._index: Optional[AnalysisIndex] = None
 
-    # -- append helpers (invalidate indices) ----------------------------
+    # -- append helpers (every one invalidates its table's aggregates) ---
 
     def add_mta(self, record: MtaRecord) -> None:
         self.mta.append(record)
+        self._versions["mta"] += 1
 
     def add_dispatch(self, record: DispatchRecord) -> None:
         self.dispatch.append(record)
+        self._versions["dispatch"] += 1
 
     def add_challenge(self, record: ChallengeRecord) -> None:
         self.challenges.append(record)
+        self._versions["challenges"] += 1
 
     def add_challenge_outcome(self, record: ChallengeOutcomeRecord) -> None:
         self.challenge_outcomes.append(record)
-        self._outcome_by_challenge = None
+        self._versions["challenge_outcomes"] += 1
 
     def add_web_access(self, record: WebAccessRecord) -> None:
         self.web_access.append(record)
-        self._web_by_challenge = None
+        self._versions["web_access"] += 1
 
     def add_release(self, record: ReleaseRecord) -> None:
         self.releases.append(record)
+        self._versions["releases"] += 1
 
     def add_whitelist_change(self, record: WhitelistChangeRecord) -> None:
         self.whitelist_changes.append(record)
+        self._versions["whitelist_changes"] += 1
 
     def add_digest(self, record: DigestRecord) -> None:
         self.digests.append(record)
+        self._versions["digests"] += 1
 
     def add_expiry(self, record: ExpiryRecord) -> None:
         self.expiries.append(record)
+        self._versions["expiries"] += 1
 
     def add_outbound(self, record: OutboundMailRecord) -> None:
         self.outbound.append(record)
+        self._versions["outbound"] += 1
 
     def add_probe(self, record: ProbeObservation) -> None:
         self.probes.append(record)
+        self._versions["probes"] += 1
+
+    # -- the shared index -------------------------------------------------
+
+    def table_version(self, table: str) -> int:
+        """Monotonic append counter for *table* (index invalidation)."""
+        return self._versions[table]
+
+    def index(self) -> AnalysisIndex:
+        """The shared single-pass aggregate index over this store."""
+        if self._index is None:
+            self._index = AnalysisIndex(self)
+        return self._index
 
     def drop_indices(self) -> None:
-        """Discard the lazily-built correlation indices.
+        """Discard the lazily-built analysis index.
 
-        They are pure caches over the record lists, so dropping them never
+        It is a pure cache over the record lists, so dropping it never
         loses data; the parallel runner calls this before pickling a store
         so worker→parent payloads carry records only.
         """
-        self._outcome_by_challenge = None
-        self._web_by_challenge = None
+        self._index = None
+
+    def __getstate__(self) -> dict:
+        """Pickle records and versions only — never the materialised index."""
+        state = self.__dict__.copy()
+        state["_index"] = None
+        return state
 
     # -- correlation indices --------------------------------------------
 
@@ -100,42 +143,17 @@ class LogStore:
         self, company_id: str, challenge_id: int
     ) -> Optional[ChallengeOutcomeRecord]:
         """Delivery outcome of a challenge, or None while still in flight."""
-        if self._outcome_by_challenge is None:
-            self._outcome_by_challenge = {
-                (r.company_id, r.challenge_id): r for r in self.challenge_outcomes
-            }
-        return self._outcome_by_challenge.get((company_id, challenge_id))
+        return self.index().outcome_of(company_id, challenge_id)
 
     def web_events_of(
         self, company_id: str, challenge_id: int
     ) -> list[WebAccessRecord]:
-        if self._web_by_challenge is None:
-            index: dict[tuple[str, int], list[WebAccessRecord]] = defaultdict(list)
-            for record in self.web_access:
-                index[(record.company_id, record.challenge_id)].append(record)
-            self._web_by_challenge = dict(index)
-        return self._web_by_challenge.get((company_id, challenge_id), [])
+        return self.index().web_events_of(company_id, challenge_id)
 
     def company_ids(self) -> list[str]:
         """All companies that appear in the MTA logs, in first-seen order."""
-        seen: dict[str, None] = {}
-        for record in self.mta:
-            if record.company_id not in seen:
-                seen[record.company_id] = None
-        return list(seen)
+        return self.index().company_ids()
 
     def summary_counts(self) -> dict[str, int]:
         """Record counts per log type (debugging / sanity checks)."""
-        return {
-            "mta": len(self.mta),
-            "dispatch": len(self.dispatch),
-            "challenges": len(self.challenges),
-            "challenge_outcomes": len(self.challenge_outcomes),
-            "web_access": len(self.web_access),
-            "releases": len(self.releases),
-            "whitelist_changes": len(self.whitelist_changes),
-            "digests": len(self.digests),
-            "expiries": len(self.expiries),
-            "outbound": len(self.outbound),
-            "probes": len(self.probes),
-        }
+        return {table: len(getattr(self, table)) for table in TABLES}

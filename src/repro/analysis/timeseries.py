@@ -9,16 +9,12 @@ the rates are averaged from.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.analysis.context import DeploymentInfo
 from repro.analysis.store import LogStore
-from repro.core.message import MessageKind
-from repro.core.spools import Category
 from repro.util.render import TextTable
-from repro.util.simtime import day_of, is_weekend
 from repro.util.stats import safe_ratio
 
 
@@ -37,24 +33,13 @@ class DailyStats:
 
 
 def compute(store: LogStore, info: DeploymentInfo) -> DailyStats:
-    emails_by_day: dict = defaultdict(int)
-    for record in store.mta:
-        emails_by_day[day_of(record.t)] += 1
+    index = store.index()
+    mta = index.mta
+    dispatch = index.dispatch
 
-    white_total = sum(
-        1 for r in store.dispatch if r.category is Category.WHITE
-    )
-
-    legit = {True: 0, False: 0}
-    spam = {True: 0, False: 0}
-    weekend_days = {True: set(), False: set()}
-    for record in store.dispatch:
-        weekend = is_weekend(record.t)
-        weekend_days[weekend].add(day_of(record.t))
-        if record.kind is MessageKind.LEGIT:
-            legit[weekend] += 1
-        elif record.kind is MessageKind.SPAM:
-            spam[weekend] += 1
+    legit = dispatch.weekend_legit
+    spam = dispatch.weekend_spam
+    weekend_days = dispatch.weekend_days
 
     def weekend_ratio(counts) -> float:
         weekday_rate = safe_ratio(counts[False], len(weekend_days[False]))
@@ -63,11 +48,11 @@ def compute(store: LogStore, info: DeploymentInfo) -> DailyStats:
 
     days = max(info.horizon_days, 1e-9)
     return DailyStats(
-        emails_per_day=len(store.mta) / days,
-        white_per_day=white_total / days,
+        emails_per_day=mta.total / days,
+        white_per_day=dispatch.white / days,
         challenges_per_day=len(store.challenges) / days,
         company_days=info.company_days,
-        emails_by_day=dict(emails_by_day),
+        emails_by_day=dict(mta.by_day),
         legit_weekend_ratio=weekend_ratio(legit),
         spam_weekend_ratio=weekend_ratio(spam),
     )

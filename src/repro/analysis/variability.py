@@ -13,14 +13,11 @@ challenge share — and observes that:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.analysis.context import DeploymentInfo
 from repro.analysis.store import LogStore
-from repro.core.challenge import WebAction
-from repro.core.spools import Category
 from repro.util.render import TextTable
 from repro.util.stats import pearson, safe_ratio
 
@@ -61,37 +58,31 @@ class VariabilityStats:
 
 
 def compute(store: LogStore, info: DeploymentInfo) -> VariabilityStats:
-    mta_counts: dict = defaultdict(int)
-    for record in store.mta:
-        mta_counts[record.company_id] += 1
-
-    dispatch_counts: dict = defaultdict(int)
-    white_counts: dict = defaultdict(int)
-    challenge_counts: dict = defaultdict(int)
-    for record in store.dispatch:
-        dispatch_counts[record.company_id] += 1
-        if record.category is Category.WHITE:
-            white_counts[record.company_id] += 1
-        if record.challenge_created:
-            challenge_counts[record.company_id] += 1
-
-    solved_counts: dict = defaultdict(int)
-    for event in store.web_access:
-        if event.action is WebAction.SOLVE:
-            solved_counts[event.company_id] += 1
+    index = store.index()
+    mta_per_company = index.mta.per_company
+    dispatch_per_company = index.dispatch.per_company
+    solved_counts = index.web.solves_per_company
 
     points = []
-    for company_id in sorted(mta_counts):
-        dispatched = dispatch_counts.get(company_id, 0)
-        challenges = challenge_counts.get(company_id, 0)
+    for company_id in sorted(mta_per_company):
+        dispatch = dispatch_per_company.get(company_id)
+        dispatched = dispatch.total if dispatch is not None else 0
+        whites = dispatch.white if dispatch is not None else 0
+        challenges = (
+            dispatch.challenges_created if dispatch is not None else 0
+        )
         points.append(
             CompanyPoint(
                 company_id=company_id,
                 users=float(info.users_per_company.get(company_id, 0)),
-                emails_per_day=mta_counts[company_id] / info.horizon_days,
-                white_share=safe_ratio(white_counts.get(company_id, 0), dispatched),
+                emails_per_day=(
+                    mta_per_company[company_id].total / info.horizon_days
+                ),
+                white_share=safe_ratio(whites, dispatched),
                 reflection=safe_ratio(challenges, dispatched),
-                captcha_share=safe_ratio(solved_counts.get(company_id, 0), challenges),
+                captcha_share=safe_ratio(
+                    solved_counts.get(company_id, 0), challenges
+                ),
             )
         )
 

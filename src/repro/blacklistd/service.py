@@ -50,14 +50,28 @@ class _IpState:
 
 
 class DnsblService:
-    """One blacklist operator."""
+    """One blacklist operator.
+
+    Query answers are memoised TTL-aware: a cached "listed" answer carries
+    its listing's expiry and lapses exactly when the listing does (delisting
+    is pure time passage, so expiry IS the invalidation); a cached "not
+    listed" answer can only be flipped by a new listing event, so
+    :meth:`_list`/:meth:`force_list` drop the affected IP's entry.
+    """
+
+    #: Class-wide switch so tests can compare cached vs uncached runs.
+    CACHE_ENABLED = True
 
     def __init__(self, name: str, policy: ListingPolicy) -> None:
         self.name = name
         self.policy = policy
         self._state: dict[str, _IpState] = {}
+        #: ip -> (listed, listed_until); False entries never expire.
+        self._answer_cache: dict[str, tuple[bool, float]] = {}
         self.history: list[ListingInterval] = []
         self.queries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def record_trap_hit(self, ip: str, now: float) -> None:
         """Register that *ip* delivered mail to one of our trap addresses."""
@@ -77,19 +91,33 @@ class DnsblService:
         state.listings += 1
         state.listed_until = now + duration
         state.hits.clear()
+        self._answer_cache.pop(ip, None)
         self.history.append(ListingInterval(ip, now, state.listed_until))
 
     def is_listed(self, ip: str, now: float) -> bool:
         """DNSBL query: is *ip* currently listed?"""
         self.queries += 1
+        if not DnsblService.CACHE_ENABLED:
+            state = self._state.get(ip)
+            return state is not None and now < state.listed_until
+        cached = self._answer_cache.get(ip)
+        if cached is not None:
+            listed, until = cached
+            if not listed or now < until:
+                self.cache_hits += 1
+                return listed
+        self.cache_misses += 1
         state = self._state.get(ip)
-        return state is not None and now < state.listed_until
+        listed = state is not None and now < state.listed_until
+        self._answer_cache[ip] = (listed, state.listed_until if listed else 0.0)
+        return listed
 
     def force_list(self, ip: str, now: float, duration: float) -> None:
         """Administratively list *ip* (used to seed pre-listed botnet IPs)."""
         state = self._state.setdefault(ip, _IpState())
         state.listings += 1
         state.listed_until = max(state.listed_until, now + duration)
+        self._answer_cache.pop(ip, None)
         self.history.append(ListingInterval(ip, now, state.listed_until))
 
     def listed_intervals(self, ip: str) -> list[ListingInterval]:

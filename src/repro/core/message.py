@@ -19,6 +19,10 @@ from typing import Optional
 class MessageKind(enum.Enum):
     """Ground-truth nature of a message."""
 
+    # Identity hash (C speed) — these are Counter keys in the analysis
+    # index's hot passes; enum equality is identity, so this is safe.
+    __hash__ = object.__hash__
+
     LEGIT = "legit"  # human-to-human mail
     NEWSLETTER = "newsletter"  # automated but solicited-ish bulk mail
     SPAM = "spam"  # unsolicited bulk mail

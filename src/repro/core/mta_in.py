@@ -32,6 +32,11 @@ from repro.net.dns import Resolver
 class DropReason(enum.Enum):
     """Why MTA-IN refused a message."""
 
+    # Identity hash instead of Enum's Python-level name hash: members are
+    # Counter keys in the analysis index's hottest pass, and equality is
+    # identity for enums anyway.
+    __hash__ = object.__hash__
+
     MALFORMED = "malformed"
     UNRESOLVABLE_DOMAIN = "unresolvable_domain"
     NO_RELAY = "no_relay"

@@ -17,6 +17,10 @@ from repro.core.message import EmailMessage
 class Category(enum.Enum):
     """Dispatcher verdict for an accepted message."""
 
+    # Identity hash (C speed) — these are Counter keys in the analysis
+    # index's hot passes; enum equality is identity, so this is safe.
+    __hash__ = object.__hash__
+
     WHITE = "white"
     BLACK = "black"
     GRAY = "gray"

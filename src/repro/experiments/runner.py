@@ -30,6 +30,47 @@ from repro.workload.generator import TraceGenerator
 from repro.workload.scale import ScaleConfig, get_preset
 
 
+@dataclass(frozen=True)
+class SubstrateCacheStats:
+    """Hit/miss counters of the simulated-substrate caches after one run."""
+
+    dns_hits: int
+    dns_misses: int
+    dnsbl_hits: int
+    dnsbl_misses: int
+    route_hits: int
+    route_misses: int
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def dns_hit_rate(self) -> float:
+        return self._rate(self.dns_hits, self.dns_misses)
+
+    @property
+    def dnsbl_hit_rate(self) -> float:
+        return self._rate(self.dnsbl_hits, self.dnsbl_misses)
+
+    @property
+    def route_hit_rate(self) -> float:
+        return self._rate(self.route_hits, self.route_misses)
+
+    @classmethod
+    def collect(cls, world: World) -> "SubstrateCacheStats":
+        services = list(world.services.values())
+        return cls(
+            dns_hits=world.resolver.cache_hits,
+            dns_misses=world.resolver.cache_misses,
+            dnsbl_hits=sum(s.cache_hits for s in services),
+            dnsbl_misses=sum(s.cache_misses for s in services),
+            route_hits=world.internet.route_hits,
+            route_misses=world.internet.route_misses,
+        )
+
+
 @dataclass
 class SimulationResult:
     """Everything one run produced."""
@@ -42,6 +83,7 @@ class SimulationResult:
     info: DeploymentInfo
     seed: int
     wall_seconds: float
+    cache_stats: SubstrateCacheStats
 
 
 def run_simulation(
@@ -137,6 +179,7 @@ def run_simulation(
         info=info,
         seed=seed,
         wall_seconds=time.perf_counter() - started,
+        cache_stats=SubstrateCacheStats.collect(world),
     )
 
 

@@ -12,13 +12,16 @@ Everything the CR product asks of DNS is covered:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 
 class DnsRegistry:
     """Authoritative record store for the simulated internet.
 
     Records are ``(name, rtype) -> [values]``. Names are case-insensitive.
+    Caches (the :class:`Resolver`, the router's route cache) subscribe to
+    change notifications so a record edit invalidates exactly the answers
+    it affects.
     """
 
     A = "A"
@@ -28,6 +31,16 @@ class DnsRegistry:
 
     def __init__(self) -> None:
         self._records: dict[tuple[str, str], list[str]] = {}
+        self._listeners: list[Callable[[tuple[str, str]], None]] = []
+
+    def subscribe(self, listener: Callable[[tuple[str, str]], None]) -> None:
+        """Call *listener* with ``(name, rtype)`` whenever that answer set
+        changes (both lowercase name and uppercase rtype)."""
+        self._listeners.append(listener)
+
+    def _notify(self, key: tuple[str, str]) -> None:
+        for listener in self._listeners:
+            listener(key)
 
     def add_record(self, name: str, rtype: str, value: str) -> None:
         """Append a record; duplicate values are ignored."""
@@ -35,10 +48,13 @@ class DnsRegistry:
         values = self._records.setdefault(key, [])
         if value not in values:
             values.append(value)
+            self._notify(key)
 
     def remove_records(self, name: str, rtype: str) -> None:
         """Remove every *rtype* record for *name* (no error if absent)."""
-        self._records.pop((name.lower(), rtype.upper()), None)
+        key = (name.lower(), rtype.upper())
+        if self._records.pop(key, None) is not None:
+            self._notify(key)
 
     def lookup(self, name: str, rtype: str) -> list[str]:
         """Return the values for ``(name, rtype)`` (empty list if none)."""
@@ -78,13 +94,42 @@ class DnsRegistry:
 class Resolver:
     """Query interface used by MTAs and filters.
 
-    Counts queries (useful for benchmarks) and memoises nothing: the
-    registry lookup is already a dict access.
+    Counts queries (useful for benchmarks) and memoises answers per
+    ``(name, rtype)``: records in the authoritative registry never expire
+    on their own (a cached answer's TTL is "until the record set changes"),
+    so the registry's change notifications are the TTL — an
+    ``add_record``/``remove_records`` drops exactly the cached answers it
+    invalidated, and everything else stays warm for the whole run. Flip
+    :data:`CACHE_ENABLED` off (class-wide) to A/B the cache away.
     """
+
+    #: Class-wide switch so tests can compare cached vs uncached runs.
+    CACHE_ENABLED = True
 
     def __init__(self, registry: DnsRegistry) -> None:
         self.registry = registry
         self.queries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._cache: dict[tuple[str, str], tuple[str, ...]] = {}
+        registry.subscribe(self._invalidate)
+
+    def _invalidate(self, key: tuple[str, str]) -> None:
+        self._cache.pop(key, None)
+
+    def _lookup(self, name: str, rtype: str) -> tuple[str, ...]:
+        """Memoised registry lookup (the cached tuple IS the answer)."""
+        if not Resolver.CACHE_ENABLED:
+            return tuple(self.registry.lookup(name, rtype))
+        key = (name.lower(), rtype)
+        answer = self._cache.get(key)
+        if answer is not None:
+            self.cache_hits += 1
+            return answer
+        self.cache_misses += 1
+        answer = tuple(self.registry.lookup(name, rtype))
+        self._cache[key] = answer
+        return answer
 
     def resolves(self, domain: str) -> bool:
         """True when *domain* has an ``A`` or ``MX`` record.
@@ -94,26 +139,26 @@ class Resolver:
         """
         self.queries += 1
         return bool(
-            self.registry.lookup(domain, DnsRegistry.A)
-            or self.registry.lookup(domain, DnsRegistry.MX)
+            self._lookup(domain, DnsRegistry.A)
+            or self._lookup(domain, DnsRegistry.MX)
         )
 
     def mx_host(self, domain: str) -> Optional[str]:
         """Best MX target hostname for *domain*, or ``None``."""
         self.queries += 1
-        hosts = self.registry.lookup(domain, DnsRegistry.MX)
+        hosts = self._lookup(domain, DnsRegistry.MX)
         return hosts[0] if hosts else None
 
     def ptr(self, ip: str) -> Optional[str]:
         """Reverse lookup of *ip*, or ``None`` when no PTR exists."""
         self.queries += 1
-        names = self.registry.lookup(ip, DnsRegistry.PTR)
+        names = self._lookup(ip, DnsRegistry.PTR)
         return names[0] if names else None
 
     def txt(self, domain: str) -> list[str]:
         """All TXT records of *domain*."""
         self.queries += 1
-        return self.registry.lookup(domain, DnsRegistry.TXT)
+        return list(self._lookup(domain, DnsRegistry.TXT))
 
     def spf_policy(self, domain: str) -> Optional[str]:
         """The ``v=spf1`` TXT record of *domain*, or ``None``."""

@@ -3,11 +3,22 @@ envelope to the responsible :class:`~repro.net.hosts.RemoteMailHost`."""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
-from repro.net.dns import Resolver
+from repro.net.dns import DnsRegistry, Resolver
 from repro.net.hosts import RemoteMailHost
-from repro.net.smtp import Envelope, Reply, SmtpResponse
+from repro.net.smtp import Envelope, Reply, SmtpResponse, domain_of
+
+
+class _NoRoute:
+    """Sentinel routing decision: the domain does not resolve at all."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NO_ROUTE"
+
+
+#: Routing decision for a recipient domain with no MX/A records.
+NO_ROUTE = _NoRoute()
 
 
 class Internet:
@@ -20,33 +31,77 @@ class Internet:
       domains, or a registered-but-unreachable host) → connection failure,
       which the sender retries until expiry;
     * otherwise, the host's own policy decides (250 / 550 / 554 / ...).
+
+    The per-domain routing decision is cached: it only depends on the
+    domain's A/MX records and the host registry, so it is invalidated by
+    :meth:`register_host` and by DNS changes to those record types (via the
+    registry's change notifications) and stays warm for everything else.
     """
+
+    #: Class-wide switch so tests can compare cached vs uncached runs.
+    CACHE_ENABLED = True
 
     def __init__(self, resolver: Resolver) -> None:
         self.resolver = resolver
         self._hosts_by_domain: dict[str, RemoteMailHost] = {}
+        self._route_cache: dict[
+            str, Union[RemoteMailHost, _NoRoute, None]
+        ] = {}
         self.envelopes_routed = 0
         self.bytes_routed = 0
+        self.route_hits = 0
+        self.route_misses = 0
+        resolver.registry.subscribe(self._on_dns_change)
+
+    def _on_dns_change(self, key: tuple[str, str]) -> None:
+        name, rtype = key
+        if rtype in (DnsRegistry.A, DnsRegistry.MX):
+            self._route_cache.pop(name, None)
 
     def register_host(self, host: RemoteMailHost) -> None:
         if host.domain in self._hosts_by_domain:
             raise ValueError(f"duplicate host for domain {host.domain}")
         self._hosts_by_domain[host.domain] = host
+        self._route_cache.pop(host.domain, None)
 
     def host_for(self, domain: str) -> Optional[RemoteMailHost]:
         return self._hosts_by_domain.get(domain.lower())
+
+    def route_for(
+        self, domain: str
+    ) -> Union[RemoteMailHost, _NoRoute, None]:
+        """Routing decision for lowercase *domain*: the responsible host,
+        :data:`NO_ROUTE` (unresolvable), or ``None`` (resolvable but
+        nobody answers)."""
+        if not Internet.CACHE_ENABLED:
+            return self._compute_route(domain)
+        try:
+            route = self._route_cache[domain]
+        except KeyError:
+            self.route_misses += 1
+            route = self._route_cache[domain] = self._compute_route(domain)
+        else:
+            self.route_hits += 1
+        return route
+
+    def _compute_route(
+        self, domain: str
+    ) -> Union[RemoteMailHost, _NoRoute, None]:
+        if not self.resolver.resolves(domain):
+            return NO_ROUTE
+        return self._hosts_by_domain.get(domain)
 
     def submit(self, envelope: Envelope, now: float) -> SmtpResponse:
         """Route one delivery attempt and return the server's response."""
         self.envelopes_routed += 1
         self.bytes_routed += envelope.size
-        domain = envelope.rcpt_to.rsplit("@", 1)[-1].lower()
-        if not self.resolver.resolves(domain):
+        domain = domain_of(envelope.rcpt_to)
+        route = self.route_for(domain)
+        if route is NO_ROUTE:
             return SmtpResponse(
                 Reply.MAILBOX_UNAVAILABLE, f"5.4.4 no route to {domain}"
             )
-        host = self._hosts_by_domain.get(domain)
-        if host is None:
+        if route is None:
             # Resolvable in DNS but nobody answers: forged/parked domain.
             return SmtpResponse(Reply.CONNECT_FAIL, f"cannot connect to {domain}")
-        return host.deliver(envelope, now)
+        return route.deliver(envelope, now)

@@ -56,6 +56,24 @@ class Envelope:
     payload_id: Optional[int] = None
 
 
+#: address -> lowercase domain part. Sender/recipient addresses repeat
+#: heavily within a run, so the split is memoised; the cap bounds memory
+#: on adversarial workloads (cleared wholesale when full — values depend
+#: only on the key, so a refill is always consistent).
+_domain_cache: dict[str, str] = {}
+_DOMAIN_CACHE_MAX = 65536
+
+
+def domain_of(address: str) -> str:
+    """Lowercase domain part of an address (text after the last ``@``)."""
+    domain = _domain_cache.get(address)
+    if domain is None:
+        if len(_domain_cache) >= _DOMAIN_CACHE_MAX:
+            _domain_cache.clear()
+        domain = _domain_cache[address] = address.rsplit("@", 1)[-1].lower()
+    return domain
+
+
 class FinalStatus(enum.Enum):
     """Terminal fate of an outbound message after all retries."""
 

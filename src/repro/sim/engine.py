@@ -32,7 +32,9 @@ class Simulator:
         self.now = float(start_time)
         self._queue: list[Event] = []
         self._seq = 0
+        self._cancelled = 0  # cancelled events still sitting in the queue
         self.events_processed = 0
+        self.compactions = 0
 
     def schedule(
         self, at: float, action: Callable[[], None], label: str = ""
@@ -42,10 +44,31 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {at} before current time {self.now}"
             )
-        event = Event(time=float(at), seq=self._seq, action=action, label=label)
+        event = Event(
+            time=float(at), seq=self._seq, action=action, label=label, owner=self
+        )
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
+
+    def _on_cancel(self) -> None:
+        """Event.cancel() hook: count the dead entry, compact when dead
+        entries outnumber live ones (keeps mass-cancellation workloads from
+        dragging a mostly-dead heap around)."""
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Safe at any point: ordering is the total ``(time, seq)`` key, so a
+        rebuilt heap pops in exactly the same order as the original.
+        """
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+        self.compactions += 1
 
     def schedule_after(
         self, delay: float, action: Callable[[], None], label: str = ""
@@ -93,7 +116,9 @@ class Simulator:
             if until is not None and event.time >= until:
                 break
             heapq.heappop(self._queue)
+            event.owner = None  # off the queue: a late cancel() is a no-op
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = event.time
             event.action()
@@ -103,5 +128,5 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of queued (non-cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued (non-cancelled) events — O(1)."""
+        return len(self._queue) - self._cancelled

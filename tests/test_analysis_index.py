@@ -1,0 +1,135 @@
+"""Regression tests for the shared AnalysisIndex and its invalidation.
+
+Satellite guarantee: appending to ANY table after an aggregate was built
+over it must invalidate that aggregate — a reader never sees stale data —
+while aggregates over *other* tables stay cached (precise invalidation).
+"""
+
+import pytest
+
+from repro.analysis.store import TABLES, LogStore
+from repro.blacklistd.monitor import ProbeObservation
+from repro.core.challenge import WebAction
+from repro.core.spools import ReleaseMechanism
+
+from tests import recordfactory as rf
+
+
+def _probe(store, ip="198.51.100.9", t=0.0):
+    store.add_probe(ProbeObservation(t=t, ip=ip, service="rbl0", listed=False))
+
+
+def _outbound(store):
+    rf.outbound(store)
+
+
+#: table -> (append one record, read an integer that must count appends).
+TABLE_PROBES = {
+    "mta": (lambda s: rf.mta(s), lambda i: i.mta.total),
+    "dispatch": (lambda s: rf.dispatch(s), lambda i: i.dispatch.total),
+    "challenges": (
+        lambda s: rf.challenge(s, next(rf._msg_ids)),
+        lambda i: sum(i.challenges.per_company.values()),
+    ),
+    "challenge_outcomes": (
+        lambda s: rf.outcome(s, next(rf._msg_ids)),
+        lambda i: len(i.outcomes.by_challenge),
+    ),
+    "web_access": (
+        lambda s: rf.web(s, 1, WebAction.OPEN),
+        lambda i: sum(len(v) for v in i.web.by_challenge.values()),
+    ),
+    "releases": (
+        lambda s: rf.release(s, mechanism=ReleaseMechanism.CAPTCHA),
+        lambda i: sum(i.releases.mechanism_counts.values()),
+    ),
+    "whitelist_changes": (
+        lambda s: rf.whitelist_change(s),
+        lambda i: sum(i.whitelist.per_user_counts.values()),
+    ),
+    "digests": (
+        lambda s: rf.digest(s),
+        lambda i: sum(c for _, c in i.digests.per_company.values()),
+    ),
+    "expiries": (lambda s: rf.expiry(s), lambda i: i.expiries.total),
+    "probes": (
+        lambda s: _probe(s, ip=f"198.51.100.{len(s.probes)}"),
+        lambda i: len(i.probes.probed_ips),
+    ),
+}
+
+#: outbound has no aggregate yet; its version must still advance so any
+#: future aggregate over it inherits the invalidation guarantee for free.
+assert set(TABLE_PROBES) | {"outbound"} == set(TABLES)
+
+
+@pytest.mark.parametrize("table", sorted(TABLE_PROBES))
+def test_append_after_read_invalidates(table):
+    append, measure = TABLE_PROBES[table]
+    store = LogStore()
+    append(store)
+    index = store.index()
+    before = measure(index)
+    assert before >= 1
+    builds_before = index.builds
+
+    append(store)  # append AFTER the aggregate was materialised
+
+    assert measure(store.index()) > before
+    assert store.index().builds == builds_before + 1  # rebuilt, not stale
+
+
+@pytest.mark.parametrize("table", sorted(TABLES))
+def test_every_append_helper_bumps_version(table):
+    store = LogStore()
+    appender = TABLE_PROBES[table][0] if table in TABLE_PROBES else _outbound
+    v0 = store.table_version(table)
+    appender(store)
+    assert store.table_version(table) == v0 + 1
+    assert len(getattr(store, table)) == 1
+
+
+def test_direct_list_append_is_detected_by_length():
+    """persistence.load_run fills record lists without the add_* helpers;
+    the index must notice via the length check even at equal version."""
+    store = LogStore()
+    rf.mta(store)
+    assert store.index().mta.total == 1
+    store.mta.append(store.mta[0])  # bypass add_mta on purpose
+    assert store.index().mta.total == 2
+
+
+def test_invalidation_is_per_table():
+    store = LogStore()
+    rf.mta(store)
+    rf.release(store)
+    index = store.index()
+    mta_aggregate = index.mta
+    assert sum(index.releases.mechanism_counts.values()) == 1
+
+    rf.release(store)  # must not throw away the MTA pass
+
+    index = store.index()
+    assert index.mta is mta_aggregate
+    assert sum(index.releases.mechanism_counts.values()) == 2
+
+
+def test_repeated_reads_hit_the_cache():
+    store = LogStore()
+    rf.mta(store)
+    index = store.index()
+    assert index.mta.total == 1
+    builds = index.builds
+    for _ in range(3):
+        assert index.mta.total == 1
+    assert index.builds == builds
+    assert index.hits >= 3
+
+
+def test_drop_indices_then_requery_rebuilds():
+    store = LogStore()
+    rf.outcome(store, 1)
+    assert store.outcome_of("c0", 1) is not None
+    store.drop_indices()
+    assert store._index is None
+    assert store.outcome_of("c0", 1) is not None

@@ -28,20 +28,17 @@ class TestLogStore:
         store = LogStore()
         rf.outcome(store, 1)
         # Materialize the lazy index, then append: the new record must be
-        # visible on re-query (the append helper drops the stale index).
+        # visible on re-query (the append bumps the table version, so the
+        # cached aggregate is rebuilt).
         assert store.outcome_of("c0", 1) is not None
-        assert store._outcome_by_challenge is not None
         rf.outcome(store, 2)
-        assert store._outcome_by_challenge is None
         assert store.outcome_of("c0", 2) is not None
 
     def test_web_index_invalidated_on_append(self):
         store = LogStore()
         rf.web(store, 1, WebAction.OPEN, t=10.0)
         assert len(store.web_events_of("c0", 1)) == 1
-        assert store._web_by_challenge is not None
         rf.web(store, 1, WebAction.SOLVE, t=20.0)
-        assert store._web_by_challenge is None
         assert [e.action for e in store.web_events_of("c0", 1)] == [
             WebAction.OPEN,
             WebAction.SOLVE,
@@ -54,8 +51,7 @@ class TestLogStore:
         store.outcome_of("c0", 1)
         store.web_events_of("c0", 1)
         store.drop_indices()
-        assert store._outcome_by_challenge is None
-        assert store._web_by_challenge is None
+        assert store._index is None
         # Queries rebuild transparently.
         assert store.outcome_of("c0", 1) is not None
         assert len(store.web_events_of("c0", 1)) == 1

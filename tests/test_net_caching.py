@@ -1,0 +1,186 @@
+"""Tests for the simulated-substrate caches (DNS, DNSBL, SMTP routing).
+
+The caches are pure speed: every test here pins either "a hit returns the
+very same answer" or "an authoritative change invalidates exactly the
+affected answers", and the run-level test pins that a fully cached run
+produces a byte-identical report digest to an uncached one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blacklistd.service import DnsblService, ListingPolicy
+from repro.experiments import run_simulation
+from repro.experiments.parallel import store_digest
+from repro.net.dns import DnsRegistry, Resolver
+from repro.net.internet import NO_ROUTE, Internet
+from repro.net.smtp import domain_of
+
+
+@pytest.fixture
+def registry():
+    registry = DnsRegistry()
+    registry.register_mail_domain("corp.example", "192.0.2.1")
+    registry.register_client_ptr("203.0.113.5", "smtp.legit.example")
+    return registry
+
+
+class TestResolverCache:
+    def test_hit_returns_identical_answer_object(self, registry):
+        resolver = Resolver(registry)
+        first = resolver._lookup("corp.example", DnsRegistry.MX)
+        second = resolver._lookup("corp.example", DnsRegistry.MX)
+        assert second is first  # the cached tuple IS the answer
+        assert resolver.ptr("203.0.113.5") is resolver.ptr("203.0.113.5")
+        assert resolver.cache_hits >= 2
+
+    def test_negative_answers_are_cached_too(self, registry):
+        resolver = Resolver(registry)
+        assert resolver.mx_host("nosuch.example") is None
+        misses = resolver.cache_misses
+        assert resolver.mx_host("nosuch.example") is None
+        assert resolver.cache_misses == misses
+        assert resolver.cache_hits >= 1
+
+    def test_queries_counter_still_counts_cached_calls(self, registry):
+        resolver = Resolver(registry)
+        resolver.resolves("corp.example")
+        before = resolver.queries
+        resolver.resolves("corp.example")  # pure cache hit
+        assert resolver.queries == before + 1
+
+    def test_record_change_invalidates_only_the_affected_answer(self, registry):
+        resolver = Resolver(registry)
+        assert resolver.ptr("203.0.113.5") == "smtp.legit.example"
+        assert resolver.mx_host("corp.example") == "mail.corp.example"
+
+        registry.remove_records("203.0.113.5", DnsRegistry.PTR)
+
+        assert resolver.ptr("203.0.113.5") is None  # fresh answer
+        hits = resolver.cache_hits
+        assert resolver.mx_host("corp.example") == "mail.corp.example"
+        assert resolver.cache_hits == hits + 1  # MX answer stayed warm
+
+    def test_added_record_visible_through_the_cache(self, registry):
+        resolver = Resolver(registry)
+        assert not resolver.resolves("late.example")
+        registry.register_mail_domain("late.example", "192.0.2.9")
+        assert resolver.resolves("late.example")
+
+    def test_cache_disabled_bypasses(self, registry, monkeypatch):
+        monkeypatch.setattr(Resolver, "CACHE_ENABLED", False)
+        resolver = Resolver(registry)
+        resolver.resolves("corp.example")
+        resolver.resolves("corp.example")
+        assert resolver.cache_hits == 0
+        assert resolver.cache_misses == 0
+
+
+class TestDnsblAnswerCache:
+    def _service(self):
+        return DnsblService(
+            "test-rbl",
+            ListingPolicy(threshold=1, window=100.0, base_duration=50.0),
+        )
+
+    def test_listing_invalidates_cached_not_listed(self):
+        service = self._service()
+        assert service.is_listed("198.51.100.1", now=0.0) is False
+        assert service.is_listed("198.51.100.1", now=5.0) is False  # hit
+        assert service.cache_hits == 1
+
+        service.record_trap_hit("198.51.100.1", now=10.0)  # lists the IP
+
+        assert service.is_listed("198.51.100.1", now=11.0) is True
+
+    def test_delisting_is_ttl_expiry_of_the_cached_answer(self):
+        service = self._service()
+        service.force_list("198.51.100.2", now=0.0, duration=50.0)
+        assert service.is_listed("198.51.100.2", now=10.0) is True
+        assert service.is_listed("198.51.100.2", now=20.0) is True  # hit
+        assert service.cache_hits == 1
+        # The listing lapsed: the cached True must expire with it.
+        assert service.is_listed("198.51.100.2", now=60.0) is False
+        # ...and the fresh False answer is itself cached.
+        assert service.is_listed("198.51.100.2", now=70.0) is False
+        assert service.cache_hits == 2
+
+    def test_relisting_after_expiry_invalidates_again(self):
+        service = self._service()
+        service.force_list("198.51.100.3", now=0.0, duration=10.0)
+        assert service.is_listed("198.51.100.3", now=50.0) is False
+        service.force_list("198.51.100.3", now=60.0, duration=10.0)
+        assert service.is_listed("198.51.100.3", now=65.0) is True
+
+    def test_queries_counter_still_counts_cached_calls(self):
+        service = self._service()
+        service.is_listed("198.51.100.4", now=0.0)
+        before = service.queries
+        service.is_listed("198.51.100.4", now=1.0)
+        assert service.queries == before + 1
+
+    def test_cache_disabled_bypasses(self, monkeypatch):
+        monkeypatch.setattr(DnsblService, "CACHE_ENABLED", False)
+        service = self._service()
+        service.is_listed("198.51.100.5", now=0.0)
+        service.is_listed("198.51.100.5", now=1.0)
+        assert service.cache_hits == 0
+        assert service.cache_misses == 0
+
+
+class TestRouteCache:
+    def test_no_route_answer_is_cached(self, registry):
+        internet = Internet(Resolver(registry))
+        assert internet.route_for("nosuch.example") is NO_ROUTE
+        assert internet.route_for("nosuch.example") is NO_ROUTE
+        assert internet.route_hits == 1
+        assert internet.route_misses == 1
+
+    def test_parked_domain_is_cached_as_unreachable(self, registry):
+        internet = Internet(Resolver(registry))
+        # corp.example resolves but has no registered host.
+        assert internet.route_for("corp.example") is None
+        assert internet.route_for("corp.example") is None
+        assert internet.route_hits == 1
+
+    def test_dns_change_invalidates_route(self, registry):
+        internet = Internet(Resolver(registry))
+        assert internet.route_for("late.example") is NO_ROUTE
+        registry.register_mail_domain("late.example", "192.0.2.9")
+        # The A/MX change must drop both the stale route and the stale
+        # resolver answer: the domain now routes (to "parked", no host).
+        assert internet.route_for("late.example") is not NO_ROUTE
+
+    def test_register_host_invalidates_route(self, registry):
+        from repro.net.hosts import RemoteMailHost
+
+        resolver = Resolver(registry)
+        internet = Internet(resolver)
+        assert internet.route_for("corp.example") is None  # parked so far
+        host = RemoteMailHost(domain="corp.example", ip="192.0.2.1")
+        internet.register_host(host)
+        assert internet.route_for("corp.example") is host
+
+    def test_domain_of_memoises(self):
+        assert domain_of("User@Corp.Example") == "corp.example"
+        assert domain_of("User@Corp.Example") == "corp.example"
+
+
+class TestCachedRunEqualsUncachedRun:
+    def test_digest_identical_and_counters_nonzero(self, monkeypatch):
+        cached = run_simulation("tiny", seed=3)
+        stats = cached.cache_stats
+        assert stats.dns_hits > 0
+        assert stats.dnsbl_hits > 0
+        assert stats.route_hits > 0
+        assert 0.0 < stats.dns_hit_rate <= 1.0
+
+        monkeypatch.setattr(Resolver, "CACHE_ENABLED", False)
+        monkeypatch.setattr(DnsblService, "CACHE_ENABLED", False)
+        monkeypatch.setattr(Internet, "CACHE_ENABLED", False)
+        uncached = run_simulation("tiny", seed=3)
+        assert uncached.cache_stats.dns_hits == 0
+        assert uncached.cache_stats.route_hits == 0
+
+        assert store_digest(cached.store) == store_digest(uncached.store)

@@ -142,3 +142,74 @@ class TestRecurring:
         event = sim.schedule(2.0, lambda: None)
         event.cancel()
         assert sim.pending == 1
+
+
+class TestCancellationAccounting:
+    def test_pending_is_counter_based_not_a_scan(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert sim.pending == 8
+        assert sim._cancelled == 2
+        assert len(sim._queue) == 10  # below threshold: no compaction yet
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event = sim.schedule(3.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 2
+
+    def test_cancel_after_pop_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)  # pops and executes the first event
+        event.cancel()  # late cancel: already off the queue
+        assert sim.pending == 1
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        sim = Simulator()
+        keep = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        doomed = [sim.schedule(float(i + 1), lambda: None) for i in range(90)]
+        for event in doomed:
+            event.cancel()
+        # Cancelled entries repeatedly exceeded half the queue, so the 90
+        # dead entries were purged; the invariant "dead entries never
+        # outnumber live ones" holds at every point.
+        assert sim.compactions >= 1
+        assert sim.pending == 10
+        assert sim._cancelled * 2 <= len(sim._queue)
+        assert len(sim._queue) < 2 * len(keep)
+
+    def test_order_preserved_across_compaction(self):
+        sim = Simulator()
+        seen = []
+        for i in range(8):
+            sim.schedule(float(i), lambda i=i: seen.append(i))
+        doomed = [sim.schedule(100.0 + i, lambda: None) for i in range(20)]
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions >= 1
+        sim.run()
+        assert seen == list(range(8))
+
+    def test_cancel_during_run_keeps_counter_consistent(self):
+        sim = Simulator()
+        later = [sim.schedule(10.0 + i, lambda: None) for i in range(6)]
+
+        def cancel_most():
+            for event in later[:5]:
+                event.cancel()
+
+        sim.schedule(1.0, cancel_most)
+        sim.run()
+        assert sim.pending == 0
+        assert sim._cancelled == 0
+        assert sim.events_processed == 2  # cancel_most + the one survivor
