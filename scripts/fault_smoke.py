@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""CI smoke test for the fault-injection substrate.
+
+Runs one simulation with network weather enabled and asserts the two
+properties CI cares about:
+
+* **delivery conservation** — every message handed to an outbound MTA
+  reached exactly one terminal status (DELIVERED/BOUNCED/EXPIRED), with
+  nothing still in flight after the drain;
+* **the weather actually happened** — nonzero greylist deferrals and
+  scheduled retries, so a silently-disabled fault plan fails the job
+  instead of passing vacuously.
+
+Exits nonzero with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fault_smoke.py --preset small --seed 11 --faults stormy
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.experiments import run_simulation  # noqa: E402
+from repro.experiments.runner import _unique_mtas  # noqa: E402
+from repro.net.faults import fault_preset_names  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--preset", default="small", help="scale preset (default: small)"
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--faults",
+        default="stormy",
+        choices=[n for n in fault_preset_names() if n != "off"],
+        help="fault preset (default: stormy)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_simulation(args.preset, seed=args.seed, faults=args.faults)
+    stats = result.fault_stats
+    print(
+        f"preset={args.preset} seed={args.seed} faults={args.faults}: "
+        f"{stats.messages_sent} sent = {stats.delivered} delivered "
+        f"+ {stats.bounced} bounced + {stats.expired} expired "
+        f"(drained {stats.drained}); "
+        f"{stats.greylist_deferrals} greylist deferrals, "
+        f"{stats.storm_rejections} storm rejections, "
+        f"{stats.outage_failures} outage failures, "
+        f"{stats.dns_failures} DNS failures, "
+        f"{stats.retries_scheduled} retries scheduled"
+    )
+
+    failures = []
+    if not stats.conserved:
+        failures.append(
+            "delivery conservation violated: "
+            f"{stats.messages_sent} != "
+            f"{stats.delivered} + {stats.bounced} + {stats.expired}"
+        )
+    in_flight = sum(m.in_flight for m in _unique_mtas(result.installations))
+    if in_flight:
+        failures.append(f"{in_flight} messages still in flight after drain")
+    if not stats.enabled:
+        failures.append("fault plan was not installed (stats.enabled is False)")
+    if stats.greylist_deferrals == 0:
+        failures.append("no greylist deferrals — weather did not happen")
+    if stats.retries_scheduled == 0:
+        failures.append("no retries scheduled — weather did not happen")
+    if stats.expired == 0:
+        failures.append("no expiries — storms/outages had no visible effect")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("fault smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection preset (off/mild/stormy; default: off)",
+    )
+    parser.add_argument(
         "--top", type=int, default=25, help="hotspot rows to print per stage"
     )
     parser.add_argument(
@@ -55,7 +60,7 @@ def main(argv=None) -> int:
 
     sim_profiler = cProfile.Profile()
     sim_profiler.enable()
-    result = run_simulation(args.preset, seed=args.seed)
+    result = run_simulation(args.preset, seed=args.seed, faults=args.faults)
     sim_profiler.disable()
 
     result.store.drop_indices()  # profile a cold analysis index

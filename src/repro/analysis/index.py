@@ -167,6 +167,9 @@ class ChallengeAggregates:
     per_company: dict
     per_ip: dict
     server_ips_by_company: dict
+    #: (company_id, challenge_id) -> send time; joined against
+    #: ``OutcomeAggregates.by_challenge`` for delivery-delay breakdowns.
+    send_times: dict
 
 
 @dataclass
@@ -506,6 +509,7 @@ def _build_challenges(records) -> ChallengeAggregates:
     per_company: dict = {}
     per_ip: dict = {}
     server_ips_by_company: dict = {}
+    send_times: dict = {}
     for record in records:
         total_bytes += record.size
         company_id = record.company_id
@@ -515,11 +519,13 @@ def _build_challenges(records) -> ChallengeAggregates:
         if ips is None:
             ips = server_ips_by_company[company_id] = set()
         ips.add(record.server_ip)
+        send_times[(company_id, record.challenge_id)] = record.t
     return ChallengeAggregates(
         total_bytes=total_bytes,
         per_company=per_company,
         per_ip=per_ip,
         server_ips_by_company=server_ips_by_company,
+        send_times=send_times,
     )
 
 

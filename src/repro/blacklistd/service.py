@@ -11,6 +11,7 @@ while most never appeared at all.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -46,27 +47,46 @@ class ListingInterval:
 class _IpState:
     hits: list[float] = field(default_factory=list)
     listings: int = 0
+    #: When the current/last listing became (or becomes) visible.
+    listed_from: float = -1.0
     listed_until: float = -1.0
 
 
 class DnsblService:
     """One blacklist operator.
 
-    Query answers are memoised TTL-aware: a cached "listed" answer carries
-    its listing's expiry and lapses exactly when the listing does (delisting
-    is pure time passage, so expiry IS the invalidation); a cached "not
-    listed" answer can only be flipped by a new listing event, so
+    Query answers are memoised TTL-aware: every cached answer carries the
+    time until which it stays valid — a "listed" answer lapses exactly when
+    the listing does, a "not listed" answer lapses when a pending listing
+    becomes visible (``listing_lag``) and otherwise never, since it can
+    only be flipped by a new listing event — which is why
     :meth:`_list`/:meth:`force_list` drop the affected IP's entry.
+
+    ``listing_lag``/``delisting_lag`` model operator latency (fault
+    injection): a triggered listing only becomes query-visible
+    ``listing_lag`` seconds later, and stays visible ``delisting_lag``
+    seconds past its policy expiry. Both default to zero, which reproduces
+    the instantaneous behaviour bit-for-bit.
     """
 
     #: Class-wide switch so tests can compare cached vs uncached runs.
     CACHE_ENABLED = True
 
-    def __init__(self, name: str, policy: ListingPolicy) -> None:
+    def __init__(
+        self,
+        name: str,
+        policy: ListingPolicy,
+        *,
+        listing_lag: float = 0.0,
+        delisting_lag: float = 0.0,
+    ) -> None:
         self.name = name
         self.policy = policy
+        self.listing_lag = float(listing_lag)
+        self.delisting_lag = float(delisting_lag)
         self._state: dict[str, _IpState] = {}
-        #: ip -> (listed, listed_until); False entries never expire.
+        #: ip -> (answer, valid_until); stable "not listed" answers carry
+        #: ``inf`` (they only flip via a listing event, which pops them).
         self._answer_cache: dict[str, tuple[bool, float]] = {}
         self.history: list[ListingInterval] = []
         self.queries = 0
@@ -89,33 +109,49 @@ class DnsblService:
             self.policy.max_duration,
         )
         state.listings += 1
-        state.listed_until = now + duration
+        # The operator publishes the listing ``listing_lag`` after the trap
+        # evidence triggers it, and keeps it ``delisting_lag`` past expiry.
+        visible_from = now + self.listing_lag
+        state.listed_from = visible_from
+        state.listed_until = visible_from + duration + self.delisting_lag
         state.hits.clear()
         self._answer_cache.pop(ip, None)
-        self.history.append(ListingInterval(ip, now, state.listed_until))
+        self.history.append(ListingInterval(ip, visible_from, state.listed_until))
+
+    def _answer(self, state: Optional[_IpState], now: float) -> tuple[bool, float]:
+        """``(listed, valid_until)`` for one IP's state at *now*."""
+        if state is None or now >= state.listed_until:
+            return False, math.inf
+        if now < state.listed_from:
+            # Listing triggered but not yet published: "not listed", and
+            # that answer goes stale the moment the listing appears.
+            return False, state.listed_from
+        return True, state.listed_until
 
     def is_listed(self, ip: str, now: float) -> bool:
         """DNSBL query: is *ip* currently listed?"""
         self.queries += 1
         if not DnsblService.CACHE_ENABLED:
-            state = self._state.get(ip)
-            return state is not None and now < state.listed_until
+            return self._answer(self._state.get(ip), now)[0]
         cached = self._answer_cache.get(ip)
-        if cached is not None:
-            listed, until = cached
-            if not listed or now < until:
-                self.cache_hits += 1
-                return listed
+        if cached is not None and now < cached[1]:
+            self.cache_hits += 1
+            return cached[0]
         self.cache_misses += 1
-        state = self._state.get(ip)
-        listed = state is not None and now < state.listed_until
-        self._answer_cache[ip] = (listed, state.listed_until if listed else 0.0)
-        return listed
+        answer = self._answer(self._state.get(ip), now)
+        self._answer_cache[ip] = answer
+        return answer[0]
 
     def force_list(self, ip: str, now: float, duration: float) -> None:
-        """Administratively list *ip* (used to seed pre-listed botnet IPs)."""
+        """Administratively list *ip* (used to seed pre-listed botnet IPs).
+
+        Takes effect immediately — no listing lag; these stand in for
+        listings that predate the observation window.
+        """
         state = self._state.setdefault(ip, _IpState())
         state.listings += 1
+        if state.listed_from < 0 or state.listed_from > now:
+            state.listed_from = now
         state.listed_until = max(state.listed_until, now + duration)
         self._answer_cache.pop(ip, None)
         self.history.append(ListingInterval(ip, now, state.listed_until))

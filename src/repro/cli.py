@@ -23,6 +23,7 @@ from repro.experiments.registry import (
     EXPERIMENTS,
     run_experiment,
 )
+from repro.net.faults import fault_preset_names
 from repro.workload.scale import preset_names
 
 
@@ -99,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes; 1 (default) runs serially in-process",
     )
     sweep_parser.add_argument(
+        "--faults",
+        default=None,
+        choices=fault_preset_names(),
+        help="fault-injection preset applied to every run in the sweep",
+    )
+    sweep_parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache under .cache/runs/",
@@ -117,6 +124,12 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--faults",
+        default=None,
+        choices=fault_preset_names(),
+        help="fault-injection preset (default: off — reliable substrate)",
+    )
+    parser.add_argument(
         "--load",
         metavar="PATH",
         help="analyse a previously saved run instead of simulating",
@@ -128,7 +141,9 @@ def _load_or_run(args: argparse.Namespace):
         from repro.analysis.persistence import load_run
 
         return load_run(args.load)
-    return run_simulation(args.preset, seed=args.seed)
+    return run_simulation(
+        args.preset, seed=args.seed, faults=getattr(args, "faults", None)
+    )
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -205,7 +220,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
         f"with jobs={args.jobs} ..."
     )
     summaries = runner.run(
-        [RunSpec(preset=args.preset, seed=seed) for seed in seeds]
+        [
+            RunSpec(preset=args.preset, seed=seed, faults=args.faults)
+            for seed in seeds
+        ]
     )
     print()
     print(variability.render_sweep(variability.sweep_from_summaries(summaries)))

@@ -1,9 +1,21 @@
-"""Per-company configuration of a CR installation."""
+"""Per-company configuration of a CR installation.
+
+Also re-exports the fault-injection presets
+(:data:`~repro.net.faults.FAULT_PRESETS`) so deployment configuration —
+scale preset, filter settings, network weather — reads from one place.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import FrozenSet, Tuple
+
+from repro.net.faults import (  # noqa: F401  (re-export)
+    FAULT_PRESETS,
+    FaultSettings,
+    fault_preset_names,
+    get_fault_preset,
+)
 
 
 @dataclass(frozen=True)

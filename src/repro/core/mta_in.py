@@ -26,7 +26,7 @@ from typing import Optional
 from repro.core.config import CompanyConfig
 from repro.core.message import EmailMessage
 from repro.net.addresses import is_well_formed
-from repro.net.dns import Resolver
+from repro.net.dns import DnsTemporaryFailure, Resolver
 
 
 class DropReason(enum.Enum):
@@ -51,6 +51,8 @@ class MtaIn:
         self.config = config
         self.resolver = resolver
         self.accepted = 0
+        #: Sender-domain checks skipped because DNS was temporarily down.
+        self.dns_tempfails = 0
         self.dropped: dict[DropReason, int] = {reason: 0 for reason in DropReason}
 
     def check(self, message: EmailMessage) -> Optional[DropReason]:
@@ -72,8 +74,15 @@ class MtaIn:
             if not is_well_formed(message.env_from):
                 return DropReason.MALFORMED
             sender_domain = message.env_from.rsplit("@", 1)[-1].lower()
-            if not self.resolver.resolves(sender_domain):
-                return DropReason.UNRESOLVABLE_DOMAIN
+            try:
+                if not self.resolver.resolves(sender_domain):
+                    return DropReason.UNRESOLVABLE_DOMAIN
+            except DnsTemporaryFailure:
+                # A real MTA would 451 and the remote would retry until the
+                # weather cleared; inbound retries are not modelled, so a
+                # transient failure passes the check rather than being
+                # misclassified as UNRESOLVABLE_DOMAIN.
+                self.dns_tempfails += 1
         rcpt_local, rcpt_domain = message.env_to.rsplit("@", 1)
         rcpt_domain = rcpt_domain.lower()
         if not self.config.accepts_domain(rcpt_domain):

@@ -76,6 +76,10 @@ class RunSpec:
     calibration: Optional[Calibration] = None
     filters_template: Optional[FilterSettings] = None
     config_overrides: Optional[dict] = None
+    #: Fault-injection preset name (``None`` = reliable substrate). A name
+    #: rather than a :class:`FaultSettings` keeps specs trivially
+    #: picklable and the cache key readable.
+    faults: Optional[str] = None
     #: Free-form display name (not part of the cache key).
     label: str = ""
 
@@ -102,6 +106,7 @@ class RunSpec:
                 self.calibration or DEFAULT_CALIBRATION,
                 self.filters_template,
                 overrides,
+                self.faults,
             )
         )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -169,6 +174,7 @@ def _execute_spec(spec: RunSpec) -> RunSummary:
         calibration=spec.calibration,
         filters_template=spec.filters_template,
         config_overrides=spec.config_overrides,
+        faults=spec.faults,
     )
     return summarize_result(result)
 

@@ -17,6 +17,7 @@ from repro.analysis import (
     delays,
     discussion,
     engine_breakdown,
+    faults,
     flow,
     general_stats,
     mta_breakdown,
@@ -53,6 +54,9 @@ EXPERIMENTS: Dict[str, Callable[[SimulationResult], str]] = {
     "sec51": lambda r: blacklisting.render(r.store, r.info),
     "fig12": lambda r: spf_study.render(r.store),
     "sec6": lambda r: discussion.render(r.store, r.info),
+    # Takes the full result (not just the store): the fault-injection
+    # counters live on SimulationResult.fault_stats, outside the log store.
+    "faults": lambda r: faults.render_result(r),
 }
 
 
@@ -84,6 +88,7 @@ CANONICAL_ORDER = (
     "fig11",
     "fig12",
     "sec6",
+    "faults",
 )
 
 

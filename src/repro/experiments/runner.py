@@ -20,6 +20,7 @@ from repro.analysis.store import LogStore
 from repro.blacklistd.monitor import BlacklistMonitor
 from repro.core.engine import CompanyInstallation
 from repro.core.message import reset_msg_ids
+from repro.net.faults import FaultPlan, FaultSettings, get_fault_preset
 from repro.sim.engine import Simulator
 from repro.util.rng import RngStreams
 from repro.util.simtime import DAY
@@ -71,6 +72,67 @@ class SubstrateCacheStats:
         )
 
 
+@dataclass(frozen=True)
+class FaultStats:
+    """Fault-injection counters plus the delivery-conservation ledger.
+
+    Collected after every run (faults enabled or not): the conservation
+    invariant — every message handed to an outbound MTA reached exactly
+    one terminal status — is checked unconditionally.
+    """
+
+    enabled: bool
+    greylist_deferrals: int
+    storm_rejections: int
+    outage_failures: int
+    dns_failures: int
+    retries_scheduled: int
+    messages_sent: int
+    delivered: int
+    bounced: int
+    expired: int
+    #: Messages force-expired by the end-of-run drain (0 when the event
+    #: queue emptied on its own, which it does for full-horizon runs).
+    drained: int
+
+    @property
+    def conserved(self) -> bool:
+        """Every sent message reached exactly one terminal status."""
+        return self.messages_sent == self.delivered + self.bounced + self.expired
+
+    @classmethod
+    def collect(
+        cls,
+        plan: Optional[FaultPlan],
+        installations: dict[str, CompanyInstallation],
+    ) -> "FaultStats":
+        counters = plan.counters if plan is not None else None
+        mtas = _unique_mtas(installations)
+        return cls(
+            enabled=plan is not None,
+            greylist_deferrals=counters.greylist_deferrals if counters else 0,
+            storm_rejections=counters.storm_rejections if counters else 0,
+            outage_failures=counters.outage_failures if counters else 0,
+            dns_failures=counters.dns_failures if counters else 0,
+            retries_scheduled=sum(m.retries_scheduled for m in mtas),
+            messages_sent=sum(m.sent_messages for m in mtas),
+            delivered=sum(m.delivered for m in mtas),
+            bounced=sum(m.bounced for m in mtas),
+            expired=sum(m.expired for m in mtas),
+            drained=sum(m.drained for m in mtas),
+        )
+
+
+def _unique_mtas(installations: dict[str, CompanyInstallation]) -> list:
+    """Each installation's outbound MTAs, deduplicated — non-dual
+    installations share one object between user and challenge mail."""
+    mtas: dict[int, object] = {}
+    for installation in installations.values():
+        for mta in (installation.user_mta, installation.challenge_mta):
+            mtas[id(mta)] = mta
+    return list(mtas.values())
+
+
 @dataclass
 class SimulationResult:
     """Everything one run produced."""
@@ -84,6 +146,7 @@ class SimulationResult:
     seed: int
     wall_seconds: float
     cache_stats: SubstrateCacheStats
+    fault_stats: Optional[FaultStats] = None
 
 
 def run_simulation(
@@ -93,6 +156,7 @@ def run_simulation(
     filters_template=None,
     scenarios: Sequence = (),
     config_overrides: Optional[dict] = None,
+    faults: Union[str, FaultSettings, None] = None,
 ) -> SimulationResult:
     """Simulate one deployment at the given scale preset and seed.
 
@@ -103,10 +167,17 @@ def run_simulation(
     *scenarios* are extra traffic sources — typically
     :class:`repro.workload.attacks.AttackScenario` instances — installed
     alongside the regular trace generator.
+
+    *faults* enables network-weather injection: a fault preset name
+    (``"mild"``, ``"stormy"`` — see
+    :data:`~repro.net.faults.FAULT_PRESETS`), an explicit
+    :class:`~repro.net.faults.FaultSettings`, or ``None``/``"off"``
+    (default) for the perfectly reliable substrate.
     """
     started = time.perf_counter()
     scale = get_preset(preset) if isinstance(preset, str) else preset
     calibration = calibration or DEFAULT_CALIBRATION
+    fault_settings = get_fault_preset(faults) if isinstance(faults, str) else faults
     reset_msg_ids()
 
     streams = RngStreams(seed)
@@ -119,6 +190,12 @@ def run_simulation(
     hooks = behavior.hooks()
 
     horizon = scale.n_days * DAY
+    fault_plan = None
+    if fault_settings is not None and fault_settings.enabled:
+        fault_plan = FaultPlan(
+            fault_settings, seed=seed, horizon=horizon, clock=simulator
+        )
+        world.install_fault_plan(fault_plan)
     installations: dict[str, CompanyInstallation] = {}
     for company in world.companies:
         installation = CompanyInstallation(
@@ -159,6 +236,12 @@ def run_simulation(
     # the horizon, so the queue empties on its own.
     simulator.run(until=horizon)
     simulator.run()
+    # Safety net for the end-of-horizon leak: force any message still
+    # lacking a terminal status to EXPIRED. After the full drain above
+    # this finalizes nothing — it exists so the conservation invariant
+    # holds even for truncated runs.
+    for mta in _unique_mtas(installations):
+        mta.drain()
 
     info = DeploymentInfo(
         n_companies=scale.n_companies,
@@ -180,6 +263,7 @@ def run_simulation(
         seed=seed,
         wall_seconds=time.perf_counter() - started,
         cache_stats=SubstrateCacheStats.collect(world),
+        fault_stats=FaultStats.collect(fault_plan, installations),
     )
 
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
+from repro.net.faults import DnsTemporaryFailure
+
 
 class DnsRegistry:
     """Authoritative record store for the simulated internet.
@@ -111,6 +113,9 @@ class Resolver:
         self.queries = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Fault-injection schedule (:class:`repro.net.faults.FaultPlan`)
+        #: or ``None``; installed by ``World.install_fault_plan``.
+        self.fault_plan = None
         self._cache: dict[tuple[str, str], tuple[str, ...]] = {}
         registry.subscribe(self._invalidate)
 
@@ -131,13 +136,29 @@ class Resolver:
         self._cache[key] = answer
         return answer
 
+    def check_available(self, name: str) -> None:
+        """Raise :class:`DnsTemporaryFailure` when a fault episode covers
+        *name* right now.
+
+        This runs **before** any cache: a transient SERVFAIL must never be
+        memoised (neither here nor as a ``NO_ROUTE`` routing decision), and
+        conversely a warm cache must not mask the outage — the cached and
+        uncached substrates have to behave identically under faults.
+        """
+        plan = self.fault_plan
+        if plan is not None and plan.dns_unavailable(name):
+            plan.counters.dns_failures += 1
+            raise DnsTemporaryFailure(f"SERVFAIL resolving {name}")
+
     def resolves(self, domain: str) -> bool:
         """True when *domain* has an ``A`` or ``MX`` record.
 
         This is the inbound MTA's "is it able to resolve the incoming email
-        domain" check.
+        domain" check. Raises :class:`DnsTemporaryFailure` during an
+        injected DNS trouble episode covering *domain*.
         """
         self.queries += 1
+        self.check_available(domain)
         return bool(
             self._lookup(domain, DnsRegistry.A)
             or self._lookup(domain, DnsRegistry.MX)

@@ -1,0 +1,311 @@
+"""Deterministic fault injection: the "network weather" of the substrate.
+
+The paper's headline artifacts — the delivery-delay tail of Fig. 7, the
+challenges "expired after many unsuccessful attempts" of Fig. 4(a), and the
+listing/delisting dynamics of §5 — are all produced by an *unreliable*
+internet. This module models that unreliability as four fault classes, each
+standing in for a failure mode the deployment actually faced:
+
+* **greylisting** — receiving servers that 451 the first attempt from an
+  unknown ``(client_ip, mail_from, rcpt_to)`` triple and accept the retry
+  (the dominant source of hours-scale challenge delay);
+* **4xx storms** — windows during which a host temporarily rejects all
+  mail (full queues, rate limiting, "try again later");
+* **outages** — windows during which a host does not answer at all
+  (connection timeouts, the same signature as a parked domain, but
+  transient);
+* **DNS episodes** — windows during which a fraction of names SERVFAIL
+  (resolver outages, lame delegations).
+
+Plus per-DNSBL **listing/delisting lag**, configured on
+:class:`~repro.blacklistd.service.DnsblService` via
+:meth:`FaultPlan.dnsbl_lag_for` — real operators neither list nor delist
+instantaneously.
+
+Determinism: every decision is derived from ``sha256(seed/kind/key)``, not
+from shared stream state, so the weather a domain experiences is a pure
+function of ``(seed, settings, domain)`` — independent of query order and
+therefore identical between cached and uncached substrate runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.smtp import Envelope, Reply, SmtpResponse
+from repro.util.rng import poisson
+from repro.util.simtime import DAY, HOUR, MINUTE
+
+#: Length of the "month" used by the per-month fault rates.
+MONTH = 30 * DAY
+
+
+@dataclass(frozen=True)
+class FaultSettings:
+    """Knobs of one fault-injection configuration (all rates per month)."""
+
+    #: Master switch; a disabled settings object never builds a plan.
+    enabled: bool = True
+    #: Fraction of remote hosts that greylist unknown sender triples.
+    greylist_host_frac: float = 0.35
+    #: Expected 4xx storms per host per month.
+    storms_per_host_month: float = 1.5
+    storm_duration_range: tuple = (1 * HOUR, 8 * HOUR)
+    #: Expected full outages per host per month.
+    outages_per_host_month: float = 0.5
+    outage_duration_range: tuple = (20 * MINUTE, 6 * HOUR)
+    #: Expected internet-wide DNS trouble episodes per month.
+    dns_episodes_per_month: float = 2.0
+    dns_episode_duration_range: tuple = (10 * MINUTE, 2 * HOUR)
+    #: Fraction of names that SERVFAIL during a DNS episode.
+    dns_failure_frac: float = 0.5
+    #: How long an operator takes to publish a new listing.
+    dnsbl_listing_lag_range: tuple = (1 * HOUR, 12 * HOUR)
+    #: How long past the policy expiry an operator keeps an IP listed.
+    dnsbl_delisting_lag_range: tuple = (0.0, 2 * DAY)
+
+
+#: Named fault configurations, mirroring the scale presets.
+FAULT_PRESETS: dict = {
+    "off": FaultSettings(
+        enabled=False,
+        greylist_host_frac=0.0,
+        storms_per_host_month=0.0,
+        outages_per_host_month=0.0,
+        dns_episodes_per_month=0.0,
+        dns_failure_frac=0.0,
+        dnsbl_listing_lag_range=(0.0, 0.0),
+        dnsbl_delisting_lag_range=(0.0, 0.0),
+    ),
+    "mild": FaultSettings(
+        greylist_host_frac=0.20,
+        storms_per_host_month=0.7,
+        outages_per_host_month=0.25,
+        dns_episodes_per_month=1.0,
+        dns_failure_frac=0.3,
+        dnsbl_listing_lag_range=(1 * HOUR, 6 * HOUR),
+        dnsbl_delisting_lag_range=(0.0, 1 * DAY),
+    ),
+    "stormy": FaultSettings(
+        greylist_host_frac=0.50,
+        storms_per_host_month=3.0,
+        outages_per_host_month=1.0,
+        dns_episodes_per_month=4.0,
+        dns_failure_frac=0.6,
+        dnsbl_listing_lag_range=(4 * HOUR, 18 * HOUR),
+        dnsbl_delisting_lag_range=(12 * HOUR, 3 * DAY),
+    ),
+}
+
+
+def get_fault_preset(name: str) -> FaultSettings:
+    """Look up a named fault preset (:data:`FAULT_PRESETS`)."""
+    try:
+        return FAULT_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault preset {name!r}; available: {sorted(FAULT_PRESETS)}"
+        ) from None
+
+
+def fault_preset_names() -> list:
+    return sorted(FAULT_PRESETS)
+
+
+@dataclass
+class FaultCounters:
+    """How often each fault class actually fired during a run."""
+
+    greylist_deferrals: int = 0
+    storm_rejections: int = 0
+    outage_failures: int = 0
+    dns_failures: int = 0
+
+
+class DnsTemporaryFailure(Exception):
+    """SERVFAIL/timeout: the name may exist but cannot be resolved *now*.
+
+    Deliberately not a :class:`~repro.net.smtp.SmtpResponse` — callers must
+    make an explicit policy decision (retry later, skip the check), and an
+    exception cannot be accidentally cached as a routing result.
+    """
+
+
+class FaultPlan:
+    """The seeded weather schedule of one simulation run.
+
+    Host fault windows are materialised lazily, one hash-seeded draw per
+    domain, so the plan costs nothing for domains that never receive mail
+    and the schedule does not depend on delivery order.
+    """
+
+    def __init__(
+        self,
+        settings: FaultSettings,
+        seed: int,
+        horizon: float,
+        clock,
+    ) -> None:
+        self.settings = settings
+        self.seed = int(seed)
+        self.horizon = float(horizon)
+        #: Anything with a ``now`` attribute (the :class:`Simulator`);
+        #: needed because DNS lookups carry no timestamp parameter.
+        self.clock = clock
+        self.counters = FaultCounters()
+        #: domain -> (outage windows, storm windows), each a sorted list
+        #: of (start, end) pairs.
+        self._host_windows: dict = {}
+        #: domain -> whether that host greylists unknown triples.
+        self._greylisting_hosts: dict = {}
+        #: (client_ip, mail_from, rcpt_to) triples already deferred once.
+        self._seen_triples: set = set()
+        #: Internet-wide DNS trouble windows: (start, end, failure_frac).
+        self._dns_episodes: list = self._draw_dns_episodes()
+
+    # -- deterministic derivation ---------------------------------------
+
+    def _rng(self, kind: str, key: str = "") -> random.Random:
+        digest = hashlib.sha256(
+            f"{self.seed}/{kind}/{key}".encode("utf-8")
+        ).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def _frac(self, kind: str, key: str) -> float:
+        """Uniform [0, 1) hash of ``(seed, kind, key)``."""
+        digest = hashlib.sha256(
+            f"{self.seed}/{kind}/{key}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def _draw_windows(
+        self, rng: random.Random, per_month: float, duration_range: tuple
+    ) -> list:
+        count = poisson(rng, per_month * self.horizon / MONTH)
+        windows = []
+        for _ in range(count):
+            start = rng.uniform(0.0, self.horizon)
+            windows.append((start, start + rng.uniform(*duration_range)))
+        windows.sort()
+        return windows
+
+    def _draw_dns_episodes(self) -> list:
+        rng = self._rng("dns-episodes")
+        windows = self._draw_windows(
+            rng,
+            self.settings.dns_episodes_per_month,
+            self.settings.dns_episode_duration_range,
+        )
+        return [(start, end, self.settings.dns_failure_frac) for start, end in windows]
+
+    def _windows_for(self, domain: str) -> tuple:
+        windows = self._host_windows.get(domain)
+        if windows is None:
+            outages = self._draw_windows(
+                self._rng("outage", domain),
+                self.settings.outages_per_host_month,
+                self.settings.outage_duration_range,
+            )
+            storms = self._draw_windows(
+                self._rng("storm", domain),
+                self.settings.storms_per_host_month,
+                self.settings.storm_duration_range,
+            )
+            windows = self._host_windows[domain] = (outages, storms)
+        return windows
+
+    @staticmethod
+    def _covered(windows: list, now: float) -> bool:
+        for start, end in windows:
+            if start > now:
+                return False  # sorted: no later window can cover now
+            if now < end:
+                return True
+        return False
+
+    # -- test/debug overrides -------------------------------------------
+
+    def force_weather(
+        self, domain: str, *, outages: tuple = (), storms: tuple = ()
+    ) -> None:
+        """Pin *domain*'s fault windows explicitly (tests, what-ifs)."""
+        self._host_windows[domain.lower()] = (
+            sorted(tuple(w) for w in outages),
+            sorted(tuple(w) for w in storms),
+        )
+
+    def force_dns_episode(
+        self, start: float, end: float, failure_frac: float = 1.0
+    ) -> None:
+        """Append an explicit DNS trouble window (tests, what-ifs)."""
+        self._dns_episodes.append((start, end, failure_frac))
+        self._dns_episodes.sort()
+
+    # -- queries made by the substrate ----------------------------------
+
+    def weather(self, domain: str, now: float) -> Optional[SmtpResponse]:
+        """The transient failure *domain* is suffering at *now*, if any.
+
+        Checked by :meth:`RemoteMailHost.deliver` before any host policy:
+        a host in an outage or storm window rejects everything.
+        """
+        outages, storms = self._windows_for(domain)
+        if self._covered(outages, now):
+            self.counters.outage_failures += 1
+            return SmtpResponse(
+                Reply.CONNECT_FAIL, f"connection to {domain} timed out (outage)"
+            )
+        if self._covered(storms, now):
+            self.counters.storm_rejections += 1
+            return SmtpResponse(
+                Reply.SERVICE_UNAVAILABLE,
+                "4.3.2 system not accepting network messages",
+            )
+        return None
+
+    def greylist_defer(self, domain: str, envelope: Envelope) -> bool:
+        """True when this attempt should get a 451 greylist deferral.
+
+        Classic triple-based greylisting: the first attempt from an unknown
+        ``(client_ip, mail_from, rcpt_to)`` triple is deferred, the retry
+        (same triple, 15 min later under the default schedule) passes.
+        """
+        if self._frac("greylist-host", domain) >= self.settings.greylist_host_frac:
+            return False
+        triple = (envelope.client_ip, envelope.mail_from, envelope.rcpt_to)
+        if triple in self._seen_triples:
+            return False
+        self._seen_triples.add(triple)
+        self.counters.greylist_deferrals += 1
+        return True
+
+    def dns_unavailable(self, name: str) -> bool:
+        """True when resolving *name* SERVFAILs at the current sim time.
+
+        Pure (no counter side effects): callers may probe the same name
+        twice in one code path; counting happens at the raise site
+        (:meth:`Resolver.check_available`).
+        """
+        if not self._dns_episodes:
+            return False
+        now = self.clock.now
+        for start, end, frac in self._dns_episodes:
+            if start > now:
+                return False
+            if now < end:
+                # Which names fail is a per-episode hash draw, so an
+                # episode hits a stable subset of the namespace.
+                key = f"{start}/{name}"
+                if self._frac("dns-fail", key) < frac:
+                    return True
+        return False
+
+    def dnsbl_lag_for(self, service_name: str) -> tuple:
+        """Deterministic ``(listing_lag, delisting_lag)`` for one operator."""
+        rng = self._rng("dnsbl-lag", service_name)
+        listing = rng.uniform(*self.settings.dnsbl_listing_lag_range)
+        delisting = rng.uniform(*self.settings.dnsbl_delisting_lag_range)
+        return listing, delisting

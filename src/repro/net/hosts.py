@@ -49,6 +49,9 @@ class RemoteMailHost:
         self.greylisting = greylisting
         self.dnsbl_services = list(dnsbl_services)
         self.on_delivered = on_delivered
+        #: Fault-injection schedule (:class:`repro.net.faults.FaultPlan`)
+        #: or ``None``; installed by ``Internet.install_fault_plan``.
+        self.fault_plan = None
         self.accepted_count = 0
         self.rejected_count = 0
         self.greylisted_count = 0
@@ -62,6 +65,13 @@ class RemoteMailHost:
 
     def deliver(self, envelope: Envelope, now: float) -> SmtpResponse:
         """Attempt delivery of *envelope* at simulated time *now*."""
+        plan = self.fault_plan
+        if plan is not None:
+            # Outages and 4xx storms strike before any host policy runs —
+            # an unreachable or overloaded server rejects everything.
+            weather = plan.weather(self.domain, now)
+            if weather is not None:
+                return weather
         if not self.reachable:
             return SmtpResponse(Reply.CONNECT_FAIL, "connection timed out")
         for service in self.dnsbl_services:
@@ -82,6 +92,13 @@ class RemoteMailHost:
             self.greylisted_count += 1
             return SmtpResponse(
                 Reply.GREYLISTED, "4.2.0 greylisted, try again later"
+            )
+        if plan is not None and plan.greylist_defer(self.domain, envelope):
+            # Fault-injected triple greylisting: first attempt from an
+            # unknown (client_ip, mail_from, rcpt_to) gets 451, retry passes.
+            self.greylisted_count += 1
+            return SmtpResponse(
+                Reply.GREYLISTED, "4.2.0 greylisted (unknown triple), try later"
             )
         self.accepted_count += 1
         if self.on_delivered is not None:

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.net.dns import DnsRegistry, Resolver
+from repro.net.dns import DnsRegistry, DnsTemporaryFailure, Resolver
 from repro.net.hosts import RemoteMailHost
 from repro.net.smtp import Envelope, Reply, SmtpResponse, domain_of
 
@@ -51,6 +51,9 @@ class Internet:
         self.bytes_routed = 0
         self.route_hits = 0
         self.route_misses = 0
+        #: Fault-injection schedule (:class:`repro.net.faults.FaultPlan`)
+        #: or ``None``; installed by ``World.install_fault_plan``.
+        self.fault_plan = None
         resolver.registry.subscribe(self._on_dns_change)
 
     def _on_dns_change(self, key: tuple[str, str]) -> None:
@@ -63,6 +66,19 @@ class Internet:
             raise ValueError(f"duplicate host for domain {host.domain}")
         self._hosts_by_domain[host.domain] = host
         self._route_cache.pop(host.domain, None)
+        if self.fault_plan is not None:
+            host.fault_plan = self.fault_plan
+
+    def install_fault_plan(self, plan) -> None:
+        """Attach *plan* to this router and every (current and future)
+        registered host."""
+        self.fault_plan = plan
+        for host in self._hosts_by_domain.values():
+            host.fault_plan = plan
+
+    def hosts(self):
+        """All registered remote hosts, in registration order."""
+        return self._hosts_by_domain.values()
 
     def host_for(self, domain: str) -> Optional[RemoteMailHost]:
         return self._hosts_by_domain.get(domain.lower())
@@ -70,9 +86,23 @@ class Internet:
     def route_for(
         self, domain: str
     ) -> Union[RemoteMailHost, _NoRoute, None]:
-        """Routing decision for lowercase *domain*: the responsible host,
+        """Routing decision for *domain*: the responsible host,
         :data:`NO_ROUTE` (unresolvable), or ``None`` (resolvable but
-        nobody answers)."""
+        nobody answers).
+
+        The domain is lowercased here, once, at the boundary — host
+        registration and the route cache are all lowercase-keyed, so a
+        mixed-case caller must not get a spurious miss plus a poisoned
+        mixed-case cache entry.
+
+        Raises :class:`DnsTemporaryFailure` during an injected DNS episode
+        covering *domain*. The availability check runs **before** the
+        cache: a transient failure is never stored as ``NO_ROUTE``, and a
+        warm cache entry does not mask the outage (cached and uncached
+        runs must fail identically).
+        """
+        domain = domain.lower()
+        self.resolver.check_available(domain)
         if not Internet.CACHE_ENABLED:
             return self._compute_route(domain)
         try:
@@ -96,7 +126,14 @@ class Internet:
         self.envelopes_routed += 1
         self.bytes_routed += envelope.size
         domain = domain_of(envelope.rcpt_to)
-        route = self.route_for(domain)
+        try:
+            route = self.route_for(domain)
+        except DnsTemporaryFailure:
+            # SERVFAIL is transient: the sender keeps the message queued
+            # and retries, exactly like a connection failure.
+            return SmtpResponse(
+                Reply.DNS_TEMPFAIL, f"4.4.3 cannot resolve {domain} (SERVFAIL)"
+            )
         if route is NO_ROUTE:
             return SmtpResponse(
                 Reply.MAILBOX_UNAVAILABLE, f"5.4.4 no route to {domain}"

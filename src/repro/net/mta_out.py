@@ -17,6 +17,7 @@ from repro.net.smtp import (
     BounceReason,
     Envelope,
     FinalStatus,
+    Reply,
     SmtpResponse,
     bounce_reason_for,
 )
@@ -55,8 +56,32 @@ class DeliveryResult:
 FinalCallback = Callable[[Envelope, DeliveryResult], None]
 
 
+class _InFlight:
+    """Book-keeping for one queued message between send and its terminal
+    status."""
+
+    __slots__ = ("envelope", "on_final", "attempts", "last_code", "retry_event")
+
+    def __init__(self, envelope: Envelope, on_final: FinalCallback) -> None:
+        self.envelope = envelope
+        self.on_final = on_final
+        self.attempts = 0
+        self.last_code = Reply.CONNECT_FAIL
+        self.retry_event = None
+
+
 class OutboundMta:
-    """A sending MTA bound to one source IP."""
+    """A sending MTA bound to one source IP.
+
+    Delivery conservation is this class's contract: every envelope handed
+    to :meth:`send` reaches **exactly one** terminal status — DELIVERED,
+    BOUNCED, or EXPIRED — and fires ``on_final`` exactly once, regardless
+    of faults or of when the simulation clock stops. The queue is tracked
+    explicitly (``in_flight``), so a truncated run can :meth:`drain` the
+    stragglers instead of silently losing them, and
+    ``sent_messages == delivered + bounced + expired + in_flight``
+    holds at every instant.
+    """
 
     def __init__(
         self,
@@ -74,6 +99,20 @@ class OutboundMta:
         self.sent_messages = 0
         self.sent_bytes = 0
         self.blacklist_bounces = 0
+        self.delivered = 0
+        self.bounced = 0
+        self.expired = 0
+        #: Retries scheduled after transient failures, lifetime total.
+        self.retries_scheduled = 0
+        #: Messages finalized by :meth:`drain` (subset of ``expired``).
+        self.drained = 0
+        self._in_flight: dict[int, _InFlight] = {}
+        self._next_token = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Messages queued but not yet at a terminal status."""
+        return len(self._in_flight)
 
     def send(self, envelope: Envelope, on_final: FinalCallback) -> None:
         """Queue *envelope* for delivery; *on_final* fires exactly once."""
@@ -88,46 +127,77 @@ class OutboundMta:
         )
         self.sent_messages += 1
         self.sent_bytes += stamped.size
-        self._attempt(stamped, attempt_index=0, on_final=on_final)
+        token = self._next_token
+        self._next_token += 1
+        self._in_flight[token] = _InFlight(stamped, on_final)
+        self._attempt(token)
 
-    def _attempt(
-        self, envelope: Envelope, attempt_index: int, on_final: FinalCallback
-    ) -> None:
+    def _attempt(self, token: int) -> None:
+        entry = self._in_flight[token]
+        entry.retry_event = None
         now = self.simulator.now
-        response = self.internet.submit(envelope, now)
-        attempts = attempt_index + 1
+        response = self.internet.submit(entry.envelope, now)
+        entry.attempts += 1
+        entry.last_code = response.code
         if response.accepted:
-            on_final(
-                envelope,
-                DeliveryResult(
-                    FinalStatus.DELIVERED, None, attempts, now, response.code
-                ),
-            )
+            self._finalize(token, FinalStatus.DELIVERED, None, now)
             return
         if response.permanent:
             reason = bounce_reason_for(response.code)
             if reason is BounceReason.BLACKLISTED:
                 self.blacklist_bounces += 1
-            on_final(
-                envelope,
-                DeliveryResult(
-                    FinalStatus.BOUNCED, reason, attempts, now, response.code
-                ),
-            )
+            self._finalize(token, FinalStatus.BOUNCED, reason, now)
             return
         # Transient failure: retry per schedule, else expire.
-        if attempt_index < len(self.retry_delays):
-            delay = self.retry_delays[attempt_index]
-            self.simulator.schedule_after(
+        if entry.attempts <= len(self.retry_delays):
+            delay = self.retry_delays[entry.attempts - 1]
+            self.retries_scheduled += 1
+            entry.retry_event = self.simulator.schedule_after(
                 delay,
-                lambda: self._attempt(envelope, attempt_index + 1, on_final),
+                lambda: self._attempt(token),
                 label=f"retry:{self.name}",
             )
             return
-        on_final(
-            envelope,
-            DeliveryResult(FinalStatus.EXPIRED, None, attempts, now, response.code),
+        self._finalize(token, FinalStatus.EXPIRED, None, now)
+
+    def _finalize(
+        self,
+        token: int,
+        status: FinalStatus,
+        reason: Optional[BounceReason],
+        t_final: float,
+    ) -> None:
+        entry = self._in_flight.pop(token)
+        if status is FinalStatus.DELIVERED:
+            self.delivered += 1
+        elif status is FinalStatus.BOUNCED:
+            self.bounced += 1
+        else:
+            self.expired += 1
+        entry.on_final(
+            entry.envelope,
+            DeliveryResult(status, reason, entry.attempts, t_final, entry.last_code),
         )
+
+    def drain(self) -> int:
+        """Finalize every in-flight message as EXPIRED at the current time.
+
+        A run truncated at ``run(until=...)`` leaves retries scheduled past
+        the horizon; without this step those messages never reach a
+        terminal status and flow accounting silently undercounts. Call
+        after the clock has stopped for good. Returns how many messages
+        were force-expired (zero for a fully drained queue).
+        """
+        count = 0
+        for token in sorted(self._in_flight):
+            entry = self._in_flight[token]
+            if entry.retry_event is not None:
+                entry.retry_event.cancel()
+                entry.retry_event = None
+            self.drained += 1
+            count += 1
+            self._finalize(token, FinalStatus.EXPIRED, None, self.simulator.now)
+        return count
 
     def observed_response(self, response: SmtpResponse) -> None:  # pragma: no cover
         """Hook kept for symmetry with real MTAs' logging; unused."""

@@ -11,6 +11,8 @@ class Reply:
     """The SMTP reply codes our simulated hosts emit."""
 
     OK = 250
+    SERVICE_UNAVAILABLE = 421  # host temporarily not accepting mail (storm)
+    DNS_TEMPFAIL = 450  # recipient domain did not resolve (SERVFAIL)
     GREYLISTED = 451  # transient local error — try again later
     CONNECT_FAIL = 0  # could not reach the server at all (treated as 4xx)
     MAILBOX_UNAVAILABLE = 550  # no such user

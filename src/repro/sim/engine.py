@@ -88,12 +88,22 @@ class Simulator:
     ) -> None:
         """Schedule *action* at ``start, start+interval, ...`` up to *until*.
 
-        *until* is exclusive; *start* defaults to ``now + interval``.
+        *until* is half-open (exclusive): a firing landing exactly at
+        *until* does not run, matching :meth:`run`'s ``until`` semantics —
+        a recurrence bounded by a horizon never fires at the horizon
+        itself. *start* defaults to ``now + interval``; an explicit *start*
+        must not lie in the past.
+
         The recurrence re-arms itself after each firing, so *action* may
         inspect or mutate simulation state freely.
         """
         if interval <= 0:
             raise SimulationError(f"non-positive interval {interval}")
+        if start is not None and start < self.now:
+            raise SimulationError(
+                f"recurrence start {start} is before current time {self.now}; "
+                f"schedule_every cannot begin in the past"
+            )
         first = self.now + interval if start is None else start
 
         def fire() -> None:
@@ -108,8 +118,11 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> None:
         """Process events in time order until the queue drains or *until*.
 
-        Events scheduled exactly at *until* are **not** processed (half-open
-        interval), so consecutive ``run(until=...)`` calls never double-fire.
+        *until* is half-open (exclusive): events scheduled exactly at
+        *until* are **not** processed, so consecutive ``run(until=...)``
+        calls never double-fire and a ``schedule_every(..., until=h)``
+        recurrence observes the same boundary. After a bounded run the
+        clock rests at *until* even if the queue emptied earlier.
         """
         while self._queue:
             event = self._queue[0]

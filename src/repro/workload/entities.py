@@ -161,6 +161,20 @@ class World:
     _ip_allocator: IpAllocator
     _ext_by_domain: dict[str, ExternalDomain]
 
+    def install_fault_plan(self, plan) -> None:
+        """Wire a :class:`~repro.net.faults.FaultPlan` through the substrate.
+
+        Attaches the plan to the resolver (DNS episodes), the router and
+        every remote host — current and future (weather, greylisting) —
+        and configures each DNSBL operator's listing/delisting lag.
+        """
+        self.resolver.fault_plan = plan
+        self.internet.install_fault_plan(plan)
+        for name, service in self.services.items():
+            listing_lag, delisting_lag = plan.dnsbl_lag_for(name)
+            service.listing_lag = listing_lag
+            service.delisting_lag = delisting_lag
+
     # -- sampling helpers used by the trace generator -------------------
 
     def sample_nonexistent_sender(self, rng: random.Random) -> str:

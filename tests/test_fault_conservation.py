@@ -1,0 +1,106 @@
+"""Delivery conservation: no message is ever silently lost.
+
+The invariant: every envelope handed to an :class:`OutboundMta` reaches
+exactly one terminal status (DELIVERED, BOUNCED, or EXPIRED) — regardless
+of the fault plan, the seed, or where the horizon falls. These tests run
+full simulations under heavy weather and check the ledger, plus the
+cache-composition property: a fully cached substrate must behave
+identically to an uncached one even while faults are firing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blacklistd.service import DnsblService
+from repro.experiments import run_simulation
+from repro.experiments.parallel import store_digest
+from repro.experiments.runner import _unique_mtas
+from repro.net.dns import Resolver
+from repro.net.internet import Internet
+from repro.net.smtp import FinalStatus
+
+
+def _assert_conserved(result):
+    stats = result.fault_stats
+    assert stats.conserved, (
+        f"{stats.messages_sent} sent != {stats.delivered} delivered "
+        f"+ {stats.bounced} bounced + {stats.expired} expired"
+    )
+    for mta in _unique_mtas(result.installations):
+        assert not mta.in_flight, f"{mta.name} still has in-flight messages"
+        assert mta.sent_messages == mta.delivered + mta.bounced + mta.expired
+
+
+class TestConservationUnderFaults:
+    @pytest.mark.parametrize("seed", [3, 7, 11])
+    def test_stormy_runs_conserve_every_message(self, seed):
+        result = run_simulation("tiny", seed=seed, faults="stormy")
+        _assert_conserved(result)
+        stats = result.fault_stats
+        assert stats.enabled
+        # The weather really happened and the run still balanced.
+        assert stats.greylist_deferrals > 0
+        assert stats.retries_scheduled > 0
+
+    def test_mild_run_conserves(self):
+        result = run_simulation("tiny", seed=5, faults="mild")
+        _assert_conserved(result)
+
+    def test_fault_free_run_conserves_and_reports_disabled(self):
+        result = run_simulation("tiny", seed=7)
+        _assert_conserved(result)
+        stats = result.fault_stats
+        assert stats.enabled is False
+        assert stats.greylist_deferrals == 0
+        assert stats.storm_rejections == 0
+        assert stats.dns_failures == 0
+
+    def test_off_preset_equals_no_faults(self):
+        # faults="off" must not even install a plan, so the run is
+        # byte-identical to the default reliable substrate.
+        baseline = run_simulation("tiny", seed=7)
+        off = run_simulation("tiny", seed=7, faults="off")
+        assert store_digest(off.store) == store_digest(baseline.store)
+
+    def test_terminal_statuses_partition_challenge_outcomes(self):
+        result = run_simulation("tiny", seed=3, faults="stormy")
+        statuses = {o.status for o in result.store.challenge_outcomes}
+        assert statuses <= {
+            FinalStatus.DELIVERED,
+            FinalStatus.BOUNCED,
+            FinalStatus.EXPIRED,
+        }
+        # Every challenge sent got exactly one outcome record.
+        sent = {
+            (c.company_id, c.challenge_id) for c in result.store.challenges
+        }
+        resolved = {
+            (o.company_id, o.challenge_id)
+            for o in result.store.challenge_outcomes
+        }
+        assert resolved == sent
+
+
+class TestCachedEqualsUncachedUnderFaults:
+    def test_store_digests_identical(self, monkeypatch):
+        cached = run_simulation("tiny", seed=3, faults="stormy")
+        _assert_conserved(cached)
+
+        monkeypatch.setattr(Resolver, "CACHE_ENABLED", False)
+        monkeypatch.setattr(DnsblService, "CACHE_ENABLED", False)
+        monkeypatch.setattr(Internet, "CACHE_ENABLED", False)
+        uncached = run_simulation("tiny", seed=3, faults="stormy")
+        _assert_conserved(uncached)
+
+        assert store_digest(cached.store) == store_digest(uncached.store)
+        # The fault counters agree too — the weather is a pure function of
+        # (seed, settings), not of cache hit patterns.
+        assert (
+            cached.fault_stats.greylist_deferrals
+            == uncached.fault_stats.greylist_deferrals
+        )
+        assert (
+            cached.fault_stats.storm_rejections
+            == uncached.fault_stats.storm_rejections
+        )

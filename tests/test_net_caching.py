@@ -162,6 +162,22 @@ class TestRouteCache:
         internet.register_host(host)
         assert internet.route_for("corp.example") is host
 
+    def test_mixed_case_domain_normalised_at_the_boundary(self, registry):
+        from repro.net.hosts import RemoteMailHost
+
+        resolver = Resolver(registry)
+        internet = Internet(resolver)
+        host = RemoteMailHost(domain="corp.example", ip="192.0.2.1")
+        internet.register_host(host)
+        # Regression: a mixed-case caller used to take a spurious miss and
+        # poison the cache with a second, differently-cased entry.
+        assert internet.route_for("corp.example") is host
+        assert internet.route_for("Corp.Example") is host
+        assert internet.route_for("CORP.EXAMPLE") is host
+        assert internet.route_misses == 1
+        assert internet.route_hits == 2
+        assert list(internet._route_cache) == ["corp.example"]
+
     def test_domain_of_memoises(self):
         assert domain_of("User@Corp.Example") == "corp.example"
         assert domain_of("User@Corp.Example") == "corp.example"

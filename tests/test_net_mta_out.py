@@ -158,3 +158,58 @@ class TestRetriesAndExpiry:
         assert result.status is FinalStatus.EXPIRED
         assert result.attempts == 2
         assert result.t_final == 10.0
+
+
+class TestDrain:
+    def test_drain_finalizes_in_flight_messages(self):
+        # Regression: a run truncated mid-retry used to strand the message
+        # with no terminal status — the end-of-horizon leak.
+        simulator, _, mta, _, _ = _setup()
+        results = []
+        _send(mta, "x@dead.example", results)
+        simulator.run(until=100.0)  # before the first retry (15 min)
+        assert results == []
+        assert mta.in_flight == 1
+
+        assert mta.drain() == 1
+
+        assert mta.in_flight == 0
+        assert mta.drained == 1
+        _, result = results[0]
+        assert result.status is FinalStatus.EXPIRED
+        assert result.attempts == 1
+        assert result.t_final == 100.0
+        assert mta.sent_messages == mta.delivered + mta.bounced + mta.expired
+
+    def test_drain_cancels_pending_retries(self):
+        simulator, _, mta, _, _ = _setup()
+        results = []
+        _send(mta, "x@dead.example", results)
+        simulator.run(until=100.0)
+        mta.drain()
+        # The cancelled retry must never fire: no double finalization.
+        simulator.run()
+        assert len(results) == 1
+        assert mta.expired == 1
+
+    def test_drain_after_complete_run_is_noop(self):
+        simulator, _, mta, _, _ = _setup()
+        results = []
+        _send(mta, "bob@alive.example", results)
+        _send(mta, "x@dead.example", results)
+        simulator.run()
+        assert mta.drain() == 0
+        assert mta.drained == 0
+        assert len(results) == 2
+
+    def test_ledger_balances_at_every_instant(self):
+        simulator, _, mta, _, _ = _setup()
+        results = []
+        _send(mta, "bob@alive.example", results)
+        _send(mta, "ghost@alive.example", results)
+        _send(mta, "x@dead.example", results)
+        for until in (1.0, 1000.0, 10000.0, None):
+            simulator.run(until=until)
+            assert mta.sent_messages == (
+                mta.delivered + mta.bounced + mta.expired + mta.in_flight
+            )

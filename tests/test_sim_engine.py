@@ -213,3 +213,19 @@ class TestCancellationAccounting:
         assert sim.pending == 0
         assert sim._cancelled == 0
         assert sim.events_processed == 2  # cancel_most + the one survivor
+
+
+class TestRecurrenceStartValidation:
+    def test_past_start_raises_clear_error(self):
+        sim = Simulator()
+        sim.run(until=100.0)
+        with pytest.raises(SimulationError, match="cannot begin in the past"):
+            sim.schedule_every(10.0, lambda: None, start=50.0)
+
+    def test_start_exactly_now_is_allowed(self):
+        sim = Simulator()
+        sim.run(until=100.0)
+        fired = []
+        sim.schedule_every(10.0, lambda: fired.append(sim.now), start=100.0)
+        sim.run(until=125.0)
+        assert fired == [100.0, 110.0, 120.0]
