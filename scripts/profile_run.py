@@ -49,6 +49,11 @@ def main(argv=None) -> int:
         help="fault-injection preset (off/mild/stormy; default: off)",
     )
     parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="enable the continuous lifecycle audit (to profile its cost)",
+    )
+    parser.add_argument(
         "--top", type=int, default=25, help="hotspot rows to print per stage"
     )
     parser.add_argument(
@@ -60,7 +65,9 @@ def main(argv=None) -> int:
 
     sim_profiler = cProfile.Profile()
     sim_profiler.enable()
-    result = run_simulation(args.preset, seed=args.seed, faults=args.faults)
+    result = run_simulation(
+        args.preset, seed=args.seed, faults=args.faults, audit=args.audit
+    )
     sim_profiler.disable()
 
     result.store.drop_indices()  # profile a cold analysis index

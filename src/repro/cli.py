@@ -106,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection preset applied to every run in the sweep",
     )
     sweep_parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run every sweep member with the lifecycle auditor on",
+    )
+    sweep_parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache under .cache/runs/",
@@ -130,6 +135,14 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
         help="fault-injection preset (default: off — reliable substrate)",
     )
     parser.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "continuously audit the message-lifecycle ledger (every "
+            "transition validated; equivalent to REPRO_AUDIT=1)"
+        ),
+    )
+    parser.add_argument(
         "--load",
         metavar="PATH",
         help="analyse a previously saved run instead of simulating",
@@ -142,7 +155,10 @@ def _load_or_run(args: argparse.Namespace):
 
         return load_run(args.load)
     return run_simulation(
-        args.preset, seed=args.seed, faults=getattr(args, "faults", None)
+        args.preset,
+        seed=args.seed,
+        faults=getattr(args, "faults", None),
+        audit=getattr(args, "audit", False),
     )
 
 
@@ -221,7 +237,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     )
     summaries = runner.run(
         [
-            RunSpec(preset=args.preset, seed=seed, faults=args.faults)
+            RunSpec(
+                preset=args.preset,
+                seed=seed,
+                faults=args.faults,
+                audit=args.audit,
+            )
             for seed in seeds
         ]
     )

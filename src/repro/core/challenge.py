@@ -70,6 +70,11 @@ class ChallengeManager:
         self._next_id = 1
         self.created_count = 0
         self.suppressed_count = 0
+        #: Pending slots cleared because their quarantined messages all
+        #: reached a terminal status (expiry sweep, digest delete, drain) —
+        #: distinct from slots cleared by a solve. The lifecycle auditor
+        #: checks that no slot outlives its messages.
+        self.pending_expired = 0
 
     def issue(
         self,
@@ -137,13 +142,24 @@ class ChallengeManager:
         return challenge
 
     def expire_pending(self, challenge_id: int) -> None:
-        """Drop the pending slot when the quarantined messages expired."""
-        self._clear_pending(self._challenges[challenge_id])
+        """Drop the pending slot when the quarantined messages behind it
+        all reached a terminal status (expired, deleted, or drained).
 
-    def _clear_pending(self, challenge: Challenge) -> None:
+        Must fire whenever the *last* gray entry attached to a challenge
+        is finalized without a solve — otherwise the slot stays live and
+        the sender's next message silently attaches to a dead challenge
+        instead of triggering a fresh one (the pending-slot leak this PR's
+        auditor flushed out of the digest-delete path).
+        """
+        if self._clear_pending(self._challenges[challenge_id]):
+            self.pending_expired += 1
+
+    def _clear_pending(self, challenge: Challenge) -> bool:
         key = (challenge.user, challenge.sender)
         if self._pending.get(key) == challenge.challenge_id:
             del self._pending[key]
+            return True
+        return False
 
     def pending_challenge_for(
         self, user: str, sender: str
@@ -153,3 +169,13 @@ class ChallengeManager:
 
     def all_challenges(self) -> list[Challenge]:
         return list(self._challenges.values())
+
+    @property
+    def pending_count(self) -> int:
+        """Live (user, sender) pending slots."""
+        return len(self._pending)
+
+    def pending_items(self) -> list[tuple[tuple[str, str], int]]:
+        """Snapshot of live pending slots as ((user, sender), challenge_id);
+        used by the lifecycle auditor to detect leaked slots."""
+        return list(self._pending.items())

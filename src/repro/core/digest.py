@@ -32,3 +32,23 @@ class DigestDecision:
     msg_id: int
     action: DigestAction
     act_delay: float = 0.0
+
+
+@dataclass
+class DigestCounters:
+    """Per-company accounting of the digest stage, consumed by the
+    lifecycle auditor: digest actions are the only path besides the
+    CAPTCHA solve and the expiry sweep that moves a quarantined message
+    to a terminal state, so their counts must reconcile with the gray
+    spool's release/delete totals (stale actions — decisions about
+    entries already finalized by an earlier event — are counted here and
+    excluded from that reconciliation)."""
+
+    digests_generated: int = 0
+    entries_listed: int = 0
+    whitelist_actions: int = 0
+    delete_actions: int = 0
+    #: Decisions that arrived after the entry was already finalized
+    #: (released by a solve, expired, or covered by an earlier whitelist
+    #: action in the same digest) — legal no-ops, not leaks.
+    stale_actions: int = 0

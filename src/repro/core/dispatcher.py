@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.core.challenge import Challenge, ChallengeManager
 from repro.core.filters.base import FilterChain
+from repro.core.ledger import LifecycleState, MessageLedger
 from repro.core.message import EmailMessage
 from repro.core.spools import Category, GraySpool
 from repro.core.whitelist import WhitelistDirectory
@@ -44,6 +45,7 @@ class Dispatcher:
         quarantine_days: int,
         challenge_size: int,
         challenge_dedup: bool = True,
+        ledger: Optional[MessageLedger] = None,
     ) -> None:
         self.whitelists = whitelists
         self.filter_chain = filter_chain
@@ -52,26 +54,38 @@ class Dispatcher:
         self.quarantine_seconds = quarantine_days * DAY
         self.challenge_size = challenge_size
         self.challenge_dedup = challenge_dedup
+        self.ledger = ledger
         self.white_count = 0
         self.black_count = 0
         self.gray_count = 0
 
+    def _record(self, message: EmailMessage, state: LifecycleState) -> None:
+        if self.ledger is not None:
+            self.ledger.transition(message.msg_id, state)
+
     def process(
         self, message: EmailMessage, user_key: str, now: float
     ) -> DispatchDecision:
-        """Classify *message* addressed to *user_key* (full address)."""
-        sender = message.env_from.lower()
+        """Classify *message* addressed to *user_key* (full address).
+
+        ``message.env_from`` is already lowercase (normalized once at
+        engine ingress).
+        """
+        sender = message.env_from
         lists = self.whitelists.lists_for(user_key)
         if sender and lists.in_whitelist(sender):
             self.white_count += 1
+            self._record(message, LifecycleState.DELIVERED)
             return DispatchDecision(Category.WHITE, None, None, False)
         if sender and lists.in_blacklist(sender):
             self.black_count += 1
+            self._record(message, LifecycleState.BLACK_DROPPED)
             return DispatchDecision(Category.BLACK, None, None, False)
 
         self.gray_count += 1
         dropping_filter = self.filter_chain.first_drop(message, now)
         if dropping_filter is not None:
+            self._record(message, LifecycleState.FILTER_DROPPED)
             return DispatchDecision(Category.GRAY, dropping_filter, None, False)
 
         if not sender:

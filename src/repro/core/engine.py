@@ -33,14 +33,15 @@ from repro.analysis.store import LogStore
 from repro.blacklistd.service import DnsblService
 from repro.core.challenge import Challenge, ChallengeManager, WebAction
 from repro.core.config import CompanyConfig
-from repro.core.digest import DigestAction, DigestDecision
+from repro.core.digest import DigestAction, DigestCounters, DigestDecision
 from repro.core.dispatcher import Dispatcher
 from repro.core.filters.antivirus import AntivirusFilter
 from repro.core.filters.base import FilterChain, SpamFilter
 from repro.core.filters.rbl import RblFilter
 from repro.core.filters.reverse_dns import ReverseDnsFilter
 from repro.core.filters.spf import SpfEvaluator, SpfFilter, SpfResult
-from repro.core.message import EmailMessage
+from repro.core.ledger import MessageLedger
+from repro.core.message import EmailMessage, normalize_ingress
 from repro.core.mta_in import MtaIn
 from repro.core.spools import Category, GrayEntry, GraySpool, ReleaseMechanism
 from repro.core.whitelist import WhitelistDirectory, WhitelistSource
@@ -91,6 +92,7 @@ class CompanyInstallation:
         rng: random.Random,
         hooks: Optional[BehaviorHooks] = None,
         challenge_size: int = DEFAULT_CHALLENGE_SIZE,
+        audit: bool = False,
     ) -> None:
         self.config = config
         self.simulator = simulator
@@ -99,9 +101,11 @@ class CompanyInstallation:
         self.store = store
         self.hooks = hooks or BehaviorHooks()
 
+        self.ledger = MessageLedger(config.company_id, audit=audit)
+        self.digest_counters = DigestCounters()
         self.mta_in = MtaIn(config, resolver)
         self.whitelists = WhitelistDirectory()
-        self.gray_spool = GraySpool()
+        self.gray_spool = GraySpool(ledger=self.ledger)
         self.challenge_manager = ChallengeManager(config.company_id)
         self.spf_evaluator = SpfEvaluator(resolver)
         self.filter_chain = self._build_filter_chain(dnsbl_services, rng)
@@ -113,6 +117,7 @@ class CompanyInstallation:
             quarantine_days=config.quarantine_days,
             challenge_size=challenge_size,
             challenge_dedup=config.challenge_dedup,
+            ledger=self.ledger,
         )
 
         self.user_mta = OutboundMta(
@@ -174,6 +179,10 @@ class CompanyInstallation:
     def handle_inbound(self, message: EmailMessage) -> None:
         """Process one incoming message end-to-end at the current sim time."""
         now = self.simulator.now
+        # Single normalization point: everything downstream (dispatcher,
+        # spools, whitelists, challenge dedup) sees canonical lowercase
+        # envelope addresses. See message.normalize_ingress.
+        normalize_ingress(message)
         drop_reason = self.mta_in.check(message)
         self.store.add_mta(
             MtaRecord(
@@ -188,7 +197,8 @@ class CompanyInstallation:
         if drop_reason is not None:
             return
 
-        user_key = message.env_to.lower()
+        self.ledger.accept(message.msg_id)
+        user_key = message.env_to
         decision = self.dispatcher.process(message, user_key, now)
 
         quarantined = (
@@ -213,7 +223,7 @@ class CompanyInstallation:
                     decision.challenge.challenge_id if decision.challenge else None
                 ),
                 challenge_created=decision.challenge_created,
-                env_from=message.env_from.lower(),
+                env_from=message.env_from,
                 subject=message.subject,
                 size=message.size,
                 spf=spf,
@@ -324,6 +334,8 @@ class CompanyInstallation:
             if not self.config.is_protected_recipient(local, domain):
                 continue  # relayed recipients get no digest
             entries = self.gray_spool.pending_for_user(user)
+            self.digest_counters.digests_generated += 1
+            self.digest_counters.entries_listed += len(entries)
             self.store.add_digest(
                 DigestRecord(self.config.company_id, user, day, len(entries))
             )
@@ -345,15 +357,24 @@ class CompanyInstallation:
     def _apply_digest_action(self, user: str, decision: DigestDecision) -> None:
         entry = self.gray_spool.get(decision.msg_id)
         if entry is None or entry.user != user:
-            return  # already released/expired in the meantime
+            # Already released/expired in the meantime — a legal no-op,
+            # counted so the auditor can reconcile actions vs. terminals.
+            self.digest_counters.stale_actions += 1
+            return
         if decision.action is DigestAction.WHITELIST:
-            sender = entry.message.env_from.lower()
+            sender = entry.message.env_from
+            self.digest_counters.whitelist_actions += 1
             self._whitelist(user, sender, WhitelistSource.DIGEST)
             self._release_from_sender(user, sender, ReleaseMechanism.DIGEST)
-            if entry.challenge_id is not None:
-                self.challenge_manager.expire_pending(entry.challenge_id)
+            self._clear_challenge_slot(entry)
         elif decision.action is DigestAction.DELETE:
+            self.digest_counters.delete_actions += 1
             self.gray_spool.delete(decision.msg_id)
+            # The delete may have removed the last quarantined message
+            # behind this sender's challenge; without this the pending
+            # slot leaked and the sender's next message never triggered a
+            # fresh challenge (found by the lifecycle auditor).
+            self._clear_challenge_slot(entry)
 
     # -- quarantine expiry ---------------------------------------------------
 
@@ -369,11 +390,30 @@ class CompanyInstallation:
         # Clear pending-challenge slots whose quarantined messages are gone,
         # so a returning sender gets a fresh challenge.
         for entry in expired:
-            if entry.challenge_id is None:
-                continue
-            sender = entry.message.env_from
-            if not self.gray_spool.pending_from_sender(entry.user, sender):
-                self.challenge_manager.expire_pending(entry.challenge_id)
+            self._clear_challenge_slot(entry)
+
+    def _clear_challenge_slot(self, entry: GrayEntry) -> None:
+        """Retire *entry*'s pending-challenge slot if it was the last
+        quarantined message from its sender. Every path that finalizes a
+        gray entry without a solve (expiry sweep, digest delete, horizon
+        drain) must call this, or the slot outlives its messages and the
+        sender's next message attaches to a dead challenge."""
+        if entry.challenge_id is None:
+            return
+        sender = entry.message.env_from
+        if not self.gray_spool.pending_from_sender(entry.user, sender):
+            self.challenge_manager.expire_pending(entry.challenge_id)
+
+    def shutdown(self) -> None:
+        """End-of-run teardown: give every message still quarantined at the
+        horizon its ``PENDING_AT_HORIZON`` terminal status and retire the
+        challenge slots behind them (the gray-spool analogue of
+        ``OutboundMta.drain``). Writes no log records — the measurement
+        store only ever sees events that happened *inside* the horizon, so
+        report output is identical with or without the drain."""
+        drained = self.gray_spool.drain(self.simulator.now)
+        for entry in drained:
+            self._clear_challenge_slot(entry)
 
     # -- user-side actions -----------------------------------------------------
 
@@ -400,13 +440,17 @@ class CompanyInstallation:
     # -- shared helpers -----------------------------------------------------------
 
     def _whitelist(self, user: str, address: str, source: WhitelistSource) -> None:
+        # Inbound-path callers pass already-normalized addresses; user-side
+        # entry points (outbound mail, manual import) pass raw user input,
+        # so normalize here — once — before storage and logging.
+        address = address.lower()
         lists = self.whitelists.lists_for(user)
         if lists.add_to_whitelist(address, self.simulator.now, source):
             self.store.add_whitelist_change(
                 WhitelistChangeRecord(
                     self.config.company_id,
                     user,
-                    address.lower(),
+                    address,
                     self.simulator.now,
                     source,
                 )

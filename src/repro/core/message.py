@@ -89,6 +89,24 @@ class EmailMessage:
     has_virus: bool
 
 
+def normalize_ingress(message: EmailMessage) -> EmailMessage:
+    """Lowercase the envelope addresses, in place, once.
+
+    SMTP mailbox local-parts are case-sensitive in theory and universally
+    case-insensitive in practice; the paper's logs key senders by
+    lowercased address. This is called exactly once, at the top of
+    ``CompanyInstallation.handle_inbound`` — everything downstream
+    (dispatcher, spools, whitelists, challenge dedup, digest actions) may
+    assume ``env_from``/``env_to`` are already canonical instead of
+    re-lowercasing defensively. Before this existed, scattered ``.lower()``
+    calls disagreed: a mixed-case recipient was wrongly dropped as
+    UNKNOWN_RECIPIENT because MTA-IN compared the raw local-part.
+    """
+    message.env_from = message.env_from.lower()
+    message.env_to = message.env_to.lower()
+    return message
+
+
 def make_message(
     t: float,
     env_from: str,

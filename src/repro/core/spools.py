@@ -3,6 +3,25 @@
 The gray spool is the heart of the CR mechanism: messages from unknown
 senders wait there — for up to 30 days — until the sender solves a
 challenge, the user releases them from the digest, or they expire.
+
+Expiry boundary convention
+--------------------------
+The simulator's ``run(until=...)`` and ``schedule_every`` treat ``until``
+as **half-open** (an event exactly at the horizon does not fire). The
+quarantine deadline is the opposite: :meth:`GraySpool.expire_due` is
+**closed at the sweep instant** — an entry whose ``expires_at`` equals
+``now`` is already due, because the quarantine promise is "held *for* 30
+days", not "held beyond them". Consequence: when a digest action and the
+expiry sweep land on the same timestamp, whichever the event queue runs
+first wins and the other becomes a no-op (``_finalize`` on a missing id
+returns None); the message still reaches exactly one terminal status.
+``tests/test_core_engine.py`` pins both the 30-day boundary and the
+same-timestamp ordering.
+
+Addresses in ``message.env_from`` are lowercased once at engine ingress
+(see ``engine.normalize_ingress``); the spool indexes them verbatim.
+Query arguments to :meth:`pending_from_sender` are still normalized here
+because callers may pass user-supplied casing.
 """
 
 from __future__ import annotations
@@ -11,6 +30,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.ledger import LifecycleState, MessageLedger
 from repro.core.message import EmailMessage
 
 
@@ -38,6 +58,16 @@ class GrayStatus(enum.Enum):
     RELEASED = "released"
     EXPIRED = "expired"
     DELETED = "deleted"  # user deleted it from the digest
+    PENDING_AT_HORIZON = "pending_at_horizon"  # run ended mid-quarantine
+
+
+#: GrayStatus terminal -> the lifecycle state the ledger records.
+_LIFECYCLE_FOR_STATUS = {
+    GrayStatus.RELEASED: LifecycleState.RELEASED,
+    GrayStatus.EXPIRED: LifecycleState.EXPIRED,
+    GrayStatus.DELETED: LifecycleState.DELETED,
+    GrayStatus.PENDING_AT_HORIZON: LifecycleState.PENDING_AT_HORIZON,
+}
 
 
 @dataclass
@@ -67,16 +97,25 @@ class GraySpool:
     Indexed three ways: by message id (release bookkeeping), by user (digest
     assembly), and by ``(user, sender)`` (releasing everything a sender has
     pending once their challenge is solved).
+
+    Conservation contract (checked by the lifecycle ledger)::
+
+        total_entered == pending_count + total_released + total_expired
+                       + total_deleted + total_pending_at_horizon
+
+    at every instant, and ``pending_count == 0`` after :meth:`drain`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, ledger: Optional[MessageLedger] = None) -> None:
         self._entries: dict[int, GrayEntry] = {}
         self._by_user: dict[str, set[int]] = {}
         self._by_user_sender: dict[tuple[str, str], set[int]] = {}
+        self._ledger = ledger
         self.total_entered = 0
         self.total_released = 0
         self.total_expired = 0
         self.total_deleted = 0
+        self.total_pending_at_horizon = 0
 
     def add(
         self,
@@ -96,9 +135,11 @@ class GraySpool:
         )
         self._entries[message.msg_id] = entry
         self._by_user.setdefault(user, set()).add(message.msg_id)
-        key = (user, message.env_from.lower())
+        key = (user, message.env_from)
         self._by_user_sender.setdefault(key, set()).add(message.msg_id)
         self.total_entered += 1
+        if self._ledger is not None:
+            self._ledger.transition(message.msg_id, LifecycleState.QUARANTINED)
         return entry
 
     def get(self, msg_id: int) -> Optional[GrayEntry]:
@@ -122,7 +163,12 @@ class GraySpool:
         return self._finalize(msg_id, GrayStatus.DELETED)
 
     def expire_due(self, now: float) -> list[GrayEntry]:
-        """Expire every entry whose quarantine period has elapsed."""
+        """Expire every entry whose quarantine period has elapsed.
+
+        Closed boundary: ``expires_at <= now`` is due (see the module
+        docstring for why this deliberately differs from the simulator's
+        half-open ``until``).
+        """
         due = [e for e in self._entries.values() if e.expires_at <= now]
         expired = []
         for entry in due:
@@ -130,6 +176,21 @@ class GraySpool:
             if finalized is not None:
                 expired.append(finalized)
         return expired
+
+    def drain(self, now: float) -> list[GrayEntry]:
+        """End-of-run teardown: every entry still quarantined when the
+        simulation horizon ends gets the ``PENDING_AT_HORIZON`` terminal
+        status (the gray-spool analogue of ``MtaOut.drain``). Returns the
+        drained entries; after this ``pending_count`` is 0."""
+        stranded = list(self._entries.values())
+        drained = []
+        for entry in stranded:
+            finalized = self._finalize(
+                entry.message.msg_id, GrayStatus.PENDING_AT_HORIZON
+            )
+            if finalized is not None:
+                drained.append(finalized)
+        return drained
 
     def _finalize(self, msg_id: int, status: GrayStatus) -> Optional[GrayEntry]:
         entry = self._entries.pop(msg_id, None)
@@ -141,7 +202,7 @@ class GraySpool:
             user_ids.discard(msg_id)
             if not user_ids:
                 del self._by_user[entry.user]
-        key = (entry.user, entry.message.env_from.lower())
+        key = (entry.user, entry.message.env_from)
         sender_ids = self._by_user_sender.get(key)
         if sender_ids is not None:
             sender_ids.discard(msg_id)
@@ -153,6 +214,10 @@ class GraySpool:
             self.total_expired += 1
         elif status is GrayStatus.DELETED:
             self.total_deleted += 1
+        elif status is GrayStatus.PENDING_AT_HORIZON:
+            self.total_pending_at_horizon += 1
+        if self._ledger is not None:
+            self._ledger.transition(msg_id, _LIFECYCLE_FOR_STATUS[status])
         return entry
 
     @property

@@ -9,6 +9,15 @@ The paper's product supports four whitelisting mechanisms (§2):
 
 Every addition is also appended to a change log, which §4.3 / Fig. 9
 analyses consume to measure whitelist churn.
+
+Address casing: the inbound pipeline normalizes envelope addresses once at
+engine ingress (``message.normalize_ingress``), so dispatcher lookups
+arrive lowercase already. These classes nevertheless remain
+case-insensitive at their public boundary — ``add_to_whitelist`` /
+``in_whitelist`` / ``lists_for`` fold their arguments — because they are
+also fed raw user input (manual imports, outbound mail, seeded address
+books) that never passes through ingress. Normalization is a guarantee of
+the message path, not a precondition of this API.
 """
 
 from __future__ import annotations

@@ -80,6 +80,10 @@ class RunSpec:
     #: rather than a :class:`FaultSettings` keeps specs trivially
     #: picklable and the cache key readable.
     faults: Optional[str] = None
+    #: Run with the continuous lifecycle auditor on. Part of the cache key
+    #: even though audited output is byte-identical: a cached unaudited
+    #: summary must never satisfy a request to actually *audit* the run.
+    audit: bool = False
     #: Free-form display name (not part of the cache key).
     label: str = ""
 
@@ -107,6 +111,7 @@ class RunSpec:
                 self.filters_template,
                 overrides,
                 self.faults,
+                self.audit,
             )
         )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -175,6 +180,7 @@ def _execute_spec(spec: RunSpec) -> RunSummary:
         filters_template=spec.filters_template,
         config_overrides=spec.config_overrides,
         faults=spec.faults,
+        audit=spec.audit,
     )
     return summarize_result(result)
 

@@ -20,6 +20,7 @@ from repro.analysis import (
     faults,
     flow,
     general_stats,
+    ledger,
     mta_breakdown,
     reflection,
     spf_study,
@@ -57,6 +58,8 @@ EXPERIMENTS: Dict[str, Callable[[SimulationResult], str]] = {
     # Takes the full result (not just the store): the fault-injection
     # counters live on SimulationResult.fault_stats, outside the log store.
     "faults": lambda r: faults.render_result(r),
+    # Same shape: the lifecycle verdict lives on result.ledger_stats.
+    "audit": lambda r: ledger.render_result(r),
 }
 
 
@@ -89,6 +92,7 @@ CANONICAL_ORDER = (
     "fig12",
     "sec6",
     "faults",
+    "audit",
 )
 
 

@@ -11,6 +11,7 @@ pipeline needs.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
@@ -19,6 +20,7 @@ from repro.analysis.context import DeploymentInfo
 from repro.analysis.store import LogStore
 from repro.blacklistd.monitor import BlacklistMonitor
 from repro.core.engine import CompanyInstallation
+from repro.core.ledger import LedgerError, LedgerSnapshot
 from repro.core.message import reset_msg_ids
 from repro.net.faults import FaultPlan, FaultSettings, get_fault_preset
 from repro.sim.engine import Simulator
@@ -123,6 +125,131 @@ class FaultStats:
         )
 
 
+@dataclass(frozen=True)
+class LedgerStats:
+    """End-of-run verdict of the message-lifecycle ledger.
+
+    The inbound mirror of :class:`FaultStats`' delivery conservation:
+    every message MTA-IN accepted must sit in exactly one terminal bucket
+    (``accepted == delivered + black_dropped + filter_dropped + released
+    + deleted + expired + pending_at_horizon``) with nothing left in
+    quarantine and no pending-challenge slot outliving its messages.
+    Collected — and enforced — after every run; ``audit`` records whether
+    the run also validated each transition as it happened.
+    """
+
+    audit: bool
+    accepted: int
+    delivered: int
+    black_dropped: int
+    filter_dropped: int
+    quarantined_total: int
+    released: int
+    deleted: int
+    expired: int
+    pending_at_horizon: int
+    #: Messages without a terminal status at end-of-run (must be 0).
+    stranded: int
+    #: Pending-challenge slots still live after the horizon drain — each
+    #: one means a sender's next message would skip its challenge.
+    leaked_challenge_slots: int
+    per_company: tuple[LedgerSnapshot, ...]
+    violations: tuple[str, ...]
+
+    @property
+    def terminal_total(self) -> int:
+        return (
+            self.delivered
+            + self.black_dropped
+            + self.filter_dropped
+            + self.released
+            + self.deleted
+            + self.expired
+            + self.pending_at_horizon
+        )
+
+    @property
+    def conserved(self) -> bool:
+        return not self.violations
+
+    @classmethod
+    def collect(
+        cls, installations: dict[str, CompanyInstallation]
+    ) -> "LedgerStats":
+        """Snapshot every company's ledger and cross-check it against the
+        gray spool's and challenge manager's own counters. Call after
+        ``shutdown()`` has drained the spools."""
+        snapshots = []
+        violations = []
+        leaked_slots = 0
+        audit = False
+        for company_id in sorted(installations):
+            inst = installations[company_id]
+            snap = inst.ledger.snapshot()
+            snapshots.append(snap)
+            audit = audit or snap.audit
+            if not snap.conserved:
+                violations.append(
+                    f"{company_id}: {snap.accepted} accepted != "
+                    f"{snap.terminal_total} terminal "
+                    f"(in quarantine: {snap.in_quarantine}, "
+                    f"stranded: {len(snap.stranded)})"
+                )
+            spool = inst.gray_spool
+            spool_view = (
+                spool.total_entered,
+                spool.total_released,
+                spool.total_expired,
+                spool.total_deleted,
+                spool.total_pending_at_horizon,
+                spool.pending_count,
+            )
+            ledger_view = (
+                snap.quarantined_total,
+                snap.released,
+                snap.expired,
+                snap.deleted,
+                snap.pending_at_horizon,
+                snap.in_quarantine,
+            )
+            if spool_view != ledger_view:
+                violations.append(
+                    f"{company_id}: gray spool disagrees with ledger: "
+                    f"spool {spool_view} != ledger {ledger_view} "
+                    f"(entered/released/expired/deleted/at-horizon/pending)"
+                )
+            leaked = inst.challenge_manager.pending_count
+            if leaked:
+                leaked_slots += leaked
+                slots = inst.challenge_manager.pending_items()[:5]
+                violations.append(
+                    f"{company_id}: {leaked} pending-challenge slot(s) "
+                    f"outlived their quarantined messages: {slots}"
+                )
+        totals = {
+            field: sum(getattr(s, field) for s in snapshots)
+            for field in (
+                "accepted",
+                "delivered",
+                "black_dropped",
+                "filter_dropped",
+                "quarantined_total",
+                "released",
+                "deleted",
+                "expired",
+                "pending_at_horizon",
+            )
+        }
+        return cls(
+            audit=audit,
+            stranded=sum(len(s.stranded) for s in snapshots),
+            leaked_challenge_slots=leaked_slots,
+            per_company=tuple(snapshots),
+            violations=tuple(violations),
+            **totals,
+        )
+
+
 def _unique_mtas(installations: dict[str, CompanyInstallation]) -> list:
     """Each installation's outbound MTAs, deduplicated — non-dual
     installations share one object between user and challenge mail."""
@@ -147,6 +274,7 @@ class SimulationResult:
     wall_seconds: float
     cache_stats: SubstrateCacheStats
     fault_stats: Optional[FaultStats] = None
+    ledger_stats: Optional[LedgerStats] = None
 
 
 def run_simulation(
@@ -157,6 +285,7 @@ def run_simulation(
     scenarios: Sequence = (),
     config_overrides: Optional[dict] = None,
     faults: Union[str, FaultSettings, None] = None,
+    audit: bool = False,
 ) -> SimulationResult:
     """Simulate one deployment at the given scale preset and seed.
 
@@ -173,8 +302,15 @@ def run_simulation(
     :data:`~repro.net.faults.FAULT_PRESETS`), an explicit
     :class:`~repro.net.faults.FaultSettings`, or ``None``/``"off"``
     (default) for the perfectly reliable substrate.
+
+    *audit* turns on the continuous lifecycle auditor (per-message state
+    tracking + transition validation in :mod:`repro.core.ledger`);
+    ``REPRO_AUDIT=1`` in the environment does the same. The end-of-run
+    conservation verdict is checked regardless — a violated partition
+    raises :class:`~repro.core.ledger.LedgerError` even with audit off.
     """
     started = time.perf_counter()
+    audit = audit or os.environ.get("REPRO_AUDIT", "") not in ("", "0")
     scale = get_preset(preset) if isinstance(preset, str) else preset
     calibration = calibration or DEFAULT_CALIBRATION
     fault_settings = get_fault_preset(faults) if isinstance(faults, str) else faults
@@ -208,6 +344,7 @@ def run_simulation(
             rng=streams.stream(f"antivirus/{company.company_id}"),
             hooks=hooks,
             challenge_size=calibration.challenge_size,
+            audit=audit,
         )
         _seed_user_lists(installation, company, calibration)
         installation.start(until=horizon)
@@ -242,6 +379,17 @@ def run_simulation(
     # holds even for truncated runs.
     for mta in _unique_mtas(installations):
         mta.drain()
+    # Inbound teardown: entries still quarantined at the horizon get their
+    # PENDING_AT_HORIZON terminal status and their challenge slots are
+    # retired; then the lifecycle verdict is enforced unconditionally.
+    for installation in installations.values():
+        installation.shutdown()
+    ledger_stats = LedgerStats.collect(installations)
+    if not ledger_stats.conserved:
+        raise LedgerError(
+            "message-lifecycle conservation violated:\n  "
+            + "\n  ".join(ledger_stats.violations)
+        )
 
     info = DeploymentInfo(
         n_companies=scale.n_companies,
@@ -264,6 +412,7 @@ def run_simulation(
         wall_seconds=time.perf_counter() - started,
         cache_stats=SubstrateCacheStats.collect(world),
         fault_stats=FaultStats.collect(fault_plan, installations),
+        ledger_stats=ledger_stats,
     )
 
 

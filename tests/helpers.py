@@ -96,6 +96,7 @@ def make_micro_env(
     filters: Optional[FilterSettings] = None,
     hooks: Optional[BehaviorHooks] = None,
     horizon_days: int = 60,
+    audit: bool = False,
 ) -> MicroEnv:
     simulator = Simulator()
     registry = DnsRegistry()
@@ -139,6 +140,7 @@ def make_micro_env(
         dnsbl_services={"spamhaus-zen": rbl},
         rng=random.Random(0),
         hooks=hooks,
+        audit=audit,
     )
     installation.start(until=horizon_days * DAY)
     return MicroEnv(

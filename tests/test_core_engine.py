@@ -378,3 +378,159 @@ class TestNullSenderHandling:
         env.inbound(env_from="")
         env.run_days(31)
         assert len(env.store.expiries) == 1
+
+
+class TestLifecycleLedger:
+    """The bugs the lifecycle auditor flushed out, pinned as regressions."""
+
+    def _delete_all_hook(self):
+        def review(installation, user, entries, now):
+            return [
+                DigestDecision(
+                    msg_id=entry.message.msg_id,
+                    action=DigestAction.DELETE,
+                    act_delay=600.0,
+                )
+                for entry in entries
+            ]
+
+        return BehaviorHooks(digest_review=review)
+
+    def test_digest_delete_clears_challenge_slot(self):
+        # Regression: deleting the last quarantined message behind a
+        # challenge used to leave the pending slot live, so the sender's
+        # next message silently attached to the dead challenge instead of
+        # triggering a fresh one.
+        env = make_micro_env(hooks=self._delete_all_hook(), audit=True)
+        env.inbound()
+        env.run_days(2)
+        assert env.installation.gray_spool.total_deleted == 1
+        assert env.installation.challenge_manager.pending_count == 0
+        env.inbound()
+        assert len(env.store.challenges) == 2
+
+    def test_digest_delete_keeps_slot_while_sender_has_other_mail(self):
+        # Two quarantined messages from one sender share a challenge;
+        # deleting only one must NOT retire the slot.
+        acted = []
+
+        def review(installation, user, entries, now):
+            if acted:
+                return []
+            acted.append(True)
+            return [
+                DigestDecision(
+                    msg_id=entries[0].message.msg_id,
+                    action=DigestAction.DELETE,
+                    act_delay=600.0,
+                )
+            ]
+
+        env = make_micro_env(hooks=BehaviorHooks(digest_review=review), audit=True)
+        env.inbound()
+        env.inbound()
+        env.run_days(2)
+        assert env.installation.gray_spool.total_deleted == 1
+        assert env.installation.challenge_manager.pending_count == 1
+        env.inbound()
+        assert len(env.store.challenges) == 1  # still deduplicated
+
+    def test_shutdown_drains_to_pending_at_horizon(self):
+        env = make_micro_env(audit=True)
+        message = env.inbound()
+        env.run_days(3)
+        assert env.installation.gray_spool.pending_count == 1
+        env.installation.shutdown()
+        spool = env.installation.gray_spool
+        assert spool.pending_count == 0
+        assert spool.total_pending_at_horizon == 1
+        assert spool.get(message.msg_id) is None
+        # The drain is bookkeeping, not measurement: no store records.
+        assert env.store.expiries == []
+        assert env.store.releases == []
+        snap = env.installation.ledger.snapshot()
+        assert snap.conserved
+        assert snap.pending_at_horizon == 1
+
+    def test_shutdown_clears_challenge_slot(self):
+        env = make_micro_env(audit=True)
+        env.inbound()
+        env.run_days(3)
+        env.installation.shutdown()
+        assert env.installation.challenge_manager.pending_count == 0
+        assert env.installation.challenge_manager.pending_expired == 1
+
+    def test_expiry_fires_at_exact_30_day_boundary(self):
+        # Entry quarantined at day 1 00:30 expires exactly at a later
+        # sweep instant (day 31 00:30); the closed boundary in expire_due
+        # (expires_at <= now) must expire it at that sweep, not a day late.
+        env = make_micro_env()
+        env.inbound(at=DAY + 30 * 60)
+        env.simulator.run(until=31 * DAY + 30 * 60 + 1)
+        assert len(env.store.expiries) == 1
+        assert env.store.expiries[0].t == 31 * DAY + 30 * 60
+
+    def test_same_timestamp_digest_and_expiry_one_terminal(self):
+        # A digest whitelist action lands on the exact timestamp of the
+        # expiry sweep that would expire the same entry. Whichever runs
+        # first wins; the loser must be a silent no-op and the message
+        # must end in exactly one terminal state (pinned by audit mode).
+        target = 31 * DAY + 30 * 60
+        acted = []
+
+        def review(installation, user, entries, now):
+            if acted:
+                return []
+            acted.append(True)
+            return [
+                DigestDecision(
+                    msg_id=entries[0].message.msg_id,
+                    action=DigestAction.WHITELIST,
+                    act_delay=target - now,
+                )
+            ]
+
+        env = make_micro_env(hooks=BehaviorHooks(digest_review=review), audit=True)
+        env.inbound(at=DAY + 30 * 60)  # expires exactly at `target`
+        env.simulator.run(until=target + 1)
+        spool = env.installation.gray_spool
+        assert spool.total_released + spool.total_expired == 1
+        assert spool.pending_count == 0
+        assert env.installation.ledger.snapshot().in_quarantine == 0
+
+    def test_mixed_case_recipient_accepted(self):
+        # Regression: MTA-IN compared the raw local-part, so a mixed-case
+        # recipient was wrongly dropped as UNKNOWN_RECIPIENT before
+        # normalization moved to ingress.
+        env = make_micro_env()
+        env.inbound(env_to="Alice@Acme-Corp.example")
+        assert env.store.mta[-1].accepted
+        assert env.store.dispatch[-1].user == USER_ADDRESS
+
+    def test_mixed_case_release_then_whitelist(self):
+        # A sender using different casing across messages is one identity:
+        # solving the challenge must whitelist and release regardless of
+        # the casing the messages arrived with.
+        env = make_micro_env(audit=True)
+        env.inbound(env_from="Bob@Partner.example")
+        assert len(env.store.challenges) == 1
+        challenge_id = env.store.challenges[0].challenge_id
+        env.inbound(env_from="BOB@PARTNER.EXAMPLE")
+        assert len(env.store.challenges) == 1  # same pending challenge
+        env.installation.solve_challenge(challenge_id)
+        assert len(env.store.releases) == 2
+        lists = env.installation.whitelists.lists_for(USER_ADDRESS)
+        assert lists.in_whitelist("bob@partner.example")
+        env.inbound(env_from="bOb@pArtner.example")
+        assert env.store.dispatch[-1].category is Category.WHITE
+
+    def test_digest_counters_reconcile(self):
+        env = make_micro_env(hooks=self._delete_all_hook(), audit=True)
+        env.inbound()
+        env.inbound(env_from=f"carol@{CONTACT_DOMAIN}")
+        env.run_days(2)
+        counters = env.installation.digest_counters
+        assert counters.digests_generated >= 1
+        assert counters.entries_listed >= 2
+        assert counters.delete_actions == env.installation.gray_spool.total_deleted
+        assert counters.stale_actions == 0

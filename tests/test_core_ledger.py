@@ -1,0 +1,120 @@
+"""Unit tests for the message-lifecycle ledger state machine."""
+
+import pytest
+
+from repro.core.ledger import (
+    LEGAL_TRANSITIONS,
+    LedgerError,
+    LifecycleState,
+    MessageLedger,
+    TERMINAL_STATES,
+)
+
+
+class TestStateMachine:
+    def test_every_state_is_terminal_or_has_outgoing_edges(self):
+        for state in LifecycleState:
+            assert state in TERMINAL_STATES or state in LEGAL_TRANSITIONS
+
+    def test_terminal_states_have_no_outgoing_edges(self):
+        for state in TERMINAL_STATES:
+            assert state not in LEGAL_TRANSITIONS
+
+    def test_quarantine_terminals_partition_the_gray_exits(self):
+        assert LEGAL_TRANSITIONS[LifecycleState.QUARANTINED] == {
+            LifecycleState.RELEASED,
+            LifecycleState.DELETED,
+            LifecycleState.EXPIRED,
+            LifecycleState.PENDING_AT_HORIZON,
+        }
+
+
+class TestCounters:
+    def test_counts_partition_accepted(self):
+        ledger = MessageLedger("c-test")
+        ledger.accept(1)
+        ledger.transition(1, LifecycleState.DELIVERED)
+        ledger.accept(2)
+        ledger.transition(2, LifecycleState.QUARANTINED)
+        assert ledger.accepted == 2
+        assert ledger.count(LifecycleState.DELIVERED) == 1
+        assert ledger.in_quarantine == 1
+        assert ledger.unclassified == 0
+
+    def test_snapshot_conserved_after_full_lifecycle(self):
+        ledger = MessageLedger("c-test")
+        for msg_id, terminal in enumerate(
+            [
+                LifecycleState.DELIVERED,
+                LifecycleState.BLACK_DROPPED,
+                LifecycleState.FILTER_DROPPED,
+            ]
+        ):
+            ledger.accept(msg_id)
+            ledger.transition(msg_id, terminal)
+        for msg_id, terminal in enumerate(
+            [
+                LifecycleState.RELEASED,
+                LifecycleState.DELETED,
+                LifecycleState.EXPIRED,
+                LifecycleState.PENDING_AT_HORIZON,
+            ],
+            start=10,
+        ):
+            ledger.accept(msg_id)
+            ledger.transition(msg_id, LifecycleState.QUARANTINED)
+            ledger.transition(msg_id, terminal)
+        snap = ledger.snapshot()
+        assert snap.conserved
+        assert snap.accepted == snap.terminal_total == 7
+        assert snap.in_quarantine == 0
+        assert snap.stranded == ()
+
+    def test_snapshot_not_conserved_with_message_in_quarantine(self):
+        ledger = MessageLedger("c-test")
+        ledger.accept(1)
+        ledger.transition(1, LifecycleState.QUARANTINED)
+        snap = ledger.snapshot()
+        assert not snap.conserved
+        assert snap.in_quarantine == 1
+
+
+class TestAuditMode:
+    def test_accept_twice_raises(self):
+        ledger = MessageLedger("c-test", audit=True)
+        ledger.accept(1)
+        with pytest.raises(LedgerError, match="accepted twice"):
+            ledger.accept(1)
+
+    def test_transition_without_accept_raises(self):
+        ledger = MessageLedger("c-test", audit=True)
+        with pytest.raises(LedgerError, match="never accepted"):
+            ledger.transition(99, LifecycleState.DELIVERED)
+
+    def test_double_finalize_raises(self):
+        ledger = MessageLedger("c-test", audit=True)
+        ledger.accept(1)
+        ledger.transition(1, LifecycleState.QUARANTINED)
+        ledger.transition(1, LifecycleState.EXPIRED)
+        with pytest.raises(LedgerError, match="illegal lifecycle transition"):
+            ledger.transition(1, LifecycleState.RELEASED)
+
+    def test_gray_terminal_straight_from_accepted_raises(self):
+        ledger = MessageLedger("c-test", audit=True)
+        ledger.accept(1)
+        with pytest.raises(LedgerError, match="illegal lifecycle transition"):
+            ledger.transition(1, LifecycleState.RELEASED)
+
+    def test_audit_snapshot_lists_stranded(self):
+        ledger = MessageLedger("c-test", audit=True)
+        ledger.accept(1)
+        ledger.transition(1, LifecycleState.QUARANTINED)
+        snap = ledger.snapshot()
+        assert snap.stranded == ((1, "quarantined"),)
+
+    def test_counters_only_mode_never_raises_on_bad_edges(self):
+        # Without audit the ledger is pure counters: it cannot see edges,
+        # only totals — bad sequences surface at the end-of-run check.
+        ledger = MessageLedger("c-test")
+        ledger.transition(99, LifecycleState.DELIVERED)  # no accept
+        assert ledger.count(LifecycleState.DELIVERED) == 1

@@ -101,10 +101,68 @@ class TestExpiry:
         assert spool.pending_count == 1
 
     def test_expire_exact_boundary(self):
+        # Closed boundary: expires_at == now is due ("held FOR 30 days",
+        # unlike the simulator's half-open `until`). Documented in the
+        # module docstring; engine-level ordering pinned in
+        # tests/test_core_engine.py.
         spool = GraySpool()
         message = _msg()
         spool.add(message, "u@c.com", 0.0, expires_at=10.0, challenge_id=None)
         assert spool.expire_due(10.0) != []
+
+    def test_not_due_just_before_boundary(self):
+        spool = GraySpool()
+        message = _msg()
+        spool.add(message, "u@c.com", 0.0, expires_at=10.0, challenge_id=None)
+        assert spool.expire_due(9.999) == []
+        assert spool.pending_count == 1
+
+
+class TestDrain:
+    def test_drain_finalizes_everything_pending(self):
+        spool = GraySpool()
+        m1, m2 = _msg(), _msg()
+        _add(spool, m1)
+        _add(spool, m2)
+        spool.release(m1.msg_id)
+        drained = spool.drain(5 * DAY)
+        assert [e.message.msg_id for e in drained] == [m2.msg_id]
+        assert drained[0].status is GrayStatus.PENDING_AT_HORIZON
+        assert spool.pending_count == 0
+        assert spool.total_pending_at_horizon == 1
+
+    def test_drain_empty_spool_is_noop(self):
+        spool = GraySpool()
+        assert spool.drain(0.0) == []
+        assert spool.total_pending_at_horizon == 0
+
+    def test_drain_cleans_indices(self):
+        spool = GraySpool()
+        message = _msg()
+        _add(spool, message)
+        spool.drain(0.0)
+        assert spool.users_with_pending() == []
+        assert spool.pending_from_sender("u@c.com", "s@x.com") == []
+
+    def test_drain_reconciles_with_other_terminals(self):
+        spool = GraySpool()
+        messages = [_msg() for _ in range(5)]
+        for m in messages:
+            _add(spool, m)
+        spool.release(messages[0].msg_id)
+        spool.delete(messages[1].msg_id)
+        spool._entries[messages[2].msg_id].expires_at = 0.0
+        spool.expire_due(0.0)
+        spool.drain(0.0)
+        assert (
+            spool.total_released
+            + spool.total_deleted
+            + spool.total_expired
+            + spool.total_pending_at_horizon
+            == spool.total_entered
+            == 5
+        )
+        assert spool.total_pending_at_horizon == 2
 
 
 class TestProperties:
@@ -119,7 +177,8 @@ class TestProperties:
         )
     )
     def test_conservation_of_entries(self, operations):
-        """entered == pending + released + expired + deleted, always."""
+        """entered == pending + released + expired + deleted + drained,
+        at every instant and after the horizon drain."""
         spool = GraySpool()
         for sender, user, action in operations:
             message = _msg(sender=sender, rcpt=user)
@@ -134,8 +193,18 @@ class TestProperties:
             + spool.total_released
             + spool.total_expired
             + spool.total_deleted
+            + spool.total_pending_at_horizon
         )
         assert total == spool.total_entered
+        spool.drain(200.0)
+        assert spool.pending_count == 0
+        assert (
+            spool.total_released
+            + spool.total_expired
+            + spool.total_deleted
+            + spool.total_pending_at_horizon
+            == spool.total_entered
+        )
 
     @given(
         st.lists(

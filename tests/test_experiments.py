@@ -81,7 +81,7 @@ class TestRegistry:
             "fig1", "tab_drop", "fig2", "fig3", "tab1", "tab1_daily",
             "fig4a", "fig4b", "sec31", "sec32", "sec33", "fig5", "fig6",
             "sec41", "fig7", "fig8", "sec42", "fig9", "sec43", "fig10",
-            "fig11", "sec51", "fig12", "sec6", "faults",
+            "fig11", "sec51", "fig12", "sec6", "faults", "audit",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -101,4 +101,5 @@ class TestRegistry:
             or "Fig" in out
             or "Sec" in out
             or "fault" in out
+            or "conservation" in out
         )

@@ -45,16 +45,29 @@ class TestConservation:
             for r in small_result.store.dispatch
             if r.category is Category.GRAY and r.filter_drop is None
         )
+        # After the end-of-run drain nothing is left pending: entries still
+        # quarantined at the horizon carry the PENDING_AT_HORIZON status.
+        assert all(
+            inst.gray_spool.pending_count == 0
+            for inst in small_result.installations.values()
+        )
         resolved = (
             len(small_result.store.releases)
             + len(small_result.store.expiries)
             + sum(
-                inst.gray_spool.pending_count
-                + inst.gray_spool.total_deleted
+                inst.gray_spool.total_deleted
+                + inst.gray_spool.total_pending_at_horizon
                 for inst in small_result.installations.values()
             )
         )
         assert resolved == quarantined
+
+    def test_ledger_verdict_holds(self, small_result):
+        stats = small_result.ledger_stats
+        assert stats is not None and stats.conserved
+        assert stats.accepted == stats.terminal_total
+        assert stats.stranded == 0
+        assert stats.leaked_challenge_slots == 0
 
 
 class TestMtaShape:

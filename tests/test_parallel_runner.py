@@ -159,6 +159,20 @@ class TestSpecKeys:
             == RunSpec("tiny", seed=3).cache_key()
         )
 
+    def test_audit_is_part_of_key(self):
+        # A cached unaudited summary must never satisfy an audit request
+        # (and vice versa): the audited run carries per-message evidence.
+        assert (
+            RunSpec("tiny", seed=3, audit=True).cache_key()
+            != RunSpec("tiny", seed=3).cache_key()
+        )
+
+    def test_audit_default_keeps_existing_keys(self):
+        assert (
+            RunSpec("tiny", seed=3, audit=False).cache_key()
+            == RunSpec("tiny", seed=3).cache_key()
+        )
+
 
 class TestSummaryPickling:
     def test_summary_round_trips_through_pickle(self, serial_summaries):
