@@ -39,7 +39,7 @@ and asserts the bands)::
   correlations, cluster statistics, blacklisting dynamics, SPF what-ifs)
   is emergent from the mechanisms and is the actual reproduction result.
 * Known deviations are listed per experiment below; the paper itself is
-  internally inconsistent on a few internal percentages (see DESIGN.md §9),
+  internally inconsistent on a few internal percentages (see DESIGN.md §10),
   in which case we quote all of its variants.
 
 """

@@ -19,7 +19,9 @@ import argparse
 import cProfile
 import pathlib
 import pstats
+import shutil
 import sys
+import tempfile
 import time
 
 sys.path.insert(
@@ -28,6 +30,7 @@ sys.path.insert(
 
 from repro.experiments import run_simulation  # noqa: E402
 from repro.experiments.registry import run_all  # noqa: E402
+from repro.util.simtime import DAY  # noqa: E402
 
 
 def _print_stats(profiler: cProfile.Profile, sort: str, top: int) -> None:
@@ -54,6 +57,18 @@ def main(argv=None) -> int:
         help="enable the continuous lifecycle audit (to profile its cost)",
     )
     parser.add_argument(
+        "--crashes",
+        default=None,
+        help="crash-fault preset (off/rare/flaky; default: off)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="write snapshots every N sim-days (to profile their cost)",
+    )
+    parser.add_argument(
         "--top", type=int, default=25, help="hotspot rows to print per stage"
     )
     parser.add_argument(
@@ -63,10 +78,24 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    checkpoint_dir = None
+    if args.checkpoint_every is not None:
+        checkpoint_dir = tempfile.mkdtemp(prefix="profile-ckpt-")
+
     sim_profiler = cProfile.Profile()
     sim_profiler.enable()
     result = run_simulation(
-        args.preset, seed=args.seed, faults=args.faults, audit=args.audit
+        args.preset,
+        seed=args.seed,
+        faults=args.faults,
+        audit=args.audit,
+        crashes=args.crashes,
+        checkpoint_every=(
+            args.checkpoint_every * DAY
+            if args.checkpoint_every is not None
+            else None
+        ),
+        checkpoint_dir=checkpoint_dir,
     )
     sim_profiler.disable()
 
@@ -95,6 +124,32 @@ def main(argv=None) -> int:
         f"route {stats.route_hits}/{stats.route_hits + stats.route_misses} "
         f"({100 * stats.route_hit_rate:.1f}%)"
     )
+    crash = result.crash_stats
+    if crash is not None and crash.enabled:
+        print(
+            f"crash injection: {crash.crashes} crashes, "
+            f"{crash.inbound_deferred} inbound deferred, "
+            f"{crash.redriven} re-driven, {crash.lost} lost"
+        )
+    ckpt = result.checkpoint_stats
+    if ckpt is not None and ckpt.written:
+        print(
+            f"checkpointing: {ckpt.written} snapshots, "
+            f"{ckpt.write_seconds:.3f}s total write "
+            f"({ckpt.mean_write_seconds:.3f}s mean, "
+            f"{100 * ckpt.write_seconds / result.wall_seconds:.1f}% of wall)"
+        )
+        from repro.core.recovery import latest_checkpoint, load_checkpoint
+
+        snapshot = latest_checkpoint(checkpoint_dir)
+        started_restore = time.perf_counter()
+        load_checkpoint(snapshot)
+        print(
+            f"restore from {pathlib.Path(snapshot).name}: "
+            f"{time.perf_counter() - started_restore:.3f}s"
+        )
+    if checkpoint_dir is not None:
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
     print(f"report generation: {report_seconds:.3f}s, {len(report)} chars")
 
     print(f"\n--- simulation hotspots (top {args.top}, {args.sort}) ---")

@@ -23,6 +23,7 @@ from repro.analysis.context import DeploymentInfo
 from repro.analysis.records import (
     ChallengeOutcomeRecord,
     ChallengeRecord,
+    CrashRecord,
     DigestRecord,
     DispatchRecord,
     ExpiryRecord,
@@ -248,6 +249,24 @@ def _decode_probe(d: dict) -> ProbeObservation:
     return ProbeObservation(d["t"], d["ip"], d["svc"], d["l"])
 
 
+def _encode_crash(r: CrashRecord) -> dict:
+    return {
+        "c": r.company_id,
+        "t": r.t,
+        "comp": r.component,
+        "dt": r.downtime,
+        "rd": r.redriven,
+        "lo": r.lost,
+        "jok": r.journal_ok,
+    }
+
+
+def _decode_crash(d: dict) -> CrashRecord:
+    return CrashRecord(
+        d["c"], d["t"], d["comp"], d["dt"], d["rd"], d["lo"], d["jok"]
+    )
+
+
 #: tag -> (store list attribute, encoder, decoder)
 _CODECS: dict = {
     "mta": ("mta", _encode_mta, _decode_mta),
@@ -261,6 +280,7 @@ _CODECS: dict = {
     "expiry": ("expiries", _encode_expiry, _decode_expiry),
     "outbound": ("outbound", _encode_outbound, _decode_outbound),
     "probe": ("probes", _encode_probe, _decode_probe),
+    "crash": ("crashes", _encode_crash, _decode_crash),
 }
 
 

@@ -234,3 +234,31 @@ class OutboundMailRecord:
     user: str
     rcpt: str
     size: int
+
+
+@dataclass
+class CrashRecord:
+    """One injected component crash and what its recovery did."""
+
+    __slots__ = (
+        "company_id",
+        "t",
+        "component",
+        "downtime",
+        "redriven",
+        "lost",
+        "journal_ok",
+    )
+
+    company_id: str
+    t: float
+    #: Which component went down (see :data:`repro.net.crashes.COMPONENTS`).
+    component: str
+    #: Seconds until the supervisor restarted it.
+    downtime: float
+    #: Outbound messages re-driven from the write-ahead journal.
+    redriven: int
+    #: Messages lost (nonzero only under the ``lossy`` durability model).
+    lost: int
+    #: Whether the rebuilt volatile indexes matched the pre-crash state.
+    journal_ok: bool

@@ -1,0 +1,195 @@
+"""Crash-and-recovery report: what the product survived and what it cost.
+
+The CR product's operational claim — quarantine and whitelist state is
+durable, no accepted message is ever lost — is exactly the property the
+paper's operators depended on across four years of real deployment.
+This report summarises one run's injected component crashes
+(:mod:`repro.net.crashes`), how each recovery went (journal replays,
+index rebuilds, deferred traffic), and the checkpoint/restore overhead of
+the simulation harness itself.
+
+Crash events are regular log records (the ``crashes`` table), so a
+persisted run replays this report offline like any other; the injection
+counters and checkpoint timings live on the
+:class:`~repro.experiments.runner.SimulationResult` and are appended when
+the caller has them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.store import LogStore
+from repro.util.render import TextTable
+from repro.util.simtime import format_duration
+from repro.util.stats import safe_ratio
+
+
+@dataclass(frozen=True)
+class ComponentCrashes:
+    """Aggregate of one component's crashes over the run."""
+
+    component: str
+    count: int
+    total_downtime: float
+    redriven: int
+    lost: int
+    journal_failures: int
+
+    @property
+    def mean_downtime(self) -> float:
+        return safe_ratio(self.total_downtime, self.count)
+
+
+@dataclass(frozen=True)
+class RecoveryBreakdown:
+    """Per-component crash aggregates of one run."""
+
+    components: tuple
+
+    @property
+    def total_crashes(self) -> int:
+        return sum(c.count for c in self.components)
+
+    @property
+    def total_lost(self) -> int:
+        return sum(c.lost for c in self.components)
+
+    @property
+    def zero_loss(self) -> bool:
+        return self.total_lost == 0 and not any(
+            c.journal_failures for c in self.components
+        )
+
+
+def compute(store: LogStore) -> RecoveryBreakdown:
+    counts: Counter = Counter()
+    downtime: Counter = Counter()
+    redriven: Counter = Counter()
+    lost: Counter = Counter()
+    journal_failures: Counter = Counter()
+    for record in store.crashes:
+        counts[record.component] += 1
+        downtime[record.component] += record.downtime
+        redriven[record.component] += record.redriven
+        lost[record.component] += record.lost
+        if not record.journal_ok:
+            journal_failures[record.component] += 1
+    return RecoveryBreakdown(
+        components=tuple(
+            ComponentCrashes(
+                component=component,
+                count=counts[component],
+                total_downtime=downtime[component],
+                redriven=redriven[component],
+                lost=lost[component],
+                journal_failures=journal_failures[component],
+            )
+            for component in sorted(counts)
+        )
+    )
+
+
+def build_crash_table(breakdown: RecoveryBreakdown) -> TextTable:
+    table = TextTable(
+        headers=[
+            "component", "crashes", "mean downtime", "redriven", "lost",
+            "journal failures",
+        ],
+        title="Injected component crashes",
+    )
+    for c in breakdown.components:
+        table.add_row(
+            c.component,
+            c.count,
+            format_duration(c.mean_downtime),
+            c.redriven,
+            c.lost,
+            c.journal_failures,
+        )
+    return table
+
+
+def build_crash_counter_table(crash_stats) -> TextTable:
+    table = TextTable(
+        headers=["counter", "value"],
+        title="Crash-injection counters",
+    )
+    table.add_row("component crashes", crash_stats.crashes)
+    table.add_row("inbound deferred to recovery", crash_stats.inbound_deferred)
+    table.add_row("inbound refused (past horizon)", crash_stats.inbound_refused)
+    table.add_row("digest sweeps skipped", crash_stats.digests_skipped)
+    table.add_row("expiry sweeps skipped", crash_stats.expiries_skipped)
+    table.add_row("outbound attempts deferred", crash_stats.outbound_deferred)
+    table.add_row("in-flight mail re-driven", crash_stats.redriven)
+    table.add_row("gray-spool journals rebuilt", crash_stats.journals_rebuilt)
+    table.add_row("journal rebuild mismatches", crash_stats.journal_mismatches)
+    table.add_row("messages lost", crash_stats.lost)
+    table.add_row(
+        "recovery verdict",
+        "ZERO LOSS" if crash_stats.clean_recovery else "LOSSY",
+    )
+    return table
+
+
+def build_checkpoint_table(checkpoint_stats) -> TextTable:
+    table = TextTable(
+        headers=["metric", "value"],
+        title="Checkpoint/restore overhead (simulation harness)",
+    )
+    table.add_row(
+        "snapshot interval", format_duration(checkpoint_stats.every)
+    )
+    table.add_row("snapshots written", checkpoint_stats.written)
+    table.add_row(
+        "total write time", f"{checkpoint_stats.write_seconds:.3f}s"
+    )
+    table.add_row(
+        "mean write time", f"{checkpoint_stats.mean_write_seconds:.3f}s"
+    )
+    if checkpoint_stats.restored_from is not None:
+        table.add_row("restored from", checkpoint_stats.restored_from)
+        table.add_row(
+            "restore time", f"{checkpoint_stats.restore_seconds:.3f}s"
+        )
+    return table
+
+
+def render(store: LogStore, crash_stats=None, checkpoint_stats=None) -> str:
+    """Full crash-and-recovery report; the stats objects (optional)
+    append the run's injection counters and harness overhead."""
+    breakdown = compute(store)
+    parts = []
+    if breakdown.components:
+        parts.append(build_crash_table(breakdown).render())
+        parts.append(
+            f"{breakdown.total_crashes:,} crashes; "
+            f"{breakdown.total_lost:,} messages lost; "
+            + (
+                "every recovery replayed its journals cleanly"
+                if breakdown.zero_loss
+                else "LOSS OBSERVED — durability model is lossy or recovery is broken"
+            )
+        )
+    else:
+        parts.append("no component crashes (crash injection off or quiet run)")
+    if crash_stats is not None and crash_stats.enabled:
+        parts.append(build_crash_counter_table(crash_stats).render())
+    if checkpoint_stats is not None and (
+        checkpoint_stats.written or checkpoint_stats.restored_from
+    ):
+        parts.append(build_checkpoint_table(checkpoint_stats).render())
+    return "\n\n".join(parts)
+
+
+def render_result(result) -> str:
+    """Registry adapter: renders from a full
+    :class:`~repro.experiments.runner.SimulationResult` (or anything with
+    a ``store``; the stats attributes are optional so loaded/summarised
+    runs work)."""
+    return render(
+        result.store,
+        getattr(result, "crash_stats", None),
+        getattr(result, "checkpoint_stats", None),
+    )

@@ -13,12 +13,15 @@ aggregate is never served after any append.
 
 from __future__ import annotations
 
+from dataclasses import fields as dataclass_fields
+from dataclasses import is_dataclass
 from typing import Optional
 
 from repro.analysis.index import AnalysisIndex
 from repro.analysis.records import (
     ChallengeOutcomeRecord,
     ChallengeRecord,
+    CrashRecord,
     DigestRecord,
     DispatchRecord,
     ExpiryRecord,
@@ -43,7 +46,52 @@ TABLES = (
     "expiries",
     "outbound",
     "probes",
+    "crashes",
 )
+
+
+#: Marker tag for columnar-packed tables inside a pickled store.
+_COLUMNAR = "columnar-v1"
+
+#: Tables below this row count pickle as plain lists; the packing
+#: overhead only pays off on large ones.
+_COLUMNAR_MIN_ROWS = 64
+
+
+def _pack_rows(rows: list) -> object:
+    """Transpose a homogeneous record list into per-field columns.
+
+    Pickling N small dataclass instances pays per-object dispatch N
+    times; a tuple of primitive columns serialises at raw C speed and
+    at roughly half the byte size (checkpoints, the run cache, and
+    worker→parent transfers all go through here). Heterogeneous or
+    small lists are returned unchanged.
+    """
+    if len(rows) < _COLUMNAR_MIN_ROWS:
+        return rows
+    cls = type(rows[0])
+    if not is_dataclass(cls) or any(type(r) is not cls for r in rows):
+        return rows
+    names = tuple(f.name for f in dataclass_fields(cls))
+    return (
+        _COLUMNAR,
+        cls,
+        tuple(tuple(getattr(r, n) for r in rows) for n in names),
+    )
+
+
+def _unpack_rows(value: object) -> list:
+    """Inverse of :func:`_pack_rows`; passes plain lists through."""
+    if (
+        isinstance(value, tuple)
+        and len(value) == 3
+        and value[0] == _COLUMNAR
+    ):
+        _, cls, columns = value
+        # Dataclass __init__ takes fields in declaration order, which is
+        # exactly the column order _pack_rows emitted.
+        return [cls(*values) for values in zip(*columns)]
+    return value
 
 
 class LogStore:
@@ -61,6 +109,7 @@ class LogStore:
         self.expiries: list[ExpiryRecord] = []
         self.outbound: list[OutboundMailRecord] = []
         self.probes: list[ProbeObservation] = []
+        self.crashes: list[CrashRecord] = []
         self._versions: dict[str, int] = {table: 0 for table in TABLES}
         self._index: Optional[AnalysisIndex] = None
 
@@ -110,6 +159,10 @@ class LogStore:
         self.probes.append(record)
         self._versions["probes"] += 1
 
+    def add_crash(self, record: CrashRecord) -> None:
+        self.crashes.append(record)
+        self._versions["crashes"] += 1
+
     # -- the shared index -------------------------------------------------
 
     def table_version(self, table: str) -> int:
@@ -132,10 +185,22 @@ class LogStore:
         self._index = None
 
     def __getstate__(self) -> dict:
-        """Pickle records and versions only — never the materialised index."""
+        """Pickle records and versions only — never the materialised index.
+
+        Large tables go columnar (see :func:`_pack_rows`): one tuple of
+        primitive columns per table instead of tens of thousands of
+        record objects.
+        """
         state = self.__dict__.copy()
         state["_index"] = None
+        for table in TABLES:
+            state[table] = _pack_rows(state[table])
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        for table in TABLES:
+            state[table] = _unpack_rows(state[table])
+        self.__dict__.update(state)
 
     # -- correlation indices --------------------------------------------
 

@@ -72,6 +72,50 @@ class DnsblService:
     #: Class-wide switch so tests can compare cached vs uncached runs.
     CACHE_ENABLED = True
 
+    #: Marker for the columnar pickle form of ``_state``/``history``
+    #: (tens of thousands of tiny objects per service otherwise dominate
+    #: simulation-checkpoint writes).
+    _PACKED = "dnsbl-packed-v1"
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        ip_state = state["_state"]
+        state["_state"] = (
+            self._PACKED,
+            tuple(ip_state.keys()),
+            tuple(tuple(s.hits) for s in ip_state.values()),
+            tuple(s.listings for s in ip_state.values()),
+            tuple(s.listed_from for s in ip_state.values()),
+            tuple(s.listed_until for s in ip_state.values()),
+        )
+        history = state["history"]
+        state["history"] = (
+            self._PACKED,
+            tuple(i.ip for i in history),
+            tuple(i.listed_at for i in history),
+            tuple(i.listed_until for i in history),
+        )
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        packed = state["_state"]
+        if isinstance(packed, tuple) and packed[0] == self._PACKED:
+            _, ips, hits, listings, listed_from, listed_until = packed
+            state["_state"] = {
+                ip: _IpState(list(h), n, f, u)
+                for ip, h, n, f, u in zip(
+                    ips, hits, listings, listed_from, listed_until
+                )
+            }
+        packed = state["history"]
+        if isinstance(packed, tuple) and packed[0] == self._PACKED:
+            _, ips, listed_at, listed_until = packed
+            state["history"] = [
+                ListingInterval(ip, a, u)
+                for ip, a, u in zip(ips, listed_at, listed_until)
+            ]
+        self.__dict__.update(state)
+
     def __init__(
         self,
         name: str,

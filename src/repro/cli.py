@@ -23,8 +23,14 @@ from repro.experiments.registry import (
     EXPERIMENTS,
     run_experiment,
 )
+from repro.net.crashes import crash_preset_names
 from repro.net.faults import fault_preset_names
+from repro.util.simtime import DAY
 from repro.workload.scale import preset_names
+
+#: Where ``--checkpoint-every`` writes snapshots when no --checkpoint-dir
+#: is given.
+DEFAULT_CLI_CHECKPOINT_DIR = ".cache/checkpoints/cli"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every sweep member with the lifecycle auditor on",
     )
     sweep_parser.add_argument(
+        "--crashes",
+        default=None,
+        choices=crash_preset_names(),
+        help="crash-fault preset applied to every run in the sweep",
+    )
+    sweep_parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache under .cache/runs/",
@@ -143,6 +155,36 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--crashes",
+        default=None,
+        choices=crash_preset_names(),
+        help="crash-fault preset (default: off — no component crashes)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="write a restorable snapshot every N simulated days",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "snapshot directory for --checkpoint-every "
+            f"(default: {DEFAULT_CLI_CHECKPOINT_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--resume-from",
+        metavar="PATH",
+        help=(
+            "resume a simulation from a snapshot file; produces output "
+            "byte-identical to the uninterrupted run"
+        ),
+    )
+    parser.add_argument(
         "--load",
         metavar="PATH",
         help="analyse a previously saved run instead of simulating",
@@ -154,11 +196,21 @@ def _load_or_run(args: argparse.Namespace):
         from repro.analysis.persistence import load_run
 
         return load_run(args.load)
+    if getattr(args, "resume_from", None):
+        return run_simulation(resume_from=args.resume_from)
+    checkpoint_every = getattr(args, "checkpoint_every", None)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if checkpoint_every is not None:
+        checkpoint_every *= DAY  # CLI speaks days; the engine sim-seconds
+        checkpoint_dir = checkpoint_dir or DEFAULT_CLI_CHECKPOINT_DIR
     return run_simulation(
         args.preset,
         seed=args.seed,
         faults=getattr(args, "faults", None),
         audit=getattr(args, "audit", False),
+        crashes=getattr(args, "crashes", None),
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
     )
 
 
@@ -242,10 +294,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 seed=seed,
                 faults=args.faults,
                 audit=args.audit,
+                crashes=args.crashes,
             )
             for seed in seeds
         ]
     )
+    failed = [s for s in summaries if s.failed]
+    for summary in failed:
+        print(
+            f"seed {summary.seed} failed after retry:\n{summary.error}",
+            file=sys.stderr,
+        )
+    summaries = [s for s in summaries if not s.failed]
+    if not summaries:
+        print("every run in the sweep failed", file=sys.stderr)
+        return 1
     print()
     print(variability.render_sweep(variability.sweep_from_summaries(summaries)))
     print()
@@ -253,7 +316,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         comparison.render_sweep(comparison.defences_from_summaries(summaries))
     )
     print(
-        f"\n{runner.runs_executed} simulated, {runner.cache_hits} from cache"
+        f"\n{runner.runs_executed} simulated, {runner.cache_hits} from cache, "
+        f"{len(failed)} failed"
         + ("" if cache is None else f" ({cache.root}/)")
     )
     return 0

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Mapping, Optional
 
 from repro.analysis.records import (
@@ -56,6 +57,11 @@ from repro.util.simtime import DAY, HOUR, day_of
 #: messages (a short text and one CAPTCHA URL); §3.3's reflected-traffic
 #: ratio RT compares their bytes against full incoming messages.
 DEFAULT_CHALLENGE_SIZE = 3_100
+
+
+def _discard_delivery(envelope, result) -> None:
+    """No-op final callback for fire-and-forget user mail (module-level so
+    the pending delivery stays picklable for checkpoints)."""
 
 
 @dataclass
@@ -134,6 +140,9 @@ class CompanyInstallation:
             self.challenge_mta = self.user_mta
 
         self.inbox_delivered = 0
+        #: Crash-fault schedule (:class:`repro.net.crashes.CrashPlan`) or
+        #: ``None``; installed by ``CrashPlan.arm``.
+        self.crash_plan = None
 
     def _build_filter_chain(
         self, dnsbl_services: Mapping[str, DnsblService], rng: random.Random
@@ -179,6 +188,24 @@ class CompanyInstallation:
     def handle_inbound(self, message: EmailMessage) -> None:
         """Process one incoming message end-to-end at the current sim time."""
         now = self.simulator.now
+        if self.crash_plan is not None and self.crash_plan.down(
+            self.config.company_id, "dispatcher", now
+        ):
+            # The dispatcher process is down: MTA-IN answers 4xx and the
+            # sending MTA retries after the restart. No record is written
+            # — nothing was accepted — so conservation is untouched. The
+            # retry lands shortly after recovery (hash-derived offset); a
+            # retry that would fall past the horizon is refused for good.
+            delay = self.crash_plan.inbound_retry_delay(
+                self.config.company_id, message.msg_id, now
+            )
+            if delay is not None:
+                self.simulator.schedule_after(
+                    delay,
+                    partial(self.handle_inbound, message),
+                    label=f"crash-defer:{self.config.company_id}",
+                )
+            return
         # Single normalization point: everything downstream (dispatcher,
         # spools, whitelists, challenge dedup) sees canonical lowercase
         # envelope addresses. See message.normalize_ingress.
@@ -262,14 +289,11 @@ class CompanyInstallation:
             payload_id=challenge.challenge_id,
         )
         self.challenge_mta.send(
-            envelope,
-            lambda env, result, cid=challenge.challenge_id: self._on_challenge_final(
-                cid, result
-            ),
+            envelope, partial(self._on_challenge_final, challenge.challenge_id)
         )
 
     def _on_challenge_final(
-        self, challenge_id: int, result: DeliveryResult
+        self, challenge_id: int, _envelope: Envelope, result: DeliveryResult
     ) -> None:
         challenge = self.challenge_manager.get(challenge_id)
         self.challenge_manager.record_delivery(challenge_id, result)
@@ -328,6 +352,12 @@ class CompanyInstallation:
 
     def _digest_run(self) -> None:
         now = self.simulator.now
+        if self.crash_plan is not None and self.crash_plan.digest_skipped(
+            self.config.company_id, now
+        ):
+            # Digest daemon down at firing time: today's digests are
+            # simply missed; pending entries wait for tomorrow's run.
+            return
         day = day_of(now)
         for user in self.gray_spool.users_with_pending():
             local, domain = user.rsplit("@", 1)
@@ -350,7 +380,7 @@ class CompanyInstallation:
             return
         self.simulator.schedule_after(
             max(0.0, decision.act_delay),
-            lambda: self._apply_digest_action(user, decision),
+            partial(self._apply_digest_action, user, decision),
             label=f"digest-action:{self.config.company_id}",
         )
 
@@ -380,6 +410,14 @@ class CompanyInstallation:
 
     def _expiry_run(self) -> None:
         now = self.simulator.now
+        if self.crash_plan is not None and self.crash_plan.expiry_skipped(
+            self.config.company_id, now
+        ):
+            # Gray-spool store down during the nightly sweep: entries past
+            # their deadline stay put until the next sweep (the quarantine
+            # promise is "held at least 30 days", so holding longer is
+            # legal and the ledger still balances).
+            return
         expired = self.gray_spool.expire_due(now)
         for entry in expired:
             self.store.add_expiry(
@@ -431,7 +469,7 @@ class CompanyInstallation:
             size=size,
             client_ip=self.user_mta.ip,
         )
-        self.user_mta.send(envelope, lambda env, result: None)
+        self.user_mta.send(envelope, _discard_delivery)
 
     def manual_whitelist(self, user: str, address: str) -> None:
         """The user imports an address into their whitelist by hand."""

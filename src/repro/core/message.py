@@ -58,6 +58,18 @@ def reset_msg_ids() -> None:
     _next_msg_id = 0
 
 
+def snapshot_msg_ids() -> int:
+    """Current value of the global id counter, for checkpointing."""
+    return _next_msg_id
+
+
+def restore_msg_ids(value: int) -> None:
+    """Restore the counter saved by :func:`snapshot_msg_ids` so a resumed
+    run allocates the same ids an uninterrupted run would have."""
+    global _next_msg_id
+    _next_msg_id = value
+
+
 @dataclass
 class EmailMessage:
     """One inbound email as seen at a company's MTA-IN."""

@@ -108,8 +108,14 @@ class GraySpool:
 
     def __init__(self, ledger: Optional[MessageLedger] = None) -> None:
         self._entries: dict[int, GrayEntry] = {}
-        self._by_user: dict[str, set[int]] = {}
-        self._by_user_sender: dict[tuple[str, str], set[int]] = {}
+        # The id indexes are dict-as-set (msg_id -> None), not set[int]:
+        # their iteration order feeds the digest-review RNG consumption
+        # and the release order, and dict insertion order survives a
+        # pickle round-trip exactly, while a set re-hashes into a fresh
+        # table on unpickle and may iterate differently. Checkpoint/
+        # restore (core/recovery.py) relies on this.
+        self._by_user: dict[str, dict[int, None]] = {}
+        self._by_user_sender: dict[tuple[str, str], dict[int, None]] = {}
         self._ledger = ledger
         self.total_entered = 0
         self.total_released = 0
@@ -134,9 +140,9 @@ class GraySpool:
             status=GrayStatus.PENDING,
         )
         self._entries[message.msg_id] = entry
-        self._by_user.setdefault(user, set()).add(message.msg_id)
+        self._by_user.setdefault(user, {})[message.msg_id] = None
         key = (user, message.env_from)
-        self._by_user_sender.setdefault(key, set()).add(message.msg_id)
+        self._by_user_sender.setdefault(key, {})[message.msg_id] = None
         self.total_entered += 1
         if self._ledger is not None:
             self._ledger.transition(message.msg_id, LifecycleState.QUARANTINED)
@@ -199,13 +205,13 @@ class GraySpool:
         entry.status = status
         user_ids = self._by_user.get(entry.user)
         if user_ids is not None:
-            user_ids.discard(msg_id)
+            user_ids.pop(msg_id, None)
             if not user_ids:
                 del self._by_user[entry.user]
         key = (entry.user, entry.message.env_from)
         sender_ids = self._by_user_sender.get(key)
         if sender_ids is not None:
-            sender_ids.discard(msg_id)
+            sender_ids.pop(msg_id, None)
             if not sender_ids:
                 del self._by_user_sender[key]
         if status is GrayStatus.RELEASED:
@@ -219,6 +225,60 @@ class GraySpool:
         if self._ledger is not None:
             self._ledger.transition(msg_id, _LIFECYCLE_FOR_STATUS[status])
         return entry
+
+    # -- crash recovery ---------------------------------------------------
+
+    def rebuild_indexes(self) -> bool:
+        """Recompute the user/sender indexes from the entry journal.
+
+        Crash-recovery path (journaled durability): ``_entries`` is the
+        durable quarantine store, the two id indexes are volatile derived
+        state that a process crash wipes. Rebuilding walks the journal in
+        insertion order, so the restored indexes iterate identically to
+        the pre-crash ones — recovery is invisible to the digest RNG
+        stream. Returns ``True`` when the rebuilt indexes are equal to
+        the pre-crash ones (the per-crash state-verification verdict).
+        """
+        by_user: dict[str, dict[int, None]] = {}
+        by_user_sender: dict[tuple[str, str], dict[int, None]] = {}
+        for msg_id, entry in self._entries.items():
+            by_user.setdefault(entry.user, {})[msg_id] = None
+            key = (entry.user, entry.message.env_from)
+            by_user_sender.setdefault(key, {})[msg_id] = None
+        matched = (
+            by_user == self._by_user
+            and by_user_sender == self._by_user_sender
+        )
+        self._by_user = by_user
+        self._by_user_sender = by_user_sender
+        return matched
+
+    def lose_uncommitted(self, cutoff: float) -> int:
+        """Crash with *lossy* durability: entries that entered the spool
+        at or after *cutoff* (the last journal sync before the crash)
+        vanish — no terminal status, no ledger transition. This
+        deliberately strands messages so tests can prove the lifecycle
+        conservation oracle catches real loss. Returns how many entries
+        were lost."""
+        lost = [
+            msg_id
+            for msg_id, entry in self._entries.items()
+            if entry.entered_at >= cutoff
+        ]
+        for msg_id in lost:
+            entry = self._entries.pop(msg_id)
+            user_ids = self._by_user.get(entry.user)
+            if user_ids is not None:
+                user_ids.pop(msg_id, None)
+                if not user_ids:
+                    del self._by_user[entry.user]
+            key = (entry.user, entry.message.env_from)
+            sender_ids = self._by_user_sender.get(key)
+            if sender_ids is not None:
+                sender_ids.pop(msg_id, None)
+                if not sender_ids:
+                    del self._by_user_sender[key]
+        return len(lost)
 
     @property
     def pending_count(self) -> int:

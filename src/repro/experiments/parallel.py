@@ -45,6 +45,8 @@ import multiprocessing
 import os
 import pickle
 import tempfile
+import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -55,12 +57,17 @@ from repro.analysis.context import DeploymentInfo
 from repro.analysis.persistence import encoded_records
 from repro.analysis.store import LogStore
 from repro.core.config import CompanyConfig, FilterSettings
+from repro.core.recovery import latest_checkpoint
 from repro.experiments.runner import SimulationResult, run_simulation
 from repro.workload.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.workload.scale import ScaleConfig, get_preset
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".cache/runs"
+
+#: Default root for per-spec checkpoint directories (failed shards of a
+#: sweep resume from here instead of restarting from day 0).
+DEFAULT_CHECKPOINT_ROOT = ".cache/checkpoints"
 
 
 @dataclass(frozen=True)
@@ -84,6 +91,14 @@ class RunSpec:
     #: even though audited output is byte-identical: a cached unaudited
     #: summary must never satisfy a request to actually *audit* the run.
     audit: bool = False
+    #: Crash-injection preset name (``None`` = no component crashes); a
+    #: name for the same reasons as ``faults``.
+    crashes: Optional[str] = None
+    #: Snapshot interval in sim-seconds (``None`` = no checkpointing).
+    #: Part of the cache key even though checkpointed output is
+    #: byte-identical: a request to write snapshots must actually execute
+    #: and write them, not be satisfied from the cache.
+    checkpoint_every: Optional[float] = None
     #: Free-form display name (not part of the cache key).
     label: str = ""
 
@@ -112,6 +127,8 @@ class RunSpec:
                 overrides,
                 self.faults,
                 self.audit,
+                self.crashes,
+                self.checkpoint_every,
             )
         )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -138,6 +155,14 @@ class RunSummary:
     #: SHA-256 over the canonical JSON encoding of every record, in codec
     #: order — two runs with equal digests produced identical logs.
     digest: str = ""
+    #: Traceback text when the spec ultimately failed (after its retry);
+    #: ``None`` for a successful run. A failed summary carries an empty
+    #: store and is never written to the cache.
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 def store_digest(store: LogStore) -> str:
@@ -170,9 +195,33 @@ def summarize_result(result: SimulationResult) -> RunSummary:
     )
 
 
-def _execute_spec(spec: RunSpec) -> RunSummary:
+def _spec_checkpoint_dir(spec: RunSpec, checkpoint_root) -> Optional[str]:
+    """Per-spec snapshot directory (content-addressed, collision-free)."""
+    if spec.checkpoint_every is None:
+        return None
+    root = checkpoint_root or os.environ.get(
+        "REPRO_CHECKPOINT_ROOT", DEFAULT_CHECKPOINT_ROOT
+    )
+    return str(Path(root) / f"spec-{spec.cache_key()[:16]}")
+
+
+def _execute_spec(
+    spec: RunSpec,
+    checkpoint_root: Union[str, Path, None] = None,
+    resume: bool = False,
+) -> RunSummary:
     """Worker entry point: one full simulation, summarised. Module-level
-    so the process pool can pickle it."""
+    so the process pool can pickle it.
+
+    With *resume* set, a checkpointing spec first looks for its newest
+    snapshot under its per-spec directory and continues from there — this
+    is how a retried shard avoids redoing the part that already ran.
+    """
+    directory = _spec_checkpoint_dir(spec, checkpoint_root)
+    if resume and directory is not None:
+        snapshot = latest_checkpoint(directory)
+        if snapshot is not None:
+            return summarize_result(run_simulation(resume_from=snapshot))
     result = run_simulation(
         spec.preset,
         seed=spec.seed,
@@ -181,6 +230,9 @@ def _execute_spec(spec: RunSpec) -> RunSummary:
         config_overrides=spec.config_overrides,
         faults=spec.faults,
         audit=spec.audit,
+        crashes=spec.crashes,
+        checkpoint_every=spec.checkpoint_every,
+        checkpoint_dir=directory,
     )
     return summarize_result(result)
 
@@ -201,16 +253,35 @@ class RunCache:
         return self.root / f"{key}.pkl"
 
     def load(self, key: str) -> Optional[RunSummary]:
+        path = self.path_for(key)
         try:
-            with open(self.path_for(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 summary = pickle.load(handle)
-        except Exception:
+        except FileNotFoundError:
+            return None  # plain miss: nothing was ever cached here
+        except Exception as exc:
             # The unpickler raises a different exception type for nearly
             # every flavour of truncation/garbage (UnpicklingError,
             # EOFError, ValueError, KeyError, ...); any unreadable entry
-            # is simply a miss.
+            # is a miss, but an *existing* unreadable entry means the
+            # cache was corrupted (killed writer, disk trouble) — say so
+            # before silently recomputing.
+            warnings.warn(
+                f"corrupt run-cache entry {path}: "
+                f"{type(exc).__name__}: {exc}; recomputing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
-        return summary if isinstance(summary, RunSummary) else None
+        if not isinstance(summary, RunSummary):
+            warnings.warn(
+                f"run-cache entry {path} holds {type(summary).__name__}, "
+                "not a RunSummary; recomputing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return summary
 
     def save(self, key: str, summary: RunSummary) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -248,16 +319,22 @@ class ParallelRunner:
     """
 
     def __init__(
-        self, jobs: int = 1, cache: Optional[RunCache] = None
+        self,
+        jobs: int = 1,
+        cache: Optional[RunCache] = None,
+        checkpoint_root: Union[str, Path, None] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
+        self.checkpoint_root = checkpoint_root
         #: Specs answered from the on-disk cache, lifetime total.
         self.cache_hits = 0
         #: Specs actually simulated, lifetime total.
         self.runs_executed = 0
+        #: Specs that failed even after their retry, lifetime total.
+        self.failures = 0
 
     def run(self, specs: Sequence[RunSpec]) -> list[RunSummary]:
         """Execute every spec, returning summaries in spec order.
@@ -265,6 +342,14 @@ class ParallelRunner:
         Completion order never matters: parallel results are matched back
         to their originating index, so ``run(specs)[i]`` always belongs to
         ``specs[i]``.
+
+        A spec whose worker raises is retried once, serially, in the
+        calling process — checkpointing specs resume from their newest
+        snapshot rather than restarting at day 0. If the retry also
+        raises, its slot holds a failed :class:`RunSummary` (empty store,
+        ``error`` carrying the traceback); the survivors are merged
+        exactly as if the failed spec had never been requested, and
+        failed summaries are never written to the cache.
         """
         specs = list(specs)
         results: list[Optional[RunSummary]] = [None] * len(specs)
@@ -280,28 +365,66 @@ class ParallelRunner:
             else:
                 pending.append((index, spec))
 
+        failed: list[tuple[int, RunSpec]] = []
+        completed: list[tuple[int, RunSummary]] = []
         if pending:
             if self.jobs == 1 or len(pending) == 1:
-                completed = [
-                    (index, _execute_spec(spec)) for index, spec in pending
-                ]
+                for index, spec in pending:
+                    try:
+                        completed.append(
+                            (index, _execute_spec(spec, self.checkpoint_root))
+                        )
+                    except Exception:
+                        failed.append((index, spec))
             else:
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(
                     max_workers=workers, mp_context=_pool_context()
                 ) as pool:
-                    summaries = pool.map(
-                        _execute_spec, [spec for _, spec in pending]
-                    )
-                    completed = [
-                        (index, summary)
-                        for (index, _), summary in zip(pending, summaries)
+                    futures = [
+                        (
+                            index,
+                            spec,
+                            pool.submit(
+                                _execute_spec, spec, self.checkpoint_root
+                            ),
+                        )
+                        for index, spec in pending
                     ]
-            for index, summary in completed:
-                results[index] = summary
-                self.runs_executed += 1
-                if self.cache:
-                    self.cache.save(specs[index].cache_key(), summary)
+                    for index, spec, future in futures:
+                        try:
+                            completed.append((index, future.result()))
+                        except Exception:
+                            failed.append((index, spec))
+
+        # One retry per failed spec, serially in the parent so the failure
+        # (and any second traceback) is attributable; resume=True lets a
+        # checkpointing spec continue from its last snapshot.
+        for index, spec in failed:
+            try:
+                completed.append(
+                    (index, _execute_spec(spec, self.checkpoint_root, resume=True))
+                )
+            except Exception:
+                self.failures += 1
+                results[index] = RunSummary(
+                    store=LogStore(),
+                    info=DeploymentInfo(
+                        n_companies=0,
+                        n_open_relays=0,
+                        users_per_company={},
+                        horizon_days=0.0,
+                        min_cluster_size=1,
+                    ),
+                    seed=spec.seed,
+                    error=traceback.format_exc(),
+                )
+
+        for index, summary in completed:
+            results[index] = summary
+            self.runs_executed += 1
+            if self.cache:
+                self.cache.save(specs[index].cache_key(), summary)
 
         return results  # type: ignore[return-value]  # every slot is filled
 
@@ -311,7 +434,10 @@ def run_specs(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: Union[str, Path, None] = None,
+    checkpoint_root: Union[str, Path, None] = None,
 ) -> list[RunSummary]:
     """One-shot convenience wrapper around :class:`ParallelRunner`."""
     cache = RunCache(cache_dir) if use_cache else None
-    return ParallelRunner(jobs=jobs, cache=cache).run(specs)
+    return ParallelRunner(
+        jobs=jobs, cache=cache, checkpoint_root=checkpoint_root
+    ).run(specs)

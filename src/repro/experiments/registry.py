@@ -22,6 +22,7 @@ from repro.analysis import (
     general_stats,
     ledger,
     mta_breakdown,
+    recovery,
     reflection,
     spf_study,
     timeseries,
@@ -60,6 +61,9 @@ EXPERIMENTS: Dict[str, Callable[[SimulationResult], str]] = {
     "faults": lambda r: faults.render_result(r),
     # Same shape: the lifecycle verdict lives on result.ledger_stats.
     "audit": lambda r: ledger.render_result(r),
+    # Same shape again: crash counters and checkpoint overhead live on
+    # result.crash_stats / result.checkpoint_stats.
+    "recovery": lambda r: recovery.render_result(r),
 }
 
 
@@ -93,6 +97,7 @@ CANONICAL_ORDER = (
     "sec6",
     "faults",
     "audit",
+    "recovery",
 )
 
 

@@ -22,6 +22,13 @@ from repro.blacklistd.monitor import BlacklistMonitor
 from repro.core.engine import CompanyInstallation
 from repro.core.ledger import LedgerError, LedgerSnapshot
 from repro.core.message import reset_msg_ids
+from repro.core.recovery import (
+    Checkpointer,
+    CheckpointStats,
+    RunState,
+    load_checkpoint,
+)
+from repro.net.crashes import CrashPlan, CrashSettings, get_crash_preset
 from repro.net.faults import FaultPlan, FaultSettings, get_fault_preset
 from repro.sim.engine import Simulator
 from repro.util.rng import RngStreams
@@ -250,6 +257,60 @@ class LedgerStats:
         )
 
 
+@dataclass(frozen=True)
+class CrashStats:
+    """Crash-injection counters plus the recovery verdict.
+
+    ``journal_mismatches`` must stay 0 under the ``journaled`` durability
+    model — a rebuilt index that disagrees with pre-crash state is a
+    recovery bug, not bad weather. ``lost`` is nonzero only under the
+    deliberately broken ``lossy`` model (where the lifecycle ledger is
+    expected to blow up)."""
+
+    enabled: bool
+    crashes: int
+    by_component: tuple
+    inbound_deferred: int
+    inbound_refused: int
+    digests_skipped: int
+    expiries_skipped: int
+    outbound_deferred: int
+    redriven: int
+    lost: int
+    journals_rebuilt: int
+    journal_mismatches: int
+
+    @property
+    def clean_recovery(self) -> bool:
+        """No message lost, every journal rebuilt consistently."""
+        return self.lost == 0 and self.journal_mismatches == 0
+
+    @classmethod
+    def collect(cls, plan: Optional[CrashPlan]) -> "CrashStats":
+        if plan is None:
+            return cls(
+                enabled=False, crashes=0, by_component=(),
+                inbound_deferred=0, inbound_refused=0, digests_skipped=0,
+                expiries_skipped=0, outbound_deferred=0, redriven=0,
+                lost=0, journals_rebuilt=0, journal_mismatches=0,
+            )
+        c = plan.counters
+        return cls(
+            enabled=True,
+            crashes=c.crashes,
+            by_component=tuple(sorted(c.by_component.items())),
+            inbound_deferred=c.inbound_deferred,
+            inbound_refused=c.inbound_refused,
+            digests_skipped=c.digests_skipped,
+            expiries_skipped=c.expiries_skipped,
+            outbound_deferred=c.outbound_deferred,
+            redriven=c.redriven,
+            lost=c.lost,
+            journals_rebuilt=c.journals_rebuilt,
+            journal_mismatches=c.journal_mismatches,
+        )
+
+
 def _unique_mtas(installations: dict[str, CompanyInstallation]) -> list:
     """Each installation's outbound MTAs, deduplicated — non-dual
     installations share one object between user and challenge mail."""
@@ -275,6 +336,8 @@ class SimulationResult:
     cache_stats: SubstrateCacheStats
     fault_stats: Optional[FaultStats] = None
     ledger_stats: Optional[LedgerStats] = None
+    crash_stats: Optional[CrashStats] = None
+    checkpoint_stats: Optional[CheckpointStats] = None
 
 
 def run_simulation(
@@ -286,6 +349,10 @@ def run_simulation(
     config_overrides: Optional[dict] = None,
     faults: Union[str, FaultSettings, None] = None,
     audit: bool = False,
+    crashes: Union[str, CrashSettings, None] = None,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate one deployment at the given scale preset and seed.
 
@@ -308,12 +375,38 @@ def run_simulation(
     ``REPRO_AUDIT=1`` in the environment does the same. The end-of-run
     conservation verdict is checked regardless — a violated partition
     raises :class:`~repro.core.ledger.LedgerError` even with audit off.
+
+    *crashes* enables crash-fault injection inside the product itself: a
+    crash preset name (``"rare"``, ``"flaky"`` — see
+    :data:`~repro.net.crashes.CRASH_PRESETS`), an explicit
+    :class:`~repro.net.crashes.CrashSettings`, or ``None``/``"off"``
+    (default).
+
+    *checkpoint_every* (sim-seconds) arms periodic whole-state snapshots
+    into *checkpoint_dir*; *resume_from* restores such a snapshot and
+    continues the run instead of building a fresh one (every other
+    build-time parameter is then taken from the snapshot). A resumed run
+    produces a byte-identical measurement store to the uninterrupted one.
     """
     started = time.perf_counter()
+    if resume_from is not None:
+        restore_started = time.perf_counter()
+        state = load_checkpoint(resume_from)
+        restore_seconds = time.perf_counter() - restore_started
+        if checkpoint_every is not None and state.checkpointer is None:
+            directory = checkpoint_dir or os.path.dirname(resume_from)
+            checkpointer = Checkpointer(state, directory, checkpoint_every)
+            checkpointer.arm()
+        return _finish_run(
+            state, started,
+            restored_from=resume_from, restore_seconds=restore_seconds,
+        )
+
     audit = audit or os.environ.get("REPRO_AUDIT", "") not in ("", "0")
     scale = get_preset(preset) if isinstance(preset, str) else preset
     calibration = calibration or DEFAULT_CALIBRATION
     fault_settings = get_fault_preset(faults) if isinstance(faults, str) else faults
+    crash_settings = get_crash_preset(crashes) if isinstance(crashes, str) else crashes
     reset_msg_ids()
 
     streams = RngStreams(seed)
@@ -368,10 +461,54 @@ def run_simulation(
     for scenario in scenarios:
         scenario.install(world, simulator, installations, streams)
 
+    crash_plan = None
+    if crash_settings is not None and crash_settings.enabled:
+        crash_plan = CrashPlan(crash_settings, seed=seed, horizon=horizon)
+        crash_plan.arm(simulator, installations, store)
+
+    state = RunState(
+        scale=scale,
+        seed=seed,
+        audit=audit,
+        horizon=horizon,
+        simulator=simulator,
+        store=store,
+        world=world,
+        installations=installations,
+        monitor=monitor,
+        generator=generator,
+        behavior=behavior,
+        fault_plan=fault_plan,
+        crash_plan=crash_plan,
+    )
+    if checkpoint_every is not None:
+        if checkpoint_dir is None:
+            raise ValueError(
+                "checkpoint_every requires checkpoint_dir (where to put "
+                "the snapshots)"
+            )
+        Checkpointer(state, checkpoint_dir, checkpoint_every).arm()
+    return _finish_run(state, started)
+
+
+def _finish_run(
+    state: RunState,
+    started: float,
+    restored_from: Optional[str] = None,
+    restore_seconds: float = 0.0,
+) -> SimulationResult:
+    """Run (or keep running) the clock over the observation window, drain,
+    enforce conservation, and package the result. Shared by fresh and
+    resumed runs so both finish byte-identically."""
+    simulator = state.simulator
+    installations = state.installations
+    world = state.world
+    scale = state.scale
+
     # Run the observation window, then drain in-flight work (challenge
     # retries, scheduled solves, digest actions) — recurring jobs stop at
     # the horizon, so the queue empties on its own.
-    simulator.run(until=horizon)
+    simulator.run(until=state.horizon)
     simulator.run()
     # Safety net for the end-of-horizon leak: force any message still
     # lacking a terminal status to EXPIRED. After the full drain above
@@ -401,18 +538,31 @@ def run_simulation(
         min_cluster_size=scale.min_cluster_size,
         volume_scale=scale.volume_scale,
     )
+    if state.checkpointer is not None:
+        # Join any in-flight background snapshot writer: every snapshot
+        # is complete on disk before the run's results are visible.
+        state.checkpointer.finalize()
+        checkpoint_stats = state.checkpointer.stats(
+            restored_from=restored_from, restore_seconds=restore_seconds
+        )
+    else:
+        checkpoint_stats = CheckpointStats(
+            restored_from=restored_from, restore_seconds=restore_seconds
+        )
     return SimulationResult(
-        store=store,
+        store=state.store,
         world=world,
         simulator=simulator,
         installations=installations,
-        monitor=monitor,
+        monitor=state.monitor,
         info=info,
-        seed=seed,
+        seed=state.seed,
         wall_seconds=time.perf_counter() - started,
         cache_stats=SubstrateCacheStats.collect(world),
-        fault_stats=FaultStats.collect(fault_plan, installations),
+        fault_stats=FaultStats.collect(state.fault_plan, installations),
         ledger_stats=ledger_stats,
+        crash_stats=CrashStats.collect(state.crash_plan),
+        checkpoint_stats=checkpoint_stats,
     )
 
 

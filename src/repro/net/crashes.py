@@ -1,0 +1,390 @@
+"""Deterministic crash-fault injection: component crashes inside the CR
+product itself.
+
+Where :mod:`repro.net.faults` models an unreliable *internet*, this module
+models an unreliable *server room*: the deployed appliance's own processes
+crash and restart. Four components can fail, each with a distinct
+volatile/durable state split:
+
+* **dispatcher** — the CR engine's inbound path. While down, MTA-IN's
+  handoff fails and the *sending* MTA keeps the message queued (a 4xx
+  analog): the message is re-presented at recovery time, or never accepted
+  at all if the retry would land past the horizon. No accepted message is
+  ever lost — it simply is not accepted yet.
+* **gray_spool** — the quarantine database. The entry journal is durable;
+  the per-user and per-(user, sender) indexes are derived state that a
+  crash discards and recovery rebuilds from the journal. Under the
+  ``lossy`` durability model the most recent journal writes are lost too —
+  deliberately violating the product's zero-loss claim so the lifecycle
+  ledger can prove it notices.
+* **digest** — the nightly digest generator. A crash during the digest
+  window simply skips that night's digests (users see yesterday's entries
+  tomorrow); nothing is lost.
+* **mta_out** — the outbound MTA. Its in-flight ledger is a write-ahead
+  journal: recovery re-drives every queued message with its attempt count
+  intact. Under ``lossy`` durability the queue is volatile and a crash
+  strands everything in flight — again, the ledger must notice.
+
+Determinism mirrors :class:`~repro.net.faults.FaultPlan`: every draw is
+derived from ``sha256(seed/kind/key)``, never from shared stream state, so
+the crash schedule is a pure function of ``(seed, settings, company,
+component)`` — independent of traffic order and identical between cached
+and uncached substrate runs, and between checkpointed and resumed runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Optional
+
+from repro.util.rng import poisson
+from repro.util.simtime import DAY, HOUR, MINUTE
+
+#: Length of the "month" used by the per-month crash rates.
+MONTH = 30 * DAY
+
+#: Components that can crash, in stable order.
+COMPONENTS = ("dispatcher", "gray_spool", "digest", "mta_out")
+
+#: Durability models for the crash-volatile state.
+JOURNALED = "journaled"
+LOSSY = "lossy"
+
+
+@dataclass(frozen=True)
+class CrashSettings:
+    """Knobs of one crash-injection configuration (rates per month)."""
+
+    #: Master switch; a disabled settings object never builds a plan.
+    enabled: bool = True
+    #: Expected crashes per component per company per month.
+    crashes_per_component_month: float = 1.0
+    #: How long a crashed component stays down before its supervisor
+    #: restarts it.
+    downtime_range: tuple = (5 * MINUTE, 2 * HOUR)
+    #: Which components participate (subset of :data:`COMPONENTS`).
+    components: tuple = COMPONENTS
+    #: ``"journaled"`` — volatile state is rebuilt from durable journals
+    #: at recovery, losing nothing; ``"lossy"`` — recent writes and
+    #: in-flight queues evaporate (negative-testing mode: the lifecycle
+    #: ledger is expected to catch the loss).
+    durability: str = JOURNALED
+    #: Under ``lossy``: journal writes younger than this at crash time
+    #: are lost.
+    lossy_window: float = 10 * MINUTE
+    #: Re-driven outbound mail and re-presented inbound mail restart over
+    #: this many seconds after recovery (thundering-herd spread).
+    redrive_spread: float = 5 * MINUTE
+
+    def __post_init__(self) -> None:
+        if self.durability not in (JOURNALED, LOSSY):
+            raise ValueError(
+                f"unknown durability {self.durability!r}; "
+                f"expected {JOURNALED!r} or {LOSSY!r}"
+            )
+        unknown = set(self.components) - set(COMPONENTS)
+        if unknown:
+            raise ValueError(
+                f"unknown components {sorted(unknown)}; "
+                f"available: {list(COMPONENTS)}"
+            )
+
+
+#: Named crash configurations, mirroring the fault presets.
+CRASH_PRESETS: dict = {
+    "off": CrashSettings(
+        enabled=False,
+        crashes_per_component_month=0.0,
+        components=(),
+    ),
+    "rare": CrashSettings(
+        crashes_per_component_month=0.4,
+        downtime_range=(5 * MINUTE, 1 * HOUR),
+    ),
+    "flaky": CrashSettings(
+        crashes_per_component_month=3.0,
+        downtime_range=(10 * MINUTE, 4 * HOUR),
+    ),
+}
+
+
+def get_crash_preset(name: str) -> CrashSettings:
+    """Look up a named crash preset (:data:`CRASH_PRESETS`)."""
+    try:
+        return CRASH_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown crash preset {name!r}; available: {sorted(CRASH_PRESETS)}"
+        ) from None
+
+
+def crash_preset_names() -> list:
+    return sorted(CRASH_PRESETS)
+
+
+@dataclass
+class CrashCounters:
+    """What the crash schedule actually did during a run."""
+
+    #: Crash events that fired (component went down inside the horizon).
+    crashes: int = 0
+    #: Per-component crash counts.
+    by_component: dict = field(default_factory=dict)
+    #: Inbound messages re-presented after a dispatcher recovery.
+    inbound_deferred: int = 0
+    #: Inbound messages never accepted because every retry would land
+    #: past the horizon (the sending MTA gave up; no ledger obligation).
+    inbound_refused: int = 0
+    #: Nightly digest sweeps skipped by a digest-component crash.
+    digests_skipped: int = 0
+    #: Nightly quarantine-expiry sweeps skipped by a gray-spool crash.
+    expiries_skipped: int = 0
+    #: Outbound attempts deferred because the MTA was down.
+    outbound_deferred: int = 0
+    #: In-flight outbound messages re-driven from the journal at recovery.
+    redriven: int = 0
+    #: Messages lost by ``lossy`` crashes (gray entries + in-flight mail).
+    lost: int = 0
+    #: Gray-spool index rebuilds performed at recovery.
+    journals_rebuilt: int = 0
+    #: Rebuilds whose recovered indexes disagreed with the pre-crash ones
+    #: (must stay 0 — a nonzero value is a recovery bug).
+    journal_mismatches: int = 0
+
+
+class CrashPlan:
+    """The seeded crash schedule of one simulation run.
+
+    Built by ``run_simulation`` when crashes are enabled, installed on
+    every installation's dispatcher/spool/MTA, and armed on the simulator
+    so the crash *instants* (state-loss + recovery actions) fire as
+    events. All schedule queries are pure hash lookups so the plan
+    pickles cleanly into checkpoints and answers identically after a
+    restore.
+    """
+
+    def __init__(
+        self,
+        settings: CrashSettings,
+        seed: int,
+        horizon: float,
+    ) -> None:
+        self.settings = settings
+        self.seed = int(seed)
+        self.horizon = float(horizon)
+        self.counters = CrashCounters()
+        #: (scope, component) -> merged, sorted [(start, end)] windows.
+        self._windows: dict = {}
+
+    # -- deterministic derivation ---------------------------------------
+
+    def _rng(self, kind: str, key: str = "") -> random.Random:
+        digest = hashlib.sha256(
+            f"{self.seed}/crash/{kind}/{key}".encode("utf-8")
+        ).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def _frac(self, kind: str, key: str) -> float:
+        """Uniform [0, 1) hash of ``(seed, kind, key)``."""
+        digest = hashlib.sha256(
+            f"{self.seed}/crash/{kind}/{key}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def windows_for(self, scope: str, component: str) -> list:
+        """Downtime windows of one component, merged and sorted."""
+        key = (scope, component)
+        windows = self._windows.get(key)
+        if windows is None:
+            windows = self._windows[key] = self._draw_windows(scope, component)
+        return windows
+
+    def _draw_windows(self, scope: str, component: str) -> list:
+        if component not in self.settings.components:
+            return []
+        rng = self._rng("windows", f"{scope}/{component}")
+        rate = self.settings.crashes_per_component_month
+        count = poisson(rng, rate * self.horizon / MONTH)
+        raw = []
+        for _ in range(count):
+            start = rng.uniform(0.0, self.horizon)
+            raw.append((start, start + rng.uniform(*self.settings.downtime_range)))
+        raw.sort()
+        merged: list = []
+        for start, end in raw:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    # -- test/debug overrides -------------------------------------------
+
+    def force_crash(
+        self, scope: str, component: str, start: float, downtime: float
+    ) -> None:
+        """Pin one crash window explicitly (tests, what-ifs). Call before
+        :meth:`arm`."""
+        windows = self.windows_for(scope, component)
+        windows.append((start, start + downtime))
+        windows.sort()
+
+    # -- schedule queries -------------------------------------------------
+
+    def down(self, scope: str, component: str, now: float) -> bool:
+        """True when *component* of *scope* is down at *now*."""
+        for start, end in self.windows_for(scope, component):
+            if start > now:
+                return False  # sorted + merged: nothing later covers now
+            if now < end:
+                return True
+        return False
+
+    def recovery_at(self, scope: str, component: str, now: float) -> float:
+        """End of the downtime window covering *now* (caller checked
+        :meth:`down` first)."""
+        for start, end in self.windows_for(scope, component):
+            if start <= now < end:
+                return end
+        return now
+
+    def inbound_retry_delay(
+        self, scope: str, msg_id: int, now: float
+    ) -> Optional[float]:
+        """Delay until the sending MTA re-presents an inbound message that
+        hit a down dispatcher, or ``None`` when the retry would land past
+        the horizon (the remote queue expires it; the message is never
+        accepted, so the ledger owes nothing for it)."""
+        recovery = self.recovery_at(scope, "dispatcher", now)
+        jitter = self._frac("inbound-retry", f"{scope}/{msg_id}")
+        delay = (recovery - now) + jitter * self.settings.redrive_spread
+        if now + delay >= self.horizon:
+            self.counters.inbound_refused += 1
+            return None
+        self.counters.inbound_deferred += 1
+        return delay
+
+    def digest_skipped(self, scope: str, now: float) -> bool:
+        """True when tonight's digest sweep is lost to a digest crash."""
+        if self.down(scope, "digest", now):
+            self.counters.digests_skipped += 1
+            return True
+        return False
+
+    def expiry_skipped(self, scope: str, now: float) -> bool:
+        """True when tonight's expiry sweep is lost to a spool crash.
+
+        Legal under the product's contract: quarantine holds messages *at
+        least* 30 days, so a skipped sweep only delays expiry to the next
+        night."""
+        if self.down(scope, "gray_spool", now):
+            self.counters.expiries_skipped += 1
+            return True
+        return False
+
+    def outbound_defer(
+        self, scope: str, token: int, now: float
+    ) -> Optional[float]:
+        """Delay until a down outbound MTA can attempt this delivery, or
+        ``None`` when the MTA is up."""
+        if not self.down(scope, "mta_out", now):
+            return None
+        recovery = self.recovery_at(scope, "mta_out", now)
+        jitter = self._frac("outbound-defer", f"{scope}/{token}")
+        self.counters.outbound_deferred += 1
+        return (recovery - now) + jitter * self.settings.redrive_spread
+
+    def redrive_jitter(self, scope: str, token: int) -> float:
+        """Deterministic restart spread for one re-driven outbound token."""
+        return (
+            self._frac("redrive", f"{scope}/{token}")
+            * self.settings.redrive_spread
+        )
+
+    # -- crash instants ---------------------------------------------------
+
+    def arm(self, simulator, installations: dict, store) -> None:
+        """Schedule the crash-instant events (state loss + recovery).
+
+        The *queries* above make downtime visible to traffic; the events
+        armed here perform what happens **at** the crash: drop volatile
+        state per the durability model, rebuild from journals, re-drive
+        outbound queues, and log a :class:`~repro.analysis.records.CrashRecord`.
+        """
+        for company_id in sorted(installations):
+            installation = installations[company_id]
+            installation.crash_plan = self
+            for mta in (installation.user_mta, installation.challenge_mta):
+                mta.crash_plan = self
+                mta.crash_scope = company_id
+            for component in COMPONENTS:
+                for start, end in self.windows_for(company_id, component):
+                    if start >= self.horizon:
+                        continue
+                    simulator.schedule(
+                        start,
+                        partial(
+                            self._crash,
+                            company_id,
+                            component,
+                            end,
+                            installation,
+                            store,
+                        ),
+                        label=f"crash:{company_id}:{component}",
+                    )
+
+    def _crash(
+        self, company_id: str, component: str, recovery: float,
+        installation, store,
+    ) -> None:
+        # Imported here: net.* must not import analysis.* at module level.
+        from repro.analysis.records import CrashRecord
+
+        now = installation.simulator.now
+        lossy = self.settings.durability == LOSSY
+        redriven = 0
+        lost = 0
+        journal_ok = True
+        if component == "gray_spool":
+            spool = installation.gray_spool
+            if lossy:
+                lost = spool.lose_uncommitted(now - self.settings.lossy_window)
+                self.counters.lost += lost
+            journal_ok = spool.rebuild_indexes()
+            self.counters.journals_rebuilt += 1
+            if not journal_ok:
+                self.counters.journal_mismatches += 1
+        elif component == "mta_out":
+            for mta in {
+                id(m): m
+                for m in (installation.user_mta, installation.challenge_mta)
+            }.values():
+                if lossy:
+                    lost += mta.crash_lose()
+                else:
+                    redriven += mta.crash_recover(
+                        recovery, partial(self.redrive_jitter, company_id)
+                    )
+            self.counters.lost += lost
+            self.counters.redriven += redriven
+        # dispatcher / digest: no volatile state beyond what the schedule
+        # queries already defer or skip.
+        self.counters.crashes += 1
+        self.counters.by_component[component] = (
+            self.counters.by_component.get(component, 0) + 1
+        )
+        store.add_crash(
+            CrashRecord(
+                company_id=company_id,
+                t=now,
+                component=component,
+                downtime=recovery - now,
+                redriven=redriven,
+                lost=lost,
+                journal_ok=journal_ok,
+            )
+        )

@@ -16,6 +16,17 @@ class _NoRoute:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "NO_ROUTE"
 
+    def __reduce__(self):
+        # The sentinel is compared by identity (``route is NO_ROUTE``), so
+        # a pickled route cache must unpickle to the module singleton —
+        # not a fresh instance — for checkpoint/restore to route
+        # identically.
+        return (_restore_no_route, ())
+
+
+def _restore_no_route() -> "_NoRoute":
+    return NO_ROUTE
+
 
 #: Routing decision for a recipient domain with no MX/A records.
 NO_ROUTE = _NoRoute()

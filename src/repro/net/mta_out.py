@@ -10,6 +10,7 @@ models that by instantiating two ``OutboundMta`` objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Optional, Sequence
 
 from repro.net.internet import Internet
@@ -108,6 +109,15 @@ class OutboundMta:
         self.drained = 0
         self._in_flight: dict[int, _InFlight] = {}
         self._next_token = 0
+        #: Crash-fault schedule (:class:`repro.net.crashes.CrashPlan`) or
+        #: ``None``; installed by ``CrashPlan.arm``. When set, attempts
+        #: landing inside this MTA's downtime windows are deferred to the
+        #: recovery instant instead of hitting the wire.
+        self.crash_plan = None
+        #: Company id used as the crash-schedule scope key.
+        self.crash_scope = ""
+        #: In-flight messages re-driven from the journal after crashes.
+        self.redriven = 0
 
     @property
     def in_flight(self) -> int:
@@ -136,6 +146,18 @@ class OutboundMta:
         entry = self._in_flight[token]
         entry.retry_event = None
         now = self.simulator.now
+        if self.crash_plan is not None:
+            # The MTA process is down: the queue entry is durable, so the
+            # attempt simply waits for the restart (no retry slot burned,
+            # no attempt counted — nothing reached the wire).
+            delay = self.crash_plan.outbound_defer(self.crash_scope, token, now)
+            if delay is not None:
+                entry.retry_event = self.simulator.schedule_after(
+                    delay,
+                    partial(self._attempt, token),
+                    label=f"crash-redrive:{self.name}",
+                )
+                return
         response = self.internet.submit(entry.envelope, now)
         entry.attempts += 1
         entry.last_code = response.code
@@ -154,7 +176,7 @@ class OutboundMta:
             self.retries_scheduled += 1
             entry.retry_event = self.simulator.schedule_after(
                 delay,
-                lambda: self._attempt(token),
+                partial(self._attempt, token),
                 label=f"retry:{self.name}",
             )
             return
@@ -198,6 +220,48 @@ class OutboundMta:
             count += 1
             self._finalize(token, FinalStatus.EXPIRED, None, self.simulator.now)
         return count
+
+    def crash_recover(self, recovery_at: float, jitter: Callable[[int], float]) -> int:
+        """Journal replay after a process crash (journaled durability).
+
+        The in-flight ledger *is* this MTA's write-ahead journal: every
+        queued message, its attempt count, and its last response code are
+        durable. A crash loses only the scheduled retry timers, so
+        recovery cancels whatever timers still exist and re-drives every
+        in-flight message shortly after the restart at *recovery_at*
+        (*jitter* spreads the replay burst deterministically per token).
+        Attempt counts are preserved — a replay is not a fresh send.
+        Returns how many messages were re-driven.
+        """
+        count = 0
+        for token in sorted(self._in_flight):
+            entry = self._in_flight[token]
+            if entry.retry_event is not None:
+                entry.retry_event.cancel()
+                entry.retry_event = None
+            entry.retry_event = self.simulator.schedule(
+                recovery_at + jitter(token),
+                partial(self._attempt, token),
+                label=f"crash-redrive:{self.name}",
+            )
+            count += 1
+        self.redriven += count
+        return count
+
+    def crash_lose(self) -> int:
+        """Crash with *lossy* durability: the queue was volatile, so every
+        in-flight message vanishes without ever reaching a terminal
+        status. This deliberately breaks the delivery-conservation
+        contract — it exists so tests can prove the conservation oracle
+        actually detects lost mail. Returns how many messages were lost.
+        """
+        lost = len(self._in_flight)
+        for entry in self._in_flight.values():
+            if entry.retry_event is not None:
+                entry.retry_event.cancel()
+                entry.retry_event = None
+        self._in_flight.clear()
+        return lost
 
     def observed_response(self, response: SmtpResponse) -> None:  # pragma: no cover
         """Hook kept for symmetry with real MTAs' logging; unused."""

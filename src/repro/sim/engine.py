@@ -16,6 +16,37 @@ class SimulationError(RuntimeError):
     """Raised on invalid scheduling (e.g. scheduling into the past)."""
 
 
+class _Recurrence:
+    """A self-re-arming recurring event.
+
+    A class rather than a closure so that a scheduled recurrence — like
+    everything else sitting in the event queue — survives the pickling
+    pass of a simulation checkpoint (:mod:`repro.core.recovery`).
+    """
+
+    __slots__ = ("simulator", "interval", "action", "until", "label")
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        interval: float,
+        action: Callable[[], None],
+        until: Optional[float],
+        label: str,
+    ) -> None:
+        self.simulator = simulator
+        self.interval = interval
+        self.action = action
+        self.until = until
+        self.label = label
+
+    def __call__(self) -> None:
+        self.action()
+        next_time = self.simulator.now + self.interval
+        if self.until is None or next_time < self.until:
+            self.simulator.schedule(next_time, self, self.label)
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -105,13 +136,7 @@ class Simulator:
                 f"schedule_every cannot begin in the past"
             )
         first = self.now + interval if start is None else start
-
-        def fire() -> None:
-            action()
-            next_time = self.now + interval
-            if until is None or next_time < until:
-                self.schedule(next_time, fire, label)
-
+        fire = _Recurrence(self, interval, action, until, label)
         if until is None or first < until:
             self.schedule(first, fire, label)
 

@@ -19,6 +19,7 @@ Both are implemented here as pluggable scenarios for
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Mapping
 
 from repro.core.engine import CompanyInstallation
@@ -60,8 +61,9 @@ class AttackScenario:
         for day in range(self.start_day, self.start_day + self.duration_days):
             simulator.schedule(
                 day * DAY,
-                lambda d=day: self._plan_day(
-                    world, simulator, installation, company, rng, d
+                partial(
+                    self._plan_day,
+                    world, simulator, installation, company, rng, day,
                 ),
                 label=f"{self.campaign_id}:{self.company_id}",
             )
@@ -72,9 +74,7 @@ class AttackScenario:
         for _ in range(poisson(rng, self.messages_per_day)):
             t = day * DAY + rng.uniform(0, DAY)
             message = self._forge(world, company, rng, t)
-            simulator.schedule(
-                t, lambda m=message: installation.handle_inbound(m)
-            )
+            simulator.schedule(t, partial(installation.handle_inbound, message))
 
     def _forge(self, world, company, rng, t):  # pragma: no cover - abstract
         raise NotImplementedError

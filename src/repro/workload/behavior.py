@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 import random
+from functools import partial
 from typing import TYPE_CHECKING
 
 from repro.core.challenge import Challenge
@@ -125,17 +126,17 @@ class BehaviorModel:
         challenge_id = challenge.challenge_id
         open_at = simulator.now + delay
         simulator.schedule(
-            open_at, lambda: installation.record_web_open(challenge_id)
+            open_at, partial(installation.record_web_open, challenge_id)
         )
         # Failed tries ~30 s apart, then the successful submission.
         for i in range(attempts - 1):
             simulator.schedule(
                 open_at + 30.0 * (i + 1),
-                lambda: installation.record_web_attempt(challenge_id, False),
+                partial(installation.record_web_attempt, challenge_id, False),
             )
         simulator.schedule(
             open_at + 30.0 * attempts,
-            lambda: installation.solve_challenge(challenge_id),
+            partial(installation.solve_challenge, challenge_id),
         )
 
     def _schedule_open_only(
@@ -148,7 +149,7 @@ class BehaviorModel:
         challenge_id = challenge.challenge_id
         simulator.schedule(
             simulator.now + delay,
-            lambda: installation.record_web_open(challenge_id),
+            partial(installation.record_web_open, challenge_id),
         )
 
     def _sample_attempts(self) -> int:

@@ -366,6 +366,20 @@ def _build_services(scale: ScaleConfig) -> dict[str, DnsblService]:
     return services
 
 
+class TrapReporter:
+    """Delivered-hook of a spam-trap host: report the sending IP to the
+    trap's DNSBL operator. A callable class (not a closure) so trap hosts
+    stay picklable for simulation checkpoints."""
+
+    __slots__ = ("service",)
+
+    def __init__(self, service: DnsblService) -> None:
+        self.service = service
+
+    def __call__(self, envelope, now: float) -> None:
+        self.service.record_trap_hit(envelope.client_ip, now)
+
+
 def _build_traps(
     scale: ScaleConfig,
     calibration: Calibration,
@@ -396,11 +410,7 @@ def _build_traps(
                 domain,
                 ip,
                 catch_all=True,
-                on_delivered=(
-                    lambda env, now, svc=service: svc.record_trap_hit(
-                        env.client_ip, now
-                    )
-                ),
+                on_delivered=TrapReporter(service),
             )
             internet.register_host(host)
             domains.append(domain)

@@ -7,6 +7,7 @@ while aggregates over *other* tables stay cached (precise invalidation).
 
 import pytest
 
+from repro.analysis.records import CrashRecord
 from repro.analysis.store import TABLES, LogStore
 from repro.blacklistd.monitor import ProbeObservation
 from repro.core.challenge import WebAction
@@ -21,6 +22,16 @@ def _probe(store, ip="198.51.100.9", t=0.0):
 
 def _outbound(store):
     rf.outbound(store)
+
+
+def _crash(store):
+    store.add_crash(
+        CrashRecord("c00", 0.0, "dispatcher", 60.0, 0, 0, True)
+    )
+
+
+#: Tables without an aggregate: appended directly, version must still move.
+_NO_AGGREGATE_PROBES = {"outbound": _outbound, "crashes": _crash}
 
 
 #: table -> (append one record, read an integer that must count appends).
@@ -58,9 +69,10 @@ TABLE_PROBES = {
     ),
 }
 
-#: outbound has no aggregate yet; its version must still advance so any
-#: future aggregate over it inherits the invalidation guarantee for free.
-assert set(TABLE_PROBES) | {"outbound"} == set(TABLES)
+#: outbound and crashes have no aggregate yet; their versions must still
+#: advance so any future aggregate over them inherits the invalidation
+#: guarantee for free.
+assert set(TABLE_PROBES) | {"outbound", "crashes"} == set(TABLES)
 
 
 @pytest.mark.parametrize("table", sorted(TABLE_PROBES))
@@ -82,7 +94,11 @@ def test_append_after_read_invalidates(table):
 @pytest.mark.parametrize("table", sorted(TABLES))
 def test_every_append_helper_bumps_version(table):
     store = LogStore()
-    appender = TABLE_PROBES[table][0] if table in TABLE_PROBES else _outbound
+    appender = (
+        TABLE_PROBES[table][0]
+        if table in TABLE_PROBES
+        else _NO_AGGREGATE_PROBES[table]
+    )
     v0 = store.table_version(table)
     appender(store)
     assert store.table_version(table) == v0 + 1

@@ -6,6 +6,7 @@ same spec order — so `jobs=N` is always a pure wall-time optimisation.
 """
 
 import pickle
+import warnings
 
 import pytest
 
@@ -126,12 +127,73 @@ class TestCache:
         key = SPECS[0].cache_key()
         cache.root.mkdir(parents=True)
         cache.path_for(key).write_bytes(junk)
-        assert cache.load(key) is None
+        # Corrupt ≠ absent: the miss must announce itself so an operator
+        # learns the cache was damaged rather than silently rebuilt.
+        with pytest.warns(RuntimeWarning, match="recomputing"):
+            assert cache.load(key) is None
+
+    def test_missing_cache_entry_is_a_silent_miss(self, tmp_path):
+        cache = RunCache(tmp_path / "runs")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.load(SPECS[0].cache_key()) is None
+
+    def test_corrupt_entry_is_recomputed_by_the_runner(self, tmp_path):
+        cache = RunCache(tmp_path / "runs")
+        spec = RunSpec("tiny", seed=3)
+        cache.root.mkdir(parents=True)
+        cache.path_for(spec.cache_key()).write_bytes(b"\x80garbage")
+        runner = ParallelRunner(jobs=1, cache=cache)
+        with pytest.warns(RuntimeWarning, match="corrupt run-cache entry"):
+            summaries = runner.run([spec])
+        assert not summaries[0].failed
+        assert (runner.cache_hits, runner.runs_executed) == (0, 1)
+        # The recomputed summary replaced the garbage entry.
+        fresh = ParallelRunner(jobs=1, cache=cache)
+        assert fresh.run([spec])[0].digest == summaries[0].digest
+        assert fresh.cache_hits == 1
 
     def test_run_specs_respects_use_cache_flag(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "runs"))
         run_specs([RunSpec("tiny", seed=3)], jobs=1, use_cache=False)
         assert not (tmp_path / "runs").exists()
+
+
+#: A spec whose worker always raises (unknown crash preset) — exercises
+#: the retry + failure-summary path without monkeypatching workers.
+BAD_SPEC = RunSpec("tiny", seed=3, crashes="no-such-preset")
+
+
+class TestFailureCapture:
+    def test_failed_spec_becomes_failure_summary(self, tmp_path):
+        runner = ParallelRunner(jobs=1, cache=None, checkpoint_root=tmp_path)
+        good, bad = runner.run([RunSpec("tiny", seed=3), BAD_SPEC])
+        assert not good.failed and good.digest
+        assert bad.failed
+        assert "no-such-preset" in bad.error
+        assert "Traceback" in bad.error
+        assert bad.seed == BAD_SPEC.seed
+        assert len(bad.store.mta) == 0
+        assert runner.failures == 1
+        # Survivors merged deterministically: the good spec's digest is
+        # exactly what a clean batch produces.
+        clean = ParallelRunner(jobs=1, cache=None)
+        assert clean.run([RunSpec("tiny", seed=3)])[0].digest == good.digest
+
+    def test_failed_spec_in_pool_is_captured(self, tmp_path):
+        runner = ParallelRunner(jobs=2, cache=None, checkpoint_root=tmp_path)
+        good, bad = runner.run([RunSpec("tiny", seed=3), BAD_SPEC])
+        assert not good.failed
+        assert bad.failed and "no-such-preset" in bad.error
+
+    def test_failed_summary_is_never_cached(self, tmp_path):
+        cache = RunCache(tmp_path / "runs")
+        runner = ParallelRunner(
+            jobs=1, cache=cache, checkpoint_root=tmp_path / "ckpt"
+        )
+        (bad,) = runner.run([BAD_SPEC])
+        assert bad.failed
+        assert not cache.path_for(BAD_SPEC.cache_key()).exists()
 
 
 class TestSpecKeys:
