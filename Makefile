@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments reports stability sweep goldens clean
+.PHONY: install test bench bench-check bench-update experiments reports \
+	stability sweep goldens clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +13,17 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# CI regression gate: re-measure HEAD vs the newest committed entry's
+# recorded baseline commit and fail on a >20% ratio regression.
+bench-check:
+	$(PYTHON) scripts/update_bench.py --check
+
+# Refresh the committed bench trajectory for a PR, e.g.:
+#   make bench-update PR=7 BASELINE=<commit> BASELINE_PR=6
+bench-update:
+	$(PYTHON) scripts/update_bench.py --pr $(PR) \
+		--baseline-commit $(BASELINE) --baseline-pr $(BASELINE_PR)
 
 experiments:
 	$(PYTHON) scripts/generate_experiments_md.py

@@ -1,0 +1,102 @@
+"""Live hot-path bench: the pinned-preset run behind the trajectory files.
+
+Two layers keep the committed performance trajectory honest:
+
+* ``tests/test_bench_trajectory.py`` (tier-1, fast) validates the
+  *committed* ``BENCH_PR*.json`` files — schema, pinned workload, and the
+  PR-over-PR throughput floors.
+* this module *measures*: it replays the exact pinned workload the
+  trajectory files record (``small`` preset, seed 11) on the current tree.
+
+By default the measurement is informational (numbers vary by host). Set
+``REPRO_BENCH_ENFORCE=1`` to turn on the regression gate: the live run
+must reach at least ``1 - tolerance`` of the newest committed entry's
+msgs/sec. That mode only makes sense on hardware comparable to what wrote
+the committed entry — CI uses ``scripts/update_bench.py --check`` instead,
+which re-measures the committed *ratio* against the recorded baseline
+commit and is therefore host-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+
+import pytest
+
+from repro.experiments import run_simulation
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Fraction of the committed msgs/sec the live run must reach under
+#: ``REPRO_BENCH_ENFORCE=1``.
+TOLERANCE = 0.20
+
+
+def _newest_committed() -> tuple:
+    entries = []
+    for path in REPO_ROOT.glob("BENCH_PR*.json"):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if match:
+            entries.append((int(match.group(1)), json.loads(path.read_text())))
+    if not entries:
+        pytest.fail(
+            "no committed BENCH_PR*.json — the bench trajectory is part of "
+            "the repo; run scripts/update_bench.py to regenerate it"
+        )
+    return max(entries)
+
+
+def test_hot_path_throughput_vs_committed(benchmark):
+    """Replay the pinned trajectory workload; optionally enforce it."""
+    pr, committed = _newest_committed()
+    preset, seed = committed["preset"], committed["seed"]
+
+    result = benchmark.pedantic(
+        lambda: run_simulation(preset, seed=seed), rounds=1, iterations=1
+    )
+
+    messages = len(result.store.mta)
+    # The workload is pinned: a different message count means the bench is
+    # no longer measuring what the committed entry measured.
+    assert messages == committed["messages"], (
+        f"live run produced {messages} messages but {pr}'s committed entry "
+        f"recorded {committed['messages']} — the pinned workload drifted"
+    )
+    assert result.simulator.events_processed == committed["events"]
+
+    live = messages / result.wall_seconds
+    floor = committed["msgs_per_sec"] * (1.0 - TOLERANCE)
+    print(
+        f"\nhot path: {live:,.0f} msgs/sec live vs {committed['msgs_per_sec']:,.0f} "
+        f"committed (PR {pr}); enforce floor {floor:,.0f}"
+    )
+    if os.environ.get("REPRO_BENCH_ENFORCE") == "1":
+        assert live >= floor, (
+            f"live throughput {live:,.0f} msgs/sec regressed more than "
+            f"{TOLERANCE:.0%} below PR {pr}'s committed "
+            f"{committed['msgs_per_sec']:,.0f}"
+        )
+
+
+def test_batched_vs_unbatched_delivery(benchmark):
+    """Informational A/B: the batch data plane vs per-message scheduling.
+
+    Uses the tiny preset so both arms fit in one bench run; the store
+    digests must match exactly (the batched plane is a pure optimisation).
+    """
+    from repro.experiments.parallel import store_digest
+
+    def both():
+        batched = run_simulation("tiny", seed=7, batch_delivery=True)
+        unbatched = run_simulation("tiny", seed=7, batch_delivery=False)
+        return batched, unbatched
+
+    batched, unbatched = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert store_digest(batched.store) == store_digest(unbatched.store)
+    print(
+        f"\nbatched {batched.wall_seconds:.3f}s vs "
+        f"unbatched {unbatched.wall_seconds:.3f}s (tiny preset)"
+    )

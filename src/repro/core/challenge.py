@@ -92,7 +92,13 @@ class ChallengeManager:
         in which case no new challenge email must be sent. With *dedup*
         off, every message gets its own challenge email.
         """
-        key = (user.lower(), sender.lower())
+        # Inputs are canonical lowercase on the engine path; the guards
+        # skip four str copies per issued challenge.
+        if not user.islower():
+            user = user.lower()
+        if not sender.islower():
+            sender = sender.lower()
+        key = (user, sender)
         existing_id = self._pending.get(key) if dedup else None
         if existing_id is not None:
             challenge = self._challenges[existing_id]
@@ -102,8 +108,8 @@ class ChallengeManager:
         challenge = Challenge(
             challenge_id=self._next_id,
             company_id=self.company_id,
-            user=user.lower(),
-            sender=sender.lower(),
+            user=user,
+            sender=sender,
             created_at=now,
             size=size,
             origin=message,

@@ -52,6 +52,19 @@ def _allocate_msg_id() -> int:
     return _next_msg_id
 
 
+def allocate_msg_id_block(n: int) -> int:
+    """Reserve *n* consecutive message ids; return the first.
+
+    Equivalent to *n* sequential :func:`_allocate_msg_id` calls — row ``i``
+    of a batch gets ``first + i`` — so bulk construction allocates exactly
+    the ids per-message construction would have.
+    """
+    global _next_msg_id
+    first = _next_msg_id + 1
+    _next_msg_id += n
+    return first
+
+
 def reset_msg_ids() -> None:
     """Reset the global message-id counter (between independent runs)."""
     global _next_msg_id
@@ -70,23 +83,14 @@ def restore_msg_ids(value: int) -> None:
     _next_msg_id = value
 
 
-@dataclass
+@dataclass(slots=True)
 class EmailMessage:
-    """One inbound email as seen at a company's MTA-IN."""
+    """One inbound email as seen at a company's MTA-IN.
 
-    __slots__ = (
-        "msg_id",
-        "t",
-        "env_from",
-        "env_to",
-        "subject",
-        "size",
-        "client_ip",
-        "kind",
-        "sender_class",
-        "campaign_id",
-        "has_virus",
-    )
+    ``slots=True`` (rather than a hand-written ``__slots__``) so the
+    trailing default field works: a manually slotted dataclass cannot
+    carry defaults because the class attribute collides with the slot.
+    """
 
     msg_id: int
     t: float
@@ -99,6 +103,12 @@ class EmailMessage:
     sender_class: SenderClass
     campaign_id: Optional[str]
     has_virus: bool
+    #: Precomputed ``(pre_dns_reason, sender_domain, post_dns_reason)``
+    #: from :meth:`repro.core.mta_in.MtaIn.precheck_batch`, or ``None``
+    #: when the message was built outside the batch path. Carries only the
+    #: DNS-independent part of the MTA verdict — resolution stays a
+    #: delivery-time check because fault plans make it time-dependent.
+    mta_hint: Optional[tuple] = None
 
 
 def normalize_ingress(message: EmailMessage) -> EmailMessage:
@@ -114,8 +124,16 @@ def normalize_ingress(message: EmailMessage) -> EmailMessage:
     calls disagreed: a mixed-case recipient was wrongly dropped as
     UNKNOWN_RECIPIENT because MTA-IN compared the raw local-part.
     """
-    message.env_from = message.env_from.lower()
-    message.env_to = message.env_to.lower()
+    # islower() is an allocation-free C scan; generator-built traffic is
+    # already canonical, so the common case skips both str copies. (An
+    # uncased string — digits-only local, say — fails islower() and takes
+    # the lower() path, which is then the identity.)
+    env_from = message.env_from
+    if env_from and not env_from.islower():
+        message.env_from = env_from.lower()
+    env_to = message.env_to
+    if not env_to.islower():
+        message.env_to = env_to.lower()
     return message
 
 
@@ -147,3 +165,55 @@ def make_message(
         campaign_id=campaign_id,
         has_virus=has_virus,
     )
+
+
+class MessageBatch:
+    """Struct-of-arrays staging area for bulk-generated mail.
+
+    The trace generator appends one row per message in **generation
+    order** — the order that fixes message-id allocation and FIFO
+    tie-breaks, so a batch-built day is indistinguishable from the old
+    one-``make_message``-per-arrival day. Rows are staged as plain tuples
+    (the cheapest per-message operation Python offers) and transposed
+    into columns once, at :meth:`finalize`, where the sort and the
+    permutations all run through C-level primitives.
+
+    A row is ``(t, env_from, env_to, subject, size, client_ip, kind,
+    sender_class, campaign_id, has_virus)`` — exactly
+    :class:`EmailMessage`'s field order after ``msg_id``, so
+    materialization is a single splat per message. ``handlers`` is the
+    parallel per-row delivery callable.
+    """
+
+    __slots__ = ("rows", "handlers")
+
+    def __init__(self) -> None:
+        self.rows: list = []
+        self.handlers: list = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def finalize(self) -> tuple:
+        """Allocate ids, sort by arrival time, materialize the messages.
+
+        Returns ``(times, handlers, messages)`` — parallel columns sorted
+        by time (stable, so same-time rows keep generation order), ready
+        for :meth:`repro.sim.engine.Simulator.schedule_batch`. Ids are
+        assigned by generation position *before* the sort, reproducing
+        per-message allocation exactly.
+        """
+        rows = self.rows
+        n = len(rows)
+        if n == 0:
+            return [], [], []
+        first = allocate_msg_id_block(n)
+        ts = [row[0] for row in rows]
+        order = sorted(range(n), key=ts.__getitem__)
+        handlers = self.handlers
+        messages = [EmailMessage(first + i, *rows[i]) for i in order]
+        return (
+            [ts[i] for i in order],
+            [handlers[i] for i in order],
+            messages,
+        )

@@ -91,14 +91,24 @@ class UserLists:
         self.blacklist.add(address)
         self.whitelist.pop(address, None)
 
+    # islower() guards below skip the str copy for the (ubiquitous)
+    # already-canonical addresses the engine's ingress normalization feeds
+    # these per-message lookups.
+
     def in_whitelist(self, address: str) -> bool:
-        return address.lower() in self.whitelist
+        if not address.islower():
+            address = address.lower()
+        return address in self.whitelist
 
     def in_blacklist(self, address: str) -> bool:
-        return address.lower() in self.blacklist
+        if not address.islower():
+            address = address.lower()
+        return address in self.blacklist
 
     def entry_for(self, address: str) -> Optional[WhitelistEntry]:
-        return self.whitelist.get(address.lower())
+        if not address.islower():
+            address = address.lower()
+        return self.whitelist.get(address)
 
     def changes_between(self, t0: float, t1: float) -> list[WhitelistChange]:
         """Changes with ``t0 <= t < t1`` (the churn-analysis window)."""
@@ -113,7 +123,9 @@ class WhitelistDirectory:
 
     def lists_for(self, user_address: str) -> UserLists:
         """Get (creating on first touch) the lists of *user_address*."""
-        key = user_address.lower()
+        key = (
+            user_address if user_address.islower() else user_address.lower()
+        )
         lists = self._lists.get(key)
         if lists is None:
             lists = UserLists()

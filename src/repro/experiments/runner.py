@@ -353,6 +353,7 @@ def run_simulation(
     checkpoint_every: Optional[float] = None,
     checkpoint_dir: Optional[str] = None,
     resume_from: Optional[str] = None,
+    batch_delivery: bool = True,
 ) -> SimulationResult:
     """Simulate one deployment at the given scale preset and seed.
 
@@ -387,6 +388,11 @@ def run_simulation(
     continues the run instead of building a fresh one (every other
     build-time parameter is then taken from the snapshot). A resumed run
     produces a byte-identical measurement store to the uninterrupted one.
+
+    *batch_delivery=False* schedules each generated message as its own
+    heap entry instead of one EventBatch per day — same draws, same
+    sort, same ids, so the measurement store must be bit-identical; the
+    engine-batching property tests pin exactly that.
     """
     started = time.perf_counter()
     if resume_from is not None:
@@ -456,7 +462,10 @@ def run_simulation(
     )
     monitor.start(until=horizon)
 
-    generator = TraceGenerator(world, simulator, installations, streams)
+    generator = TraceGenerator(
+        world, simulator, installations, streams,
+        batch_delivery=batch_delivery,
+    )
     generator.start(scale.n_days)
     for scenario in scenarios:
         scenario.install(world, simulator, installations, streams)

@@ -20,6 +20,16 @@ _LOCAL_RE = re.compile(rf"^[{_ATEXT}]+(?:\.[{_ATEXT}]+)*$")
 _LABEL_RE = re.compile(r"^[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?$")
 _TLD_RE = re.compile(r"^[A-Za-z]{2,}$")
 
+#: One-shot acceptance regex: local dot-atom, one ``@``, LDH labels, alpha
+#: TLD — the whole grammar in a single C-level match. Length limits
+#: (whole address, local part, domain, final label) are checked separately
+#: with integer arithmetic; together the fast path accepts exactly the
+#: language :func:`parse_address` accepts (pinned by a fuzz test).
+_FULL_RE = re.compile(
+    rf"^[{_ATEXT}]+(?:\.[{_ATEXT}]+)*"
+    r"@(?:[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?\.)+[A-Za-z]{2,}$"
+)
+
 MAX_LOCAL_LENGTH = 64
 MAX_DOMAIN_LENGTH = 253
 MAX_ADDRESS_LENGTH = 254
@@ -79,13 +89,66 @@ def parse_address(raw: str) -> Address:
     return Address(local=local, domain=domain)
 
 
+#: Memoised well-formedness verdicts. Envelope addresses repeat heavily
+#: (user mailboxes, pooled campaign senders, contact books), so the regex
+#: grammar runs once per distinct string; the cap bounds memory against
+#: workloads that synthesise unbounded unique addresses (dictionary
+#: attacks are exactly that).
+_WELL_FORMED_CACHE: dict = {}
+#: Memoised ``local, domain(lowercased)`` splits of well-formed addresses.
+_SPLIT_CACHE: dict = {}
+_CACHE_CAP = 200_000
+
+
 def is_well_formed(raw: str) -> bool:
-    """True when :func:`parse_address` would accept *raw*."""
+    """True when :func:`parse_address` would accept *raw*. Memoised.
+
+    Accepting inputs take the single-regex fast path; anything it rejects
+    falls back to :func:`parse_address` so the verdict (and any future
+    divergence) is always the parser's.
+    """
+    cached = _WELL_FORMED_CACHE.get(raw)
+    if cached is not None:
+        return cached
     try:
-        parse_address(raw)
+        if (
+            len(raw) <= MAX_ADDRESS_LENGTH
+            and _FULL_RE.match(raw)
+            and (at := raw.rindex("@")) <= MAX_LOCAL_LENGTH
+            and len(raw) - at - 1 <= MAX_DOMAIN_LENGTH
+            and len(raw) - raw.rindex(".") - 1 <= 63
+        ):
+            verdict = True
+        else:
+            parse_address(raw)
+            verdict = True
     except AddressError:
+        verdict = False
+    except TypeError:
+        # Unhashable / non-string oddities: fall through uncached.
         return False
-    return True
+    if len(_WELL_FORMED_CACHE) >= _CACHE_CAP:
+        _WELL_FORMED_CACHE.clear()
+    _WELL_FORMED_CACHE[raw] = verdict
+    return verdict
+
+
+def split_address(raw: str) -> tuple[str, str]:
+    """``(local, domain)`` of *raw* with the domain lowercased. Memoised.
+
+    A plain textual split (no grammar validation) — the hot MTA path
+    validates separately via :func:`is_well_formed` and then only needs
+    the canonical domain. *raw* must contain an ``@``.
+    """
+    cached = _SPLIT_CACHE.get(raw)
+    if cached is not None:
+        return cached
+    local, _, domain = raw.rpartition("@")
+    parts = (local, domain.lower())
+    if len(_SPLIT_CACHE) >= _CACHE_CAP:
+        _SPLIT_CACHE.clear()
+    _SPLIT_CACHE[raw] = parts
+    return parts
 
 
 def domain_of(raw: str) -> str:

@@ -117,10 +117,16 @@ class Resolver:
         #: or ``None``; installed by ``World.install_fault_plan``.
         self.fault_plan = None
         self._cache: dict[tuple[str, str], tuple[str, ...]] = {}
+        #: domain -> bool memo for :meth:`resolves` — the single hottest
+        #: DNS question (asked once per inbound message). Invalidated by
+        #: the same registry notifications as the answer cache.
+        self._resolves_cache: dict[str, bool] = {}
         registry.subscribe(self._invalidate)
 
     def _invalidate(self, key: tuple[str, str]) -> None:
         self._cache.pop(key, None)
+        if key[1] == "A" or key[1] == "MX":
+            self._resolves_cache.pop(key[0], None)
 
     def _lookup(self, name: str, rtype: str) -> tuple[str, ...]:
         """Memoised registry lookup (the cached tuple IS the answer)."""
@@ -159,10 +165,20 @@ class Resolver:
         """
         self.queries += 1
         self.check_available(domain)
-        return bool(
-            self._lookup(domain, DnsRegistry.A)
-            or self._lookup(domain, DnsRegistry.MX)
-        )
+        if not Resolver.CACHE_ENABLED:
+            return bool(
+                self._lookup(domain, DnsRegistry.A)
+                or self._lookup(domain, DnsRegistry.MX)
+            )
+        key = domain.lower()
+        answer = self._resolves_cache.get(key)
+        if answer is None:
+            answer = bool(
+                self._lookup(domain, DnsRegistry.A)
+                or self._lookup(domain, DnsRegistry.MX)
+            )
+            self._resolves_cache[key] = answer
+        return answer
 
     def mx_host(self, domain: str) -> Optional[str]:
         """Best MX target hostname for *domain*, or ``None``."""

@@ -2,14 +2,25 @@
 
 Kept intentionally minimal — the email-system models carry the semantics;
 the engine only guarantees deterministic time ordering.
+
+Two performance properties matter at message scale (§"Batched data plane"
+in DESIGN.md):
+
+* heap entries are ``(time, seq, entry)`` tuples, so every sift compare
+  runs at C speed instead of calling a Python ``__lt__``;
+* bulk traffic is scheduled as :class:`~repro.sim.events.EventBatch`
+  runs — one heap entry per planned day instead of one per message —
+  and the run loop interleaves batch items against individually queued
+  events by comparing ``(time, seq)`` keys, which reproduces exactly the
+  order per-item scheduling would have produced.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
-from repro.sim.events import Event
+from repro.sim.events import Event, EventBatch
 
 
 class SimulationError(RuntimeError):
@@ -61,9 +72,14 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.now = float(start_time)
-        self._queue: list[Event] = []
+        #: Min-heap of ``(time, seq, Event | EventBatch)`` tuples.
+        self._queue: list = []
         self._seq = 0
         self._cancelled = 0  # cancelled events still sitting in the queue
+        #: Unprocessed items across all queued batches, minus the number of
+        #: batch heap entries — the O(1) correction that makes ``pending``
+        #: count batch items individually.
+        self._batch_extra = 0
         self.events_processed = 0
         self.compactions = 0
 
@@ -75,12 +91,53 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {at} before current time {self.now}"
             )
-        event = Event(
-            time=float(at), seq=self._seq, action=action, label=label, owner=self
-        )
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(float(at), seq, action, label, owner=self)
+        heapq.heappush(self._queue, (event.time, seq, event))
         return event
+
+    def schedule_batch(
+        self,
+        times: Sequence[float],
+        actions: Sequence[Callable],
+        args: Sequence,
+        label: str = "",
+    ) -> Optional[EventBatch]:
+        """Schedule a pre-sorted run of ``action(arg)`` calls as ONE entry.
+
+        *times* must be nondecreasing and must not start in the past;
+        *actions*/*args* are parallel columns.  Each item receives its own
+        ``seq`` (allocated contiguously, in column order), so the global
+        firing order is identical to ``schedule()``-ing every item
+        individually: sort-by-``(time, seq)``, interleaved with everything
+        else in the queue.  Items are not cancellable.  Returns the
+        :class:`EventBatch` (``None`` for an empty run).
+        """
+        n = len(times)
+        if n == 0:
+            return None
+        if not (len(actions) == len(args) == n):
+            raise SimulationError(
+                f"batch columns disagree: {n} times, {len(actions)} actions, "
+                f"{len(args)} args"
+            )
+        if times[0] < self.now:
+            raise SimulationError(
+                f"cannot schedule batch starting at {times[0]} before "
+                f"current time {self.now}"
+            )
+        if any(a > b for a, b in zip(times, times[1:])):
+            raise SimulationError("batch times must be nondecreasing")
+        base = self._seq
+        self._seq = base + n
+        batch = EventBatch(
+            list(times), list(range(base, base + n)), list(actions),
+            list(args), label,
+        )
+        heapq.heappush(self._queue, (batch.times[0], base, batch))
+        self._batch_extra += n - 1
+        return batch
 
     def _on_cancel(self) -> None:
         """Event.cancel() hook: count the dead entry, compact when dead
@@ -95,9 +152,18 @@ class Simulator:
 
         Safe at any point: ordering is the total ``(time, seq)`` key, so a
         rebuilt heap pops in exactly the same order as the original.
+        Batch entries are never cancelled and always survive.  The list is
+        compacted *in place* — ``run()`` holds a direct reference to it, so
+        rebinding ``self._queue`` here would orphan the live queue when a
+        callback cancels its way into a compaction mid-run.
         """
-        self._queue = [e for e in self._queue if not e.cancelled]
-        heapq.heapify(self._queue)
+        queue = self._queue
+        queue[:] = [
+            entry
+            for entry in queue
+            if type(entry[2]) is EventBatch or not entry[2].cancelled
+        ]
+        heapq.heapify(queue)
         self._cancelled = 0
         self.compactions += 1
 
@@ -149,22 +215,77 @@ class Simulator:
         recurrence observes the same boundary. After a bounded run the
         clock rests at *until* even if the queue emptied earlier.
         """
-        while self._queue:
-            event = self._queue[0]
-            if until is not None and event.time >= until:
-                break
-            heapq.heappop(self._queue)
-            event.owner = None  # off the queue: a late cancel() is a no-op
-            if event.cancelled:
-                self._cancelled -= 1
-                continue
-            self.now = event.time
-            event.action()
-            self.events_processed += 1
+        queue = self._queue
+        pop = heapq.heappop
+        push = heapq.heappush
+        processed = 0
+        try:
+            while queue:
+                time0, _seq0, entry = queue[0]
+                if until is not None and time0 >= until:
+                    break
+                pop(queue)
+                if type(entry) is EventBatch:
+                    # Process run items while nothing queued is due first;
+                    # on a block, push the remainder back keyed by its head.
+                    times = entry.times
+                    seqs = entry.seqs
+                    actions = entry.actions
+                    args = entry.args
+                    i = entry.start
+                    n = len(times)
+                    # The entry left the heap but its items are still
+                    # pending; see the ``pending`` property invariant.
+                    self._batch_extra += 1
+                    while i < n:
+                        t = times[i]
+                        if until is not None and t >= until:
+                            break
+                        if queue:
+                            head = queue[0]
+                            if head[0] < t or (
+                                head[0] == t and head[1] < seqs[i]
+                            ):
+                                break
+                        self.now = t
+                        self._batch_extra -= 1
+                        actions[i](args[i])
+                        processed += 1
+                        i += 1
+                    if i < n:
+                        entry.start = i
+                        push(queue, (times[i], seqs[i], entry))
+                        self._batch_extra -= 1
+                    continue
+                entry.owner = None  # off the queue: a late cancel() is a no-op
+                if entry.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self.now = time0
+                entry.action()
+                processed += 1
+        finally:
+            self.events_processed += processed
         if until is not None and until > self.now:
             self.now = until
 
+    def reset_counters(self) -> None:
+        """Zero the run statistics (``events_processed``, ``compactions``).
+
+        The counters are lifetime totals; an engine instance reused across
+        logically separate runs would otherwise report the previous runs'
+        work in the next run's numbers. Live queue accounting
+        (``pending``, ``_cancelled``) is state, not statistics, and is
+        deliberately left untouched.
+        """
+        self.events_processed = 0
+        self.compactions = 0
+
     @property
     def pending(self) -> int:
-        """Number of queued (non-cancelled) events — O(1)."""
-        return len(self._queue) - self._cancelled
+        """Number of queued (non-cancelled) callbacks — O(1).
+
+        Batch items count individually: a queued batch with 500
+        unprocessed arrivals contributes 500, not 1.
+        """
+        return len(self._queue) - self._cancelled + self._batch_extra

@@ -19,6 +19,7 @@ import dataclasses
 import math
 import random
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Optional
 
 from repro.blacklistd.service import (
@@ -46,8 +47,9 @@ class IpAllocator:
     def allocate(self) -> str:
         value = self._next
         self._next += 1
-        return ".".join(
-            str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+        return (
+            f"{(value >> 24) & 0xFF}.{(value >> 16) & 0xFF}"
+            f".{(value >> 8) & 0xFF}.{value & 0xFF}"
         )
 
 
@@ -160,6 +162,25 @@ class World:
     snowshoe_ips: list[str]
     _ip_allocator: IpAllocator
     _ext_by_domain: dict[str, ExternalDomain]
+    #: Memoised spoofed-sender mixes keyed by trap affinity: ``(class
+    #: names, cumulative shares)`` ready for bisection. One company's
+    #: affinity is fixed for the whole run, so the mix is, too.
+    _spoof_sender_cum: dict = field(default_factory=dict)
+
+    def spoof_sender_cum(self, trap_affinity: float) -> tuple:
+        """``(class_names, cumulative_shares)`` of the spoofed-sender mix.
+
+        A cached, bisect-ready form of ``calibration.spoof_mix`` — the
+        mix used to be rebuilt (two dict comprehensions) for every single
+        spam message.
+        """
+        cached = self._spoof_sender_cum.get(trap_affinity)
+        if cached is None:
+            mix = self.calibration.spoof_mix(trap_affinity)
+            names = list(mix)
+            cum = list(accumulate(mix.values()))
+            cached = self._spoof_sender_cum[trap_affinity] = (names, cum)
+        return cached
 
     def install_fault_plan(self, plan) -> None:
         """Wire a :class:`~repro.net.faults.FaultPlan` through the substrate.
@@ -236,19 +257,33 @@ class World:
         traps worldwide long before they hit our companies.
         """
         cal = self.calibration
+        random = rng.random
+        allocate = self._ip_allocator.allocate
+        register_ptr = self.registry.register_client_ptr
+        ptr_prob = cal.bot_ptr_prob
+        # One rng draw per (bot, service) pair, in the original order; the
+        # passing IPs are collected per service and listed in one bulk call
+        # after the loop. force_list draws no randomness and nothing in
+        # this loop reads blacklist state, so deferring the listings is
+        # state-identical to listing each bot as its roll passes.
+        listings = [
+            (coverage, self.services[service_name], [])
+            for service_name, coverage in cal.bot_listing_probs
+        ]
         ips = []
         for _ in range(count):
-            ip = self._ip_allocator.allocate()
-            if rng.random() < cal.bot_ptr_prob:
-                self.registry.register_client_ptr(
+            ip = allocate()
+            if random() < ptr_prob:
+                register_ptr(
                     ip, f"host-{ip.replace('.', '-')}.dynamic.example"
                 )
-            for service_name, coverage in cal.bot_listing_probs:
-                if rng.random() < coverage:
-                    self.services[service_name].force_list(
-                        ip, now, listed_duration
-                    )
+            for coverage, _service, listed in listings:
+                if random() < coverage:
+                    listed.append(ip)
             ips.append(ip)
+        for _coverage, service, listed in listings:
+            if listed:
+                service.force_list_many(listed, now, listed_duration)
         return ips
 
     def spf_domains_published(self) -> int:

@@ -7,20 +7,34 @@ newsletter issues, spam campaign volume (valid users, dictionary attacks,
 relay probes, foreign-recipient probes), outbound user mail, and manual
 whitelist imports — and schedules the individual messages at diurnally
 distributed times.
+
+Messages are built **columnar** (§"Batched data plane" in DESIGN.md): a
+planning event stages one row tuple per message into a
+:class:`~repro.core.message.MessageBatch`, then finalizes the whole day
+at once — id block allocation, a single stable sort by arrival time, bulk
+materialization — and hands the day to the engine as one
+:class:`~repro.sim.events.EventBatch` instead of one heap entry per
+message. Every RNG draw happens in exactly the order the per-message
+path used, stream by stream, so the batched build is bit-identical to
+the old one (the goldens pin this). Size draws are the one reordering:
+they move from "inside each message" to "one vectorized run per
+homogeneous loop", which is invisible because sizes come from their own
+isolated stream and the within-stream order is unchanged.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect
 from functools import partial
+from itertools import accumulate
 from typing import Mapping
 
 from repro.core.engine import CompanyInstallation
 from repro.core.message import (
-    EmailMessage,
+    MessageBatch,
     MessageKind,
     SenderClass,
-    make_message,
 )
 from repro.sim.engine import Simulator
 from repro.util.rng import RngStreams, poisson
@@ -29,6 +43,11 @@ from repro.workload import naming
 from repro.workload.entities import Company, World
 from repro.workload.sizes import SizeModel
 from repro.workload.spamcampaign import Campaign, CampaignFactory
+
+_LEGIT = MessageKind.LEGIT
+_NEWSLETTER = MessageKind.NEWSLETTER
+_SPAM = MessageKind.SPAM
+_REAL = SenderClass.REAL
 
 
 class TraceGenerator:
@@ -40,11 +59,23 @@ class TraceGenerator:
         simulator: Simulator,
         installations: Mapping[str, CompanyInstallation],
         streams: RngStreams,
+        batch_delivery: bool = True,
     ) -> None:
         self.world = world
         self.calibration = world.calibration
         self.simulator = simulator
         self.installations = dict(installations)
+        #: One bound ``handle_inbound`` per installation, created once —
+        #: attribute access would mint a fresh bound method per message,
+        #: and batch grouping relies on handler identity.
+        self._inbound = {
+            company_id: installation.handle_inbound
+            for company_id, installation in self.installations.items()
+        }
+        #: False = stage and sort days exactly the same way, but schedule
+        #: each message as its own heap entry. Exists so tests can pin
+        #: batched ≡ unbatched behaviour; not a production mode.
+        self.batch_delivery = batch_delivery
         self.rng = streams.stream("trace")
         self.size_model = SizeModel(self.calibration, streams.stream("sizes"))
         self.campaign_factory = CampaignFactory(
@@ -52,14 +83,22 @@ class TraceGenerator:
         )
         self.active_campaigns: list[Campaign] = []
         self._campaign_weights: list[float] = []
+        self._campaign_cum: list[float] = []
+        self._campaign_total = 0.0
         self._legit_hour_cum = _cumulative(self.calibration.legit_hour_weights)
         self._spam_hour_cum = _cumulative(self.calibration.spam_hour_weights)
-        self._hours = list(range(24))
+        # random.choices(cum_weights=...) draws random() * (cum[-1] + 0.0);
+        # the inlined bisect below must consume the identical value.
+        self._legit_hour_total = self._legit_hour_cum[-1] + 0.0
+        self._spam_hour_total = self._spam_hour_cum[-1] + 0.0
         self._rejected_by_company = {
             company.company_id: sorted(company.config.rejected_senders)
             for company in world.companies
         }
         self.messages_generated = 0
+        # Per-day staging columns, rebound by _plan_day.
+        self._rows: list = []
+        self._handlers: list = []
 
     # -- public API -------------------------------------------------------
 
@@ -98,6 +137,12 @@ class TraceGenerator:
                 self.campaign_factory.spawn(self.world, now)
             )
         self._campaign_weights = [c.intensity for c in self.active_campaigns]
+        # random.choices(weights=...) rebuilt this prefix sum per message;
+        # the campaign mix is fixed for the day, so build it once.
+        self._campaign_cum = list(accumulate(self._campaign_weights))
+        self._campaign_total = (
+            self._campaign_cum[-1] + 0.0 if self._campaign_cum else 0.0
+        )
 
         weekend = is_weekend(now)
         legit_factor = (
@@ -105,12 +150,44 @@ class TraceGenerator:
         )
         spam_factor = self.calibration.spam_weekend_factor if weekend else 1.0
 
+        batch = MessageBatch()
+        self._rows = batch.rows
+        self._handlers = batch.handlers
         for company in self.world.companies:
             installation = self.installations[company.company_id]
             self._plan_user_mail(company, installation, day, legit_factor)
-            self._plan_spam(company, installation, day, spam_factor)
+            self._plan_spam(company, day, spam_factor)
         self._plan_newsletters(day)
         self._plan_marketing(day)
+        self._dispatch_day(batch, day)
+
+    def _dispatch_day(self, batch: MessageBatch, day: int) -> None:
+        """Finalize the day's staged rows and hand them to the engine."""
+        times, handlers, messages = batch.finalize()
+        self._rows = []
+        self._handlers = []
+        if not messages:
+            return
+        self.messages_generated += len(messages)
+        # One DNS-independent MTA sweep per installation (handler identity
+        # groups messages by company).
+        groups: dict = {}
+        groups_get = groups.get
+        for handler, message in zip(handlers, messages):
+            group = groups_get(handler)
+            if group is None:
+                group = groups[handler] = []
+            group.append(message)
+        for handler, group in groups.items():
+            handler.__self__.mta_in.precheck_batch(group)
+        if self.batch_delivery:
+            self.simulator.schedule_batch(
+                times, handlers, messages, label=f"day-{day}-mail"
+            )
+        else:
+            schedule = self.simulator.schedule
+            for t, handler, message in zip(times, handlers, messages):
+                schedule(t, partial(handler, message))
 
     # -- legitimate / user-driven traffic ----------------------------------
 
@@ -123,22 +200,37 @@ class TraceGenerator:
     ) -> None:
         cal = self.calibration
         rng = self.rng
+        size_model = self.size_model
         volume = self.world.scale.volume_scale
+        handler = self._inbound[company.company_id]
+        white_rate = (
+            cal.white_rate * company.legit_multiplier * volume * legit_factor
+        )
+        black_rate = cal.black_rate * volume
+        dsn_rate = cal.dsn_rate * volume * legit_factor
         for user in company.users:
-            white = poisson(
-                rng,
-                cal.white_rate * company.legit_multiplier * volume * legit_factor,
-            )
-            for _ in range(white):
-                self._schedule_contact_mail(installation, user, day)
+            white = poisson(rng, white_rate)
+            if white:
+                sizes = size_model.legit_batch(white)
+                contacts = user.contacts
+                for size in sizes:
+                    self._stage_legit(
+                        handler, user, rng.choice(contacts), day, size
+                    )
 
-            black = poisson(rng, cal.black_rate * volume)
-            for _ in range(black):
-                self._schedule_nuisance_mail(installation, user, day)
+            black = poisson(rng, black_rate)
+            if black:
+                sizes = size_model.spam_batch(black)
+                nuisance = user.nuisance_senders
+                for size in sizes:
+                    self._stage_nuisance(
+                        handler, user, rng.choice(nuisance), day, size
+                    )
 
-            dsns = poisson(rng, cal.dsn_rate * volume * legit_factor)
-            for _ in range(dsns):
-                self._schedule_dsn(installation, user, day)
+            dsns = poisson(rng, dsn_rate)
+            if dsns:
+                for size in size_model.legit_batch(dsns):
+                    self._stage_dsn(handler, user, day, size)
 
             # First-contact inbound mail scales with volume like all other
             # inbound traffic...
@@ -149,8 +241,10 @@ class TraceGenerator:
                 * volume
                 * legit_factor,
             )
-            for _ in range(new_contacts):
-                self._schedule_new_contact_mail(installation, user, day)
+            if new_contacts:
+                for size in size_model.legit_batch(new_contacts):
+                    sender, _ip = self.world.create_new_contact(rng)
+                    self._stage_legit(handler, user, sender, day, size)
 
             # ...but the purely user-driven churn streams (outbound mail to
             # new addresses, manual imports) run at paper rates so Fig. 9's
@@ -180,69 +274,68 @@ class TraceGenerator:
                     partial(installation.manual_whitelist, user.address, address),
                 )
 
-    def _schedule_contact_mail(self, installation, user, day: int) -> None:
-        sender = self.rng.choice(user.contacts)
-        self._schedule_legit_message(installation, user, sender, day)
-
-    def _schedule_new_contact_mail(self, installation, user, day: int) -> None:
-        sender, _ip = self.world.create_new_contact(self.rng)
-        self._schedule_legit_message(installation, user, sender, day)
-
-    def _schedule_legit_message(
-        self, installation, user, sender: str, day: int
+    def _stage_legit(
+        self, handler, user, sender: str, day: int, size: int
     ) -> None:
+        rng = self.rng
         t = self._day_time(day, legit=True)
         client_ip = self.world.client_ip_for_address(sender)
         if (
             client_ip is None
-            or self.rng.random() < self.calibration.legit_spf_misroute_prob
+            or rng.random() < self.calibration.legit_spf_misroute_prob
         ):
-            client_ip = self.rng.choice(self.world.forwarder_ips)
-        message = make_message(
+            client_ip = rng.choice(self.world.forwarder_ips)
+        self._rows.append((
             t,
             sender,
             user.address,
-            subject=naming.make_short_subject(self.rng),
-            size=self.size_model.legit(),
-            client_ip=client_ip,
-            kind=MessageKind.LEGIT,
-            sender_class=SenderClass.REAL,
-        )
-        self._schedule_inbound(installation, message)
+            naming.make_short_subject(rng),
+            size,
+            client_ip,
+            _LEGIT,
+            _REAL,
+            None,
+            False,
+        ))
+        self._handlers.append(handler)
 
-    def _schedule_dsn(self, installation, user, day: int) -> None:
+    def _stage_dsn(self, handler, user, day: int, size: int) -> None:
         """A bounce of the user's own misaddressed outbound mail: null
         reverse-path, sent by some remote MTA."""
         ext = self.rng.choice(self.world.external_domains)
         t = self._day_time(day, legit=True)
-        message = make_message(
+        self._rows.append((
             t,
             "",
             user.address,
-            subject="undelivered mail returned to sender",
-            size=self.size_model.legit() // 4 + 500,
-            client_ip=ext.ip,
-            kind=MessageKind.LEGIT,
-            sender_class=SenderClass.REAL,
-            campaign_id="dsn",
-        )
-        self._schedule_inbound(installation, message)
+            "undelivered mail returned to sender",
+            size // 4 + 500,
+            ext.ip,
+            _LEGIT,
+            _REAL,
+            "dsn",
+            False,
+        ))
+        self._handlers.append(handler)
 
-    def _schedule_nuisance_mail(self, installation, user, day: int) -> None:
-        sender = self.rng.choice(user.nuisance_senders)
+    def _stage_nuisance(
+        self, handler, user, sender: str, day: int, size: int
+    ) -> None:
         t = self._day_time(day, legit=False)
         client_ip = self.world.client_ip_for_address(sender) or "192.0.2.1"
-        message = make_message(
+        self._rows.append((
             t,
             sender,
             user.address,
-            subject=naming.make_short_subject(self.rng),
-            size=self.size_model.spam(),
-            client_ip=client_ip,
-            kind=MessageKind.SPAM,
-            sender_class=SenderClass.REAL,
-        )
-        self._schedule_inbound(installation, message)
+            naming.make_short_subject(self.rng),
+            size,
+            client_ip,
+            _SPAM,
+            _REAL,
+            None,
+            False,
+        ))
+        self._handlers.append(handler)
 
     def _schedule_outbound(
         self, installation, user, rcpt: str, day: int
@@ -272,26 +365,27 @@ class TraceGenerator:
             size = self.size_model.newsletter()
             volume = self.world.scale.volume_scale
             for company_id, subscriber in source.subscribers:
-                installation = self.installations.get(company_id)
-                if installation is None:
+                handler = self._inbound.get(company_id)
+                if handler is None:
                     continue
                 # Newsletter volume scales with the preset like every other
                 # inbound stream.
                 if self.rng.random() >= volume:
                     continue
                 t = self._day_time(day, legit=True)
-                message = make_message(
+                self._rows.append((
                     t,
                     sender,
                     subscriber,
-                    subject=subject,
-                    size=size,
-                    client_ip=source.ip,
-                    kind=MessageKind.NEWSLETTER,
-                    sender_class=SenderClass.REAL,
-                    campaign_id=source.source_id,
-                )
-                self._schedule_inbound(installation, message)
+                    subject,
+                    size,
+                    source.ip,
+                    _NEWSLETTER,
+                    _REAL,
+                    source.source_id,
+                    False,
+                ))
+                self._handlers.append(handler)
 
     def _plan_marketing(self, day: int) -> None:
         """Unsolicited marketing blasts: one fixed long subject per blast,
@@ -307,7 +401,7 @@ class TraceGenerator:
             sender = self.rng.choice(source.senders)
             size = self.size_model.newsletter()
             for company in self.world.companies:
-                installation = self.installations[company.company_id]
+                handler = self._inbound[company.company_id]
                 expected = source.coverage * company.n_users * volume
                 count = poisson(self.rng, expected)
                 targets = self.rng.sample(
@@ -315,28 +409,41 @@ class TraceGenerator:
                 )
                 for user in targets:
                     t = self._day_time(day, legit=True)
-                    message = make_message(
+                    self._rows.append((
                         t,
                         sender,
                         user.address,
-                        subject=subject,
-                        size=size,
-                        client_ip=source.ip,
-                        kind=MessageKind.NEWSLETTER,
-                        sender_class=SenderClass.REAL,
-                        campaign_id=source.source_id,
-                    )
-                    self._schedule_inbound(installation, message)
+                        subject,
+                        size,
+                        source.ip,
+                        _NEWSLETTER,
+                        _REAL,
+                        source.source_id,
+                        False,
+                    ))
+                    self._handlers.append(handler)
 
     # -- spam ---------------------------------------------------------------
 
     def _plan_spam(
         self,
         company: Company,
-        installation: CompanyInstallation,
         day: int,
         spam_factor: float,
     ) -> None:
+        """Stage the day's spam aimed at *company*.
+
+        This is the generator's single hottest loop (tens of thousands of
+        iterations per simulated day on the larger presets), so the whole
+        per-message pipeline — campaign pick, sender forgery, recipient
+        draw, bot IP, arrival time, virus roll — is inlined here with
+        every constant hoisted. Each branch reproduces the retired
+        ``_stage_spam``/``_spam_sender``/``_spam_recipient`` helpers
+        draw-for-draw; in particular the forgery-class roll keeps the
+        original *sequential subtraction* (``roll -= frac``) because
+        re-associating it into precomputed cut-points would change float
+        rounding and therefore the trace.
+        """
         if not self.active_campaigns:
             return
         cal = self.calibration
@@ -357,98 +464,117 @@ class TraceGenerator:
             groups.append(
                 ("relay", poisson(rng, base * cal.relay_spam_factor))
             )
-        for group, count in groups:
-            for _ in range(count):
-                self._schedule_spam(company, installation, day, group)
+        handler = self._inbound[company.company_id]
 
-    def _schedule_spam(
-        self,
-        company: Company,
-        installation: CompanyInstallation,
-        day: int,
-        group: str,
-    ) -> None:
-        rng = self.rng
-        cal = self.calibration
-        campaign = rng.choices(
-            self.active_campaigns, weights=self._campaign_weights
-        )[0]
-
-        env_from, sender_class = self._spam_sender(campaign, company, rng)
-        env_to = self._spam_recipient(company, group, rng, campaign)
-        # Relayed spam partly arrives via snowshoe bulk hosts whose clean
-        # PTR/blacklist profile slips past the filters (the open relays'
-        # extra challenges, Fig. 3).
-        if group == "relay" and rng.random() < cal.relay_snowshoe_frac:
-            client_ip = rng.choice(self.world.snowshoe_ips)
-        else:
-            client_ip = campaign.sample_bot(rng)
-        message = make_message(
-            self._day_time(day, legit=False),
-            env_from,
-            env_to,
-            subject=campaign.subject,
-            size=self.size_model.spam(),
-            client_ip=client_ip,
-            kind=MessageKind.SPAM,
-            sender_class=sender_class,
-            campaign_id=campaign.campaign_id,
-            has_virus=rng.random() < campaign.virus_prob,
-        )
-        self._schedule_inbound(installation, message)
-
-    def _spam_sender(
-        self, campaign: Campaign, company: Company, rng: random.Random
-    ) -> tuple[str, SenderClass]:
-        cal = self.calibration
-        roll = rng.random()
-        if roll < cal.spam_malformed_sender_frac:
-            return naming.make_malformed_address(rng), SenderClass.NONEXISTENT_MAILBOX
-        roll -= cal.spam_malformed_sender_frac
-        if roll < cal.spam_unresolvable_sender_frac:
-            return (
-                self.world.sample_unresolvable_sender(rng),
-                SenderClass.NONEXISTENT_MAILBOX,
-            )
-        roll -= cal.spam_unresolvable_sender_frac
+        random_ = rng.random
+        choice = rng.choice
+        getrandbits = rng.getrandbits
+        world = self.world
+        campaigns = self.active_campaigns
+        camp_cum = self._campaign_cum
+        camp_total = self._campaign_total
+        camp_hi = len(campaigns) - 1
+        spam_cum = self._spam_hour_cum
+        spam_total = self._spam_hour_total
+        day_base = day * DAY
+        rows_append = self._rows.append
+        handlers_append = self._handlers.append
+        malformed_frac = cal.spam_malformed_sender_frac
+        unresolvable_frac = cal.spam_unresolvable_sender_frac
+        rejected_frac = cal.spam_rejected_sender_frac
         rejected = self._rejected_by_company[company.company_id]
-        if rejected and roll < cal.spam_rejected_sender_frac:
-            return rng.choice(rejected), SenderClass.NONEXISTENT_MAILBOX
-        return campaign.sample_sender(self.world, company, rng)
+        snowshoe_frac = cal.relay_snowshoe_frac
+        snowshoe_ips = world.snowshoe_ips
+        nonexistent = SenderClass.NONEXISTENT_MAILBOX
+        make_malformed = naming.make_malformed_address
+        make_person_local = naming.make_person_local
+        sample_unresolvable = world.sample_unresolvable_sender
+        unknown_suffix = "@" + company.config.domain
+        relay_domains = company.config.relay_domains
+        external_domains = world.external_domains
 
-    def _spam_recipient(
-        self,
-        company: Company,
-        group: str,
-        rng: random.Random,
-        campaign: Campaign,
-    ) -> str:
-        if group == "valid":
-            return campaign.sample_target(company, rng).address
-        if group == "unknown":
-            local = "zz" + format(rng.getrandbits(40), "010x")
-            return f"{local}@{company.config.domain}"
-        if group == "relay":
-            local = naming.make_person_local(rng)
-            return f"{local}@{rng.choice(company.config.relay_domains)}"
-        # "foreign": a relay probe for a domain this server does not serve.
-        ext = rng.choice(self.world.external_domains)
-        return f"{naming.make_person_local(rng)}@{ext.domain}"
+        for group, count in groups:
+            if not count:
+                continue
+            sizes = self.size_model.spam_batch(count)
+            mode = ("valid", "unknown", "foreign", "relay").index(group)
+            for size in sizes:
+                campaign = campaigns[
+                    bisect(camp_cum, random_() * camp_total, 0, camp_hi)
+                ]
+
+                # -- forged envelope sender (was _spam_sender) ------------
+                roll = random_()
+                if roll < malformed_frac:
+                    env_from = make_malformed(rng)
+                    sender_class = nonexistent
+                else:
+                    roll -= malformed_frac
+                    if roll < unresolvable_frac:
+                        env_from = sample_unresolvable(rng)
+                        sender_class = nonexistent
+                    else:
+                        roll -= unresolvable_frac
+                        if rejected and roll < rejected_frac:
+                            env_from = choice(rejected)
+                            sender_class = nonexistent
+                        else:
+                            env_from, sender_class = campaign.sample_sender(
+                                world, company, rng
+                            )
+
+                # -- recipient (was _spam_recipient) ----------------------
+                if mode == 0:  # harvested protected user
+                    env_to = campaign.sample_target(company, rng).address
+                elif mode == 1:  # dictionary attack on unknown mailboxes
+                    env_to = (
+                        "zz" + format(getrandbits(40), "010x") + unknown_suffix
+                    )
+                elif mode == 2:  # relay probe for a foreign domain
+                    ext = choice(external_domains)
+                    env_to = make_person_local(rng) + "@" + ext.domain
+                else:  # mode == 3: relayed through our open relay
+                    env_to = make_person_local(rng) + "@" + choice(relay_domains)
+
+                # Relayed spam partly arrives via snowshoe bulk hosts whose
+                # clean PTR/blacklist profile slips past the filters (the
+                # open relays' extra challenges, Fig. 3).
+                if mode == 3 and random_() < snowshoe_frac:
+                    client_ip = choice(snowshoe_ips)
+                else:
+                    client_ip = choice(campaign.bot_ips)
+
+                hour = bisect(spam_cum, random_() * spam_total, 0, 23)
+                rows_append((
+                    day_base + hour * HOUR + random_() * HOUR,
+                    env_from,
+                    env_to,
+                    campaign.subject,
+                    size,
+                    client_ip,
+                    _SPAM,
+                    sender_class,
+                    campaign.campaign_id,
+                    random_() < campaign.virus_prob,
+                ))
+                handlers_append(handler)
 
     # -- shared helpers --------------------------------------------------------
 
-    def _schedule_inbound(
-        self, installation: CompanyInstallation, message: EmailMessage
-    ) -> None:
-        self.messages_generated += 1
-        self.simulator.schedule(
-            message.t, partial(installation.handle_inbound, message)
-        )
-
     def _day_time(self, day: int, legit: bool) -> float:
-        cum = self._legit_hour_cum if legit else self._spam_hour_cum
-        hour = self.rng.choices(self._hours, cum_weights=cum)[0]
-        return day * DAY + hour * HOUR + self.rng.random() * HOUR
+        # Inlined random.choices(hours, cum_weights=cum): one random()
+        # draw scaled by the identical total, bisected over the same
+        # prefix sums — bit-equal results without rebuilding the call
+        # machinery per message.
+        rng = self.rng
+        if legit:
+            cum = self._legit_hour_cum
+            total = self._legit_hour_total
+        else:
+            cum = self._spam_hour_cum
+            total = self._spam_hour_total
+        hour = bisect(cum, rng.random() * total, 0, 23)
+        return day * DAY + hour * HOUR + rng.random() * HOUR
 
 
 def _cumulative(weights) -> list[float]:

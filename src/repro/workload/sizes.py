@@ -26,14 +26,48 @@ class SizeModel:
         value = median * math.exp(self.rng.gauss(0.0, sigma))
         return max(500, min(int(value), self.calibration.size_cap))
 
+    def _lognormal_batch(self, median: float, sigma: float, n: int) -> list:
+        """*n* consecutive :meth:`_lognormal` draws as one tight loop.
+
+        Draw-for-draw identical to calling the scalar method *n* times
+        (``random.gauss`` is stateful — it caches its paired variate — so
+        "identical" includes that interleaving). Used by the trace
+        generator to hoist size sampling out of per-message code; legal
+        because sizes come from their own RNG stream and each caller's
+        loop was already a homogeneous run of the same distribution.
+        """
+        gauss = self.rng.gauss
+        exp = math.exp
+        cap = self.calibration.size_cap
+        out = []
+        append = out.append
+        for _ in range(n):
+            value = int(median * exp(gauss(0.0, sigma)))
+            append(500 if value < 500 else (cap if value > cap else value))
+        return out
+
     def spam(self) -> int:
         return self._lognormal(
             self.calibration.spam_size_median, self.calibration.spam_size_sigma
         )
 
+    def spam_batch(self, n: int) -> list:
+        return self._lognormal_batch(
+            self.calibration.spam_size_median,
+            self.calibration.spam_size_sigma,
+            n,
+        )
+
     def legit(self) -> int:
         return self._lognormal(
             self.calibration.legit_size_median, self.calibration.legit_size_sigma
+        )
+
+    def legit_batch(self, n: int) -> list:
+        return self._lognormal_batch(
+            self.calibration.legit_size_median,
+            self.calibration.legit_size_sigma,
+            n,
         )
 
     def newsletter(self) -> int:

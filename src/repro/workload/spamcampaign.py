@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -87,17 +88,18 @@ class Campaign:
         The class mix depends on the company's trap affinity (how trap-laden
         the harvested lists containing its addresses are, §5.1).
         """
-        mix = world.calibration.spoof_mix(company.trap_affinity)
+        names, cum = world.spoof_sender_cum(company.trap_affinity)
         roll = rng.random()
-        cumulative = 0.0
-        class_name = "nonexistent"
-        for name, share in mix.items():
-            cumulative += share
-            if roll < cumulative:
-                class_name = name
-                break
+        # bisect_right = first index with roll < cum[i]: the same pick the
+        # old linear cumulative walk made, including its "nonexistent"
+        # fallback when float rounding leaves roll past the last share.
+        idx = bisect(cum, roll)
+        class_name = names[idx] if idx < len(names) else "nonexistent"
         sender_class = _CLASS_BY_NAME[class_name]
-        pool = self._pools.setdefault(sender_class, [])
+        pools = self._pools
+        pool = pools.get(sender_class)
+        if pool is None:
+            pool = pools[sender_class] = []
         if pool and rng.random() < self.sender_reuse_prob:
             return rng.choice(pool), sender_class
         address = self._fresh_sender(world, sender_class, rng)

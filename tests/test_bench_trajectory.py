@@ -1,0 +1,121 @@
+"""The committed performance trajectory: schema and threshold checks.
+
+The repo root carries one ``BENCH_PR<n>.json`` per performance-relevant PR
+(written by ``scripts/update_bench.py``). These tests make the trajectory
+load-bearing: deleting the files, mangling their schema, or committing an
+entry that regresses throughput against its predecessor all fail the
+build. The *live* counterpart (re-measuring this tree against the recorded
+baseline commit) runs in ``benchmarks/test_bench_hot_path.py`` and the CI
+bench job — this module only validates what is committed, so it stays
+fast and host-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Every committed entry must carry these keys (schema version 1).
+REQUIRED_KEYS = {
+    "schema",
+    "pr",
+    "preset",
+    "seed",
+    "repeats",
+    "messages",
+    "events",
+    "wall_seconds_best",
+    "wall_seconds_median",
+    "msgs_per_sec",
+    "baseline_pr",
+    "baseline_commit",
+    "python",
+    "notes",
+}
+
+#: The batching PR's committed floor: its measured speedup over the PR 5
+#: tree. The honest same-host ratio is committed in BENCH_PR6.json
+#: (1.77x); the floor asserts most of it, leaving room for re-measurement
+#: on other machines without letting the claim quietly erode.
+PR6_MIN_SPEEDUP = 1.5
+
+#: Successive committed entries may not lose more than this fraction of
+#: msgs/sec (the anti-backsliding rule for future PRs).
+MAX_REGRESSION = 0.20
+
+
+def _entries() -> list:
+    entries = []
+    for path in sorted(REPO_ROOT.glob("BENCH_PR*.json")):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if match:
+            entries.append((int(match.group(1)), path, json.loads(path.read_text())))
+    return sorted(entries)
+
+
+def test_trajectory_is_committed():
+    """Removing the committed bench files fails the build."""
+    prs = [pr for pr, _, _ in _entries()]
+    assert 5 in prs, "BENCH_PR5.json (the trajectory root) is missing"
+    assert 6 in prs, "BENCH_PR6.json (the batching PR entry) is missing"
+
+
+@pytest.mark.parametrize("pr,path,data", _entries() or [(0, None, None)])
+def test_entry_schema(pr, path, data):
+    if path is None:
+        pytest.fail("no committed BENCH_PR*.json found")
+    missing = REQUIRED_KEYS - data.keys()
+    assert not missing, f"{path.name} missing keys: {sorted(missing)}"
+    assert data["schema"] == 1
+    assert data["pr"] == pr
+    assert data["preset"] == "small", "the trajectory preset is pinned"
+    assert data["seed"] == 11, "the trajectory seed is pinned"
+    assert data["repeats"] >= 3
+    assert data["messages"] > 0 and data["events"] >= data["messages"]
+    assert 0 < data["wall_seconds_best"] <= data["wall_seconds_median"]
+    # msgs_per_sec must be derived from the recorded numbers, not typed in.
+    derived = data["messages"] / data["wall_seconds_best"]
+    assert data["msgs_per_sec"] == pytest.approx(derived, rel=0.01)
+
+
+def test_entries_agree_on_workload():
+    """Same pinned preset+seed => every entry saw the identical workload
+    (the simulation is deterministic, so message/event counts must agree)."""
+    entries = _entries()
+    messages = {data["messages"] for _, _, data in entries}
+    events = {data["events"] for _, _, data in entries}
+    assert len(messages) == 1, f"workload drifted between entries: {messages}"
+    assert len(events) == 1, f"event counts drifted between entries: {events}"
+
+
+def test_pr6_speedup_vs_pr5():
+    """The batching PR's committed speedup holds the trajectory floor."""
+    by_pr = {pr: data for pr, _, data in _entries()}
+    pr5, pr6 = by_pr[5], by_pr[6]
+    ratio = pr6["msgs_per_sec"] / pr5["msgs_per_sec"]
+    assert ratio >= PR6_MIN_SPEEDUP, (
+        f"committed PR6/PR5 throughput ratio {ratio:.2f}x fell below the "
+        f"{PR6_MIN_SPEEDUP}x floor"
+    )
+    # The recorded interleaved measurement must agree with the per-file
+    # numbers (both came from the same session).
+    assert pr6["speedup_vs_baseline"] == pytest.approx(ratio, rel=0.05)
+    assert pr6["baseline_pr"] == 5
+    assert pr6["baseline_commit"], "PR6 must pin the baseline commit"
+
+
+def test_no_regression_between_consecutive_entries():
+    """Each committed entry keeps >= 80% of its predecessor's msgs/sec."""
+    entries = _entries()
+    for (prev_pr, _, prev), (cur_pr, _, cur) in zip(entries, entries[1:]):
+        floor = prev["msgs_per_sec"] * (1.0 - MAX_REGRESSION)
+        assert cur["msgs_per_sec"] >= floor, (
+            f"PR {cur_pr} committed {cur['msgs_per_sec']} msgs/sec, a "
+            f">{MAX_REGRESSION:.0%} regression from PR {prev_pr}'s "
+            f"{prev['msgs_per_sec']}"
+        )

@@ -87,3 +87,98 @@ class TestMessageModel:
         message = make_message(0.0, "s@x.com", "u@c.com")
         with pytest.raises(AttributeError):
             message.extra = 1  # type: ignore[attr-defined]
+
+
+class TestMsgIdBlockAllocation:
+    """``allocate_msg_id_block(n)`` must be indistinguishable from *n*
+    sequential ``make_message`` allocations — same ids, same counter."""
+
+    def test_block_equals_sequential(self):
+        from repro.core.message import allocate_msg_id_block, snapshot_msg_ids
+
+        reset_msg_ids()
+        sequential = [
+            make_message(0.0, "s@x.com", "u@c.com").msg_id for _ in range(7)
+        ]
+        after_sequential = snapshot_msg_ids()
+
+        reset_msg_ids()
+        first = allocate_msg_id_block(7)
+        block = list(range(first, first + 7))
+
+        assert block == sequential
+        assert snapshot_msg_ids() == after_sequential
+
+    def test_block_interleaves_with_single_allocation(self):
+        from repro.core.message import allocate_msg_id_block
+
+        reset_msg_ids()
+        single = make_message(0.0, "s@x.com", "u@c.com").msg_id
+        first = allocate_msg_id_block(3)
+        next_single = make_message(0.0, "s@x.com", "u@c.com").msg_id
+        assert single == 1
+        assert first == 2
+        assert next_single == 5  # block consumed ids 2, 3, 4
+
+    def test_zero_length_block_consumes_nothing(self):
+        from repro.core.message import allocate_msg_id_block, snapshot_msg_ids
+
+        reset_msg_ids()
+        before = snapshot_msg_ids()
+        allocate_msg_id_block(0)
+        assert snapshot_msg_ids() == before
+
+
+class TestMessageBatchFinalize:
+    """The struct-of-arrays batch must reproduce per-message construction:
+    ids by generation order, stable sort by time."""
+
+    @staticmethod
+    def _row(t, env_from="s@x.com", env_to="u@c.com"):
+        return (
+            t, env_from, env_to, "", 8_000, "0.0.0.0",
+            MessageKind.LEGIT, SenderClass.REAL, None, False,
+        )
+
+    def test_matches_sequential_make_message(self):
+        from repro.core.message import MessageBatch
+
+        times = [5.0, 1.0, 3.0, 3.0, 2.0]
+        reset_msg_ids()
+        expected = [
+            make_message(t, f"s{i}@x.com", "u@c.com")
+            for i, t in enumerate(times)
+        ]
+        # What the pre-batch generator did: allocate in generation order,
+        # then stable-sort arrivals by time.
+        expected.sort(key=lambda m: m.t)
+
+        reset_msg_ids()
+        batch = MessageBatch()
+        for i, t in enumerate(times):
+            batch.rows.append(self._row(t, env_from=f"s{i}@x.com"))
+            batch.handlers.append(None)
+        out_times, _, messages = batch.finalize()
+
+        assert out_times == [m.t for m in expected]
+        assert [m.msg_id for m in messages] == [m.msg_id for m in expected]
+        assert messages == expected
+
+    def test_same_time_rows_keep_generation_order(self):
+        from repro.core.message import MessageBatch
+
+        reset_msg_ids()
+        batch = MessageBatch()
+        for i in range(4):
+            batch.rows.append(self._row(2.0, env_from=f"s{i}@x.com"))
+            batch.handlers.append(i)
+        _, handlers, messages = batch.finalize()
+        assert handlers == [0, 1, 2, 3]
+        assert [m.msg_id for m in messages] == [1, 2, 3, 4]
+
+    def test_empty_batch(self):
+        from repro.core.message import MessageBatch, snapshot_msg_ids
+
+        reset_msg_ids()
+        assert MessageBatch().finalize() == ([], [], [])
+        assert snapshot_msg_ids() == 0

@@ -135,3 +135,87 @@ class TestCounters:
         mta = MtaIn(config, Resolver(registry))
         message = make_message(0.0, CONTACT, "a@solo.example")
         assert mta.check(message) is None
+
+
+class TestPrecheckBatchEquivalence:
+    """``precheck_batch`` + hinted ``check`` must equal the plain
+    ``_classify`` walk — same verdict, same counters — for every drop
+    reason and for open-relay configs.
+
+    The batch path lowercases addresses itself (mirroring what
+    ``normalize_ingress`` does before ``check`` reads the hint), so the
+    hinted arm normalizes the message fields the same way the engine does.
+    """
+
+    # (env_from, env_to) envelopes covering every verdict, with mixed-case
+    # variants to exercise the islower fast paths on both arms.
+    ENVELOPES = [
+        (CONTACT, USER_ADDRESS),                          # accept
+        ("", USER_ADDRESS),                               # null sender accept
+        ("Bob@Partner.Example", f"Alice@{COMPANY_DOMAIN}"),  # mixed case
+        ("no-at-sign", USER_ADDRESS),                     # malformed sender
+        (CONTACT, "double@@" + COMPANY_DOMAIN),           # malformed rcpt
+        (CONTACT, "what even is this"),                   # malformed rcpt
+        ("x@ghost-domain.example", USER_ADDRESS),         # unresolvable
+        (CONTACT, f"someone@{CONTACT_DOMAIN}"),           # no relay
+        ("", f"someone@{CONTACT_DOMAIN}"),                # null + no relay
+        (f"blocked@{CONTACT_DOMAIN}", USER_ADDRESS),      # rejected sender
+        (f"BLOCKED@{CONTACT_DOMAIN}", USER_ADDRESS),      # rejected, cased
+        (CONTACT, f"nobody@{COMPANY_DOMAIN}"),            # unknown recipient
+        (CONTACT, f"NoBody@{COMPANY_DOMAIN}"),            # unknown, cased
+        (CONTACT, "anyone@relayed.example"),              # relay (if open)
+        (f"blocked@{CONTACT_DOMAIN}", "anyone@relayed.example"),
+        ("x@ghost-domain.example", "anyone@relayed.example"),
+    ]
+
+    @staticmethod
+    def _normalize(message):
+        # What the engine's inlined normalize_ingress does before check().
+        if not message.env_from.islower():
+            message.env_from = message.env_from.lower()
+        if not message.env_to.islower():
+            message.env_to = message.env_to.lower()
+
+    @pytest.mark.parametrize("open_relay", [False, True])
+    def test_hinted_check_equals_classify(self, open_relay):
+        batched_env = make_micro_env(open_relay=open_relay)
+        plain_env = make_micro_env(open_relay=open_relay)
+        batched_mta = batched_env.installation.mta_in
+        plain_mta = plain_env.installation.mta_in
+
+        batch = [
+            make_message(0.0, f, t, client_ip="10.2.0.9")
+            for f, t in self.ENVELOPES
+        ]
+        batched_mta.precheck_batch(batch)
+        for message in batch:
+            assert message.mta_hint is not None
+
+        for (env_from, env_to), message in zip(self.ENVELOPES, batch):
+            self._normalize(message)
+            hinted = batched_mta.check(message)
+            # The plain arm goes through the same ingress normalization —
+            # in production normalize runs before check() either way.
+            twin = make_message(0.0, env_from, env_to, client_ip="10.2.0.9")
+            self._normalize(twin)
+            plain = plain_mta.check(twin)
+            assert hinted is plain, (env_from, env_to, hinted, plain)
+
+        assert batched_mta.accepted == plain_mta.accepted
+        assert batched_mta.dropped == plain_mta.dropped
+        assert batched_mta.dns_tempfails == plain_mta.dns_tempfails
+
+    def test_hint_resolution_is_deferred_to_check_time(self):
+        """The hint must not bake in a DNS verdict: a domain that becomes
+        unresolvable between precheck and delivery is still dropped."""
+        env = make_micro_env()
+        mta = env.installation.mta_in
+        message = make_message(0.0, CONTACT, USER_ADDRESS)
+        mta.precheck_batch([message])
+        pre_dns, sender_domain, post = message.mta_hint
+        assert pre_dns is None and post is None
+        assert sender_domain == CONTACT_DOMAIN
+        # Remove the sender's records after precheck: check() must notice.
+        env.registry.remove_records(CONTACT_DOMAIN, DnsRegistry.A)
+        env.registry.remove_records(CONTACT_DOMAIN, DnsRegistry.MX)
+        assert mta.check(message) is DropReason.UNRESOLVABLE_DOMAIN

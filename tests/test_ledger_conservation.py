@@ -103,3 +103,28 @@ class TestCachedEqualsUncachedWithAuditOn:
             cached.ledger_stats.pending_at_horizon
             == uncached.ledger_stats.pending_at_horizon
         )
+
+
+class TestConservationUnderBatchedDelivery:
+    """PR 6's batched data plane must be invisible to the lifecycle
+    ledger: audited batched runs balance, and flipping batching off
+    changes no output byte."""
+
+    @pytest.mark.parametrize("seed", [3, 7])
+    def test_audited_batched_run_conserves(self, seed):
+        result = run_simulation(
+            "tiny", seed=seed, audit=True, batch_delivery=True
+        )
+        _assert_conserved(result)
+        assert result.ledger_stats.audit is True
+
+    def test_batched_equals_unbatched_with_audit_on(self):
+        batched = run_simulation(
+            "tiny", seed=5, audit=True, batch_delivery=True
+        )
+        unbatched = run_simulation(
+            "tiny", seed=5, audit=True, batch_delivery=False
+        )
+        _assert_conserved(batched)
+        _assert_conserved(unbatched)
+        assert store_digest(batched.store) == store_digest(unbatched.store)

@@ -110,3 +110,113 @@ class TestProperties:
         address = parse_address(f"{local}@{domain}")
         assert address.local == local
         assert address.domain == domain
+
+
+def _parser_accepts(raw: str) -> bool:
+    """Ground truth: does :func:`parse_address` accept *raw*?"""
+    try:
+        parse_address(raw)
+        return True
+    except AddressError:
+        return False
+
+
+class TestFastPathPin:
+    """Pin ``is_well_formed``'s single-regex fast path to ``parse_address``.
+
+    The fast path falls back to the parser on rejection, so the only way
+    the two can diverge is the fast path *accepting* a string the parser
+    rejects. These tests therefore generate acceptance-shaped strings
+    hugging every length boundary the fast path checks with arithmetic
+    (whole address 254, local 64, domain 253, final label 63) and assert
+    the memoised verdict equals the parser's. The memo cache is cleared
+    each time so a stale verdict can never mask a divergence.
+    """
+
+    def _verdict(self, raw: str) -> bool:
+        from repro.net.addresses import _WELL_FORMED_CACHE
+
+        _WELL_FORMED_CACHE.clear()
+        return is_well_formed(raw)
+
+    # Deterministic boundary probes: (local_len, label, tld) shapes around
+    # every limit the fast path enforces arithmetically.
+    BOUNDARIES = [
+        "a" * 64 + "@example.com",          # local at the 64 limit: valid
+        "a" * 65 + "@example.com",          # local over: invalid
+        "x@" + "a." * 124 + "com",          # domain 251 chars: valid
+        "x@" + ("a" * 63 + ".") * 3 + "a" * 61 + ".com",  # domain 257: invalid
+        "x@b." + "c" * 63,                  # final label at 63: valid
+        "x@b." + "c" * 64,                  # final label over 63: invalid
+        "a" * 64 + "@" + "b." * 92 + "com", # total 252: valid
+        "a" * 64 + "@" + "b." * 93 + "com", # total 254 but domain fine: valid
+        "a" * 64 + "@" + "b." * 94 + "com", # total 256: invalid
+        "x@" + "a" * 62 + "b.com",          # label at 63: valid
+        "x@" + "a" * 63 + "b.com",          # label at 64: invalid
+        "x@a-b.com",                        # interior hyphen: valid
+        "x@-ab.com",                        # leading hyphen label: invalid
+        "x@ab-.com",                        # trailing hyphen label: invalid
+        "x@ab.c",                           # 1-char TLD: invalid
+        "x@ab.co",                          # 2-char TLD: valid
+        "x@ab.c0",                          # digit in TLD: invalid
+        "x.y@a.b.c.d.example.org",          # deep nesting: valid
+        "x..y@example.com",                 # empty atom: invalid
+        "x@example..com",                   # empty label: invalid
+    ]
+
+    @pytest.mark.parametrize("raw", BOUNDARIES)
+    def test_boundary_probes_match_parser(self, raw):
+        assert self._verdict(raw) == _parser_accepts(raw), raw
+
+    @given(
+        st.from_regex(
+            r"[A-Za-z0-9!#$%&'*+/=?^_`{|}~.-]{1,70}", fullmatch=True
+        ),
+        st.lists(
+            st.from_regex(r"[A-Za-z0-9-]{1,66}", fullmatch=True),
+            min_size=1,
+            max_size=5,
+        ),
+        st.from_regex(r"[A-Za-z]{1,66}", fullmatch=True),
+    )
+    def test_fuzzed_acceptance_shapes_match_parser(self, local, labels, tld):
+        # Assemble strings that plausibly match _FULL_RE (atext locals with
+        # dots anywhere, LDH labels up to 66 chars, alpha TLDs up to 66) —
+        # exactly the population where an arithmetic slip in the fast path
+        # would over-accept relative to the parser.
+        raw = local + "@" + ".".join(labels + [tld])
+        assert self._verdict(raw) == _parser_accepts(raw), raw
+
+    @given(st.text(max_size=300))
+    def test_arbitrary_text_matches_parser(self, raw):
+        assert self._verdict(raw) == _parser_accepts(raw)
+
+
+class TestSplitAddress:
+    """``split_address`` is a plain textual split used after validation."""
+
+    def test_splits_and_lowercases_domain(self):
+        from repro.net.addresses import split_address
+
+        assert split_address("Dept-X.P@SCN-1.COM") == ("Dept-X.P", "scn-1.com")
+
+    def test_memoised_verdict_is_stable(self):
+        from repro.net.addresses import _SPLIT_CACHE, split_address
+
+        _SPLIT_CACHE.clear()
+        first = split_address("alice@Example.COM")
+        second = split_address("alice@Example.COM")
+        assert first == second == ("alice", "example.com")
+        assert "alice@Example.COM" in _SPLIT_CACHE
+
+    @given(
+        st.from_regex(r"[A-Za-z0-9.+_-]{1,40}", fullmatch=True),
+        st.from_regex(r"[A-Za-z0-9.-]{1,40}", fullmatch=True),
+    )
+    def test_agrees_with_rpartition(self, local, domain):
+        from repro.net.addresses import _SPLIT_CACHE, split_address
+
+        raw = f"{local}@{domain}"
+        _SPLIT_CACHE.clear()
+        expect_local, _, expect_domain = raw.rpartition("@")
+        assert split_address(raw) == (expect_local, expect_domain.lower())

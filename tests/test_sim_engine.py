@@ -229,3 +229,48 @@ class TestRecurrenceStartValidation:
         sim.schedule_every(10.0, lambda: fired.append(sim.now), start=100.0)
         sim.run(until=125.0)
         assert fired == [100.0, 110.0, 120.0]
+
+
+class TestCounterReset:
+    """Regression (ISSUE 6 satellite): an engine instance reused across
+    logically separate runs kept accumulating ``events_processed`` and
+    ``compactions``, so the second run reported the first run's work."""
+
+    def test_reset_counters_zeroes_statistics(self):
+        sim = Simulator()
+        doomed = [sim.schedule(float(i + 1), lambda: None) for i in range(90)]
+        keep = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        for event in doomed:
+            event.cancel()
+        sim.run()
+        assert sim.events_processed == len(keep)
+        assert sim.compactions >= 1
+
+        sim.reset_counters()
+        assert sim.events_processed == 0
+        assert sim.compactions == 0
+
+        # The next "run" starts its statistics from zero...
+        for i in range(5):
+            sim.schedule(sim.now + float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+        assert sim.compactions == 0
+
+    def test_reset_counters_leaves_queue_accounting_alone(self):
+        """pending/_cancelled are live state, not statistics — resetting
+        statistics must not corrupt a queue with work still in it."""
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        cancelled = sim.schedule(6.0, lambda: None)
+        cancelled.cancel()
+        batch = sim.schedule_batch(
+            [7.0, 8.0], [lambda _arg: None] * 2, [None, None]
+        )
+        assert batch is not None
+        before = sim.pending
+        sim.reset_counters()
+        assert sim.pending == before == 3
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 3

@@ -130,3 +130,121 @@ def test_run_until_is_half_open_and_advances_clock(seed):
     assert len(fired) == len(times)
     assert fired[before:] == sorted(fired[before:])
     assert all(at >= boundary for at in fired[before:])
+
+
+# -- batched scheduling (the PR 6 data plane) ---------------------------------
+
+
+def _mixed_operations(rng):
+    """A random scheduling script mixing batches and single events.
+
+    Returns ops of the form ``("single", t, tag)`` or ``("batch", rows)``;
+    times are coarse-grained so same-timestamp collisions (within a batch,
+    between batches, and between batch and single events) are common.
+    """
+    ops = []
+    tag = 0
+    for _ in range(rng.randrange(3, 8)):
+        if rng.random() < 0.5:
+            ops.append(("single", float(rng.randrange(0, 15)), tag))
+            tag += 1
+        else:
+            rows = sorted(
+                (float(rng.randrange(0, 15)), tag + i)
+                for i in range(rng.randrange(1, 40))
+            )
+            tag += len(rows)
+            ops.append(("batch", rows))
+    return ops
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batch_fires_identically_to_individual_scheduling(seed):
+    """schedule_batch is a pure packing: a batch must interleave with the
+    rest of the queue exactly as the same items scheduled one by one (the
+    same seqs are allocated, so the global (time, seq) order is equal)."""
+    ops = _mixed_operations(random.Random(seed))
+
+    def execute(batched):
+        sim = Simulator()
+        fired = []
+        for op in ops:
+            if op[0] == "single":
+                _, at, tag = op
+                sim.schedule(at, lambda t=tag: fired.append((sim.now, t)))
+            elif batched:
+                rows = op[1]
+                times = [t for t, _ in rows]
+                actions = [lambda t: fired.append((sim.now, t))] * len(rows)
+                args = [tag for _, tag in rows]
+                sim.schedule_batch(times, actions, args)
+            else:
+                for at, tag in op[1]:
+                    sim.schedule(
+                        at, lambda t=tag: fired.append((sim.now, t))
+                    )
+        sim.run()
+        return fired, sim.events_processed
+
+    batched_fired, batched_count = execute(batched=True)
+    plain_fired, plain_count = execute(batched=False)
+    assert batched_fired == plain_fired
+    assert batched_count == plain_count
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batch_interleaves_with_events_scheduled_mid_run(seed):
+    """Callbacks fired from batch items may schedule new single events;
+    those must interleave into the remaining batch in global time order."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+
+    def batch_action(tag):
+        fired.append(("batch", sim.now, tag))
+        if rng.random() < 0.5:
+            extra = sim.now + rng.uniform(0.0, 6.0)
+            sim.schedule(extra, lambda: fired.append(("late", sim.now)))
+
+    times = sorted(float(rng.randrange(0, 10)) for _ in range(60))
+    sim.schedule_batch(times, [batch_action] * 60, list(range(60)))
+    sim.run()
+    stamps = [entry[1] for entry in fired]
+    assert stamps == sorted(stamps)
+    assert sim.pending == 0
+    assert sim.events_processed == len(fired)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_run_until_pauses_and_resumes_mid_batch(seed):
+    """run(until=...) may stop with a batch partially consumed; resuming
+    must fire the remainder (and nothing twice)."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    times = sorted(float(rng.randrange(0, 20)) for _ in range(80))
+    sim.schedule_batch(
+        times, [lambda tag: fired.append(tag)] * 80, list(range(80))
+    )
+    boundary = 10.0
+    sim.run(until=boundary)
+    assert all(times[tag] < boundary for tag in fired)
+    assert sim.pending == 80 - len(fired)
+    sim.run()
+    assert sorted(fired) == list(range(80))
+    assert sim.pending == 0
+
+
+@pytest.mark.parametrize(
+    "preset,seed", [("tiny", 3), ("tiny", 7), ("small", 11)]
+)
+def test_full_simulation_digest_batched_vs_unbatched(preset, seed):
+    """End-to-end oracle for the whole batched data plane: columnar
+    generation + schedule_batch delivery must leave a store byte-identical
+    to per-message scheduling (same draws, ids, and tie-breaks)."""
+    from repro.experiments import run_simulation
+    from repro.experiments.parallel import store_digest
+
+    batched = run_simulation(preset, seed=seed, batch_delivery=True)
+    unbatched = run_simulation(preset, seed=seed, batch_delivery=False)
+    assert store_digest(batched.store) == store_digest(unbatched.store)
