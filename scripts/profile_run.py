@@ -69,6 +69,34 @@ def main(argv=None) -> int:
         help="write snapshots every N sim-days (to profile their cost)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the sharded data plane with N company shards",
+    )
+    parser.add_argument(
+        "--shard-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="concurrent shard workers (1 = sequential in-process)",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "spill store chunks under DIR (default: a temporary "
+            "directory when --spill is given)"
+        ),
+    )
+    parser.add_argument(
+        "--spill",
+        action="store_true",
+        help="enable the streaming spill store in a temporary directory",
+    )
+    parser.add_argument(
         "--top", type=int, default=25, help="hotspot rows to print per stage"
     )
     parser.add_argument(
@@ -81,6 +109,10 @@ def main(argv=None) -> int:
     checkpoint_dir = None
     if args.checkpoint_every is not None:
         checkpoint_dir = tempfile.mkdtemp(prefix="profile-ckpt-")
+    spill_dir = args.spill_dir
+    spill_tmp = None
+    if args.spill and spill_dir is None:
+        spill_dir = spill_tmp = tempfile.mkdtemp(prefix="profile-spill-")
 
     sim_profiler = cProfile.Profile()
     sim_profiler.enable()
@@ -96,6 +128,9 @@ def main(argv=None) -> int:
             else None
         ),
         checkpoint_dir=checkpoint_dir,
+        shards=args.shards,
+        shard_jobs=args.shard_jobs,
+        spill_dir=spill_dir,
     )
     sim_profiler.disable()
 
@@ -111,9 +146,30 @@ def main(argv=None) -> int:
     print(f"preset={args.preset} seed={args.seed}")
     print(
         f"simulation: {result.wall_seconds:.2f}s wall, "
-        f"{result.simulator.events_processed} events, "
+        f"{result.events_processed} events, "
         f"{sum(counts.values())} log records"
     )
+    memory = result.memory_stats
+    if memory is not None:
+        print(
+            f"peak memory: {memory.max_rss_bytes / 1e6:,.0f} MB RSS; store "
+            f"{memory.store_live_rows:,} rows "
+            f"({memory.store_live_bytes / 1e6:,.1f} MB) live, "
+            f"{memory.store_spilled_bytes / 1e6:,.1f} MB spilled"
+        )
+    shard_stats = result.shard_stats
+    if shard_stats is not None and hasattr(shard_stats, "per_shard"):
+        print(
+            f"shards: {shard_stats.n_shards} "
+            f"(max shard wall {shard_stats.max_shard_wall_seconds:.2f}s, "
+            f"{shard_stats.exchange_rows:,} exchange rows)"
+        )
+        for perf in shard_stats.per_shard:
+            print(
+                f"  shard {perf.index}: {perf.companies} companies, "
+                f"{perf.events_processed:,} events, {perf.wall_seconds:.2f}s, "
+                f"RSS {perf.max_rss_bytes / 1e6:,.0f} MB"
+            )
     stats = result.cache_stats
     print(
         "substrate caches: "
@@ -141,16 +197,23 @@ def main(argv=None) -> int:
         )
         from repro.core.recovery import latest_checkpoint, load_checkpoint
 
-        snapshot = latest_checkpoint(checkpoint_dir)
-        started_restore = time.perf_counter()
-        load_checkpoint(snapshot)
-        print(
-            f"restore from {pathlib.Path(snapshot).name}: "
-            f"{time.perf_counter() - started_restore:.3f}s"
+        # Sharded runs snapshot under per-shard subdirectories; time the
+        # restore of shard 0's newest snapshot in that case.
+        snapshot = latest_checkpoint(checkpoint_dir) or latest_checkpoint(
+            pathlib.Path(checkpoint_dir) / "shard-0"
         )
+        if snapshot is not None:
+            started_restore = time.perf_counter()
+            load_checkpoint(snapshot)
+            print(
+                f"restore from {pathlib.Path(snapshot).name}: "
+                f"{time.perf_counter() - started_restore:.3f}s"
+            )
     if checkpoint_dir is not None:
         shutil.rmtree(checkpoint_dir, ignore_errors=True)
     print(f"report generation: {report_seconds:.3f}s, {len(report)} chars")
+    if spill_tmp is not None:
+        shutil.rmtree(spill_tmp, ignore_errors=True)
 
     print(f"\n--- simulation hotspots (top {args.top}, {args.sort}) ---")
     _print_stats(sim_profiler, args.sort, args.top)

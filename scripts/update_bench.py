@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import re
@@ -59,20 +60,62 @@ import tempfile
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: One subprocess per repeat: print wall seconds, messages, events.
+#: The events read is getattr-based so the same probe runs against
+#: baseline trees that predate ``SimulationResult.events_processed``.
 _PROBE = """
 from repro.experiments.runner import run_simulation
 result = run_simulation({preset!r}, seed={seed})
-print(
-    result.wall_seconds,
-    len(result.store.mta),
-    result.simulator.events_processed,
-)
+events = getattr(result, "events_processed", 0)
+if not events:
+    events = result.simulator.events_processed
+print(result.wall_seconds, len(result.store.mta), events)
+"""
+
+#: Sharding probes (this tree only — never pointed at a baseline).
+_FULL_RUN_PROBE = """
+import json
+from repro.experiments.runner import run_simulation
+result = run_simulation({preset!r}, seed={seed})
+print(json.dumps({{
+    "wall_seconds": result.wall_seconds,
+    "messages": len(result.store.mta),
+    "events": result.events_processed,
+    "max_rss_bytes": result.memory_stats.max_rss_bytes,
+}}))
+"""
+
+_SHARD_WORKER_PROBE = """
+import json
+from repro.experiments.runner import run_simulation
+result = run_simulation({preset!r}, seed={seed}, shard_of=({index}, {shards}))
+print(json.dumps({{
+    "wall_seconds": result.wall_seconds,
+    "events": result.events_processed,
+    "max_rss_bytes": result.memory_stats.max_rss_bytes,
+    "local_rows": result.shard_stats.local_rows,
+}}))
+"""
+
+_SPILL_RUN_PROBE = """
+import json, shutil, tempfile
+from repro.experiments.runner import run_simulation
+d = tempfile.mkdtemp(prefix="bench-spill-")
+try:
+    result = run_simulation(
+        {preset!r}, seed={seed}, spill_dir=d, spill_chunk_rows={chunk_rows}
+    )
+    print(json.dumps({{
+        "wall_seconds": result.wall_seconds,
+        "max_rss_bytes": result.memory_stats.max_rss_bytes,
+        "spilled_bytes": result.memory_stats.store_spilled_bytes,
+        "live_rows": result.memory_stats.store_live_rows,
+    }}))
+finally:
+    shutil.rmtree(d, ignore_errors=True)
 """
 
 
-def _measure_once(src: pathlib.Path, preset: str, seed: int) -> tuple:
-    """Run one fresh-subprocess repeat against the tree at *src*."""
-    code = _PROBE.format(preset=preset, seed=seed)
+def _run_probe(src: pathlib.Path, code: str) -> str:
     proc = subprocess.run(
         [sys.executable, "-c", code],
         capture_output=True,
@@ -80,8 +123,109 @@ def _measure_once(src: pathlib.Path, preset: str, seed: int) -> tuple:
         env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin:/usr/local/bin"},
         check=True,
     )
-    wall, messages, events = proc.stdout.split()
+    return proc.stdout
+
+
+def _measure_once(src: pathlib.Path, preset: str, seed: int) -> tuple:
+    """Run one fresh-subprocess repeat against the tree at *src*."""
+    out = _run_probe(src, _PROBE.format(preset=preset, seed=seed))
+    wall, messages, events = out.split()
     return float(wall), int(messages), int(events)
+
+
+def measure_sharding(
+    src: pathlib.Path,
+    preset: str,
+    seed: int,
+    shards: int,
+    spill_chunk_rows: int,
+    repeats: int = 2,
+) -> dict:
+    """Honest sharding measurement on whatever box this runs on.
+
+    Each shard worker runs **sequentially in its own fresh subprocess**,
+    so its wall time and RSS high-water are what that worker would cost
+    on a dedicated core — on a 1-core box a live N-worker pool would
+    just timeslice and prove nothing. The projected N-core speedup is
+    ``wall(shards=1) / max(per-shard wall)``: with one worker per core
+    the run finishes when the slowest shard does. Repeats are
+    **interleaved** (full run, then every shard, then again) and best-of
+    is taken per configuration, so a host-speed swing between minutes
+    can't land entirely on one side of the ratio. A spill run of the
+    same workload records the bounded-memory counterpart.
+    """
+    cores = os.cpu_count() or 1
+    print(f"sharding measurement: {preset!r} seed={seed} shards={shards} "
+          f"x{repeats} interleaved repeats on {cores} core(s)", flush=True)
+    full = None
+    per_shard: list = [None] * shards
+    for rep in range(repeats):
+        run = json.loads(
+            _run_probe(src, _FULL_RUN_PROBE.format(preset=preset, seed=seed))
+        )
+        if full is None or run["wall_seconds"] < full["wall_seconds"]:
+            full = run
+        print(f"  [{rep + 1}/{repeats}] shards=1: "
+              f"{run['wall_seconds']:.2f}s, "
+              f"{run['max_rss_bytes'] / 1e6:,.0f} MB RSS", flush=True)
+        for index in range(shards):
+            worker = json.loads(
+                _run_probe(
+                    src,
+                    _SHARD_WORKER_PROBE.format(
+                        preset=preset, seed=seed, index=index, shards=shards
+                    ),
+                )
+            )
+            best = per_shard[index]
+            if best is None or worker["wall_seconds"] < best["wall_seconds"]:
+                per_shard[index] = worker
+            print(f"  [{rep + 1}/{repeats}] shard {index}/{shards}: "
+                  f"{worker['wall_seconds']:.2f}s, "
+                  f"{worker['max_rss_bytes'] / 1e6:,.0f} MB RSS, "
+                  f"{worker['local_rows']:,} local rows", flush=True)
+    spill = json.loads(
+        _run_probe(
+            src,
+            _SPILL_RUN_PROBE.format(
+                preset=preset, seed=seed, chunk_rows=spill_chunk_rows
+            ),
+        )
+    )
+    print(f"  spill    : {spill['wall_seconds']:.2f}s, "
+          f"{spill['max_rss_bytes'] / 1e6:,.0f} MB RSS, "
+          f"{spill['spilled_bytes'] / 1e6:,.0f} MB spilled", flush=True)
+    max_shard_wall = max(w["wall_seconds"] for w in per_shard)
+    return {
+        "preset": preset,
+        "seed": seed,
+        "shards": shards,
+        "cores": cores,
+        "wall_seconds_shards1": round(full["wall_seconds"], 2),
+        "messages": full["messages"],
+        "events": full["events"],
+        "max_rss_bytes_shards1": full["max_rss_bytes"],
+        "per_shard": [
+            {
+                "wall_seconds": round(w["wall_seconds"], 2),
+                "events": w["events"],
+                "max_rss_bytes": w["max_rss_bytes"],
+                "local_rows": w["local_rows"],
+            }
+            for w in per_shard
+        ],
+        "max_shard_wall_seconds": round(max_shard_wall, 2),
+        "projected_speedup_ncore": round(
+            full["wall_seconds"] / max_shard_wall, 2
+        ),
+        "spill": {
+            "chunk_rows": spill_chunk_rows,
+            "wall_seconds": round(spill["wall_seconds"], 2),
+            "max_rss_bytes": spill["max_rss_bytes"],
+            "spilled_bytes": spill["spilled_bytes"],
+            "live_rows": spill["live_rows"],
+        },
+    }
 
 
 def measure(
@@ -156,12 +300,22 @@ def cmd_write(args: argparse.Namespace) -> int:
             "preset": args.preset,
             "seed": args.seed,
             "repeats": args.repeats,
+            "workload_epoch": args.workload_epoch,
             **result,
             "baseline_pr": args.baseline_pr,
             "baseline_commit": args.baseline_commit,
             "python": platform.python_version(),
             "notes": args.notes,
         }
+        if args.measure_sharding:
+            entry["sharding"] = measure_sharding(
+                REPO_ROOT / "src",
+                args.shard_preset,
+                args.shard_seed,
+                args.shard_count,
+                args.spill_chunk_rows,
+                repeats=args.shard_repeats,
+            )
         path = REPO_ROOT / f"BENCH_PR{args.pr}.json"
         path.write_text(json.dumps(entry, indent=2) + "\n")
         print(f"wrote {path}")
@@ -243,6 +397,20 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline-pr", type=int, default=None)
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional ratio regression in --check")
+    parser.add_argument("--workload-epoch", type=int, default=1,
+                        help="bump when a PR legitimately changes the event "
+                             "count of the pinned workload (messages must "
+                             "still match; see tests/test_bench_trajectory)")
+    parser.add_argument("--measure-sharding", action="store_true",
+                        help="also record a sharded-data-plane measurement "
+                             "(per-shard fresh-subprocess walls + spill RSS) "
+                             "in the entry's 'sharding' object")
+    parser.add_argument("--shard-preset", default="medium",
+                        help="preset for --measure-sharding (pinned: medium)")
+    parser.add_argument("--shard-seed", type=int, default=11)
+    parser.add_argument("--shard-count", type=int, default=4)
+    parser.add_argument("--shard-repeats", type=int, default=2)
+    parser.add_argument("--spill-chunk-rows", type=int, default=50000)
     parser.add_argument("--notes", default="")
     args = parser.parse_args(argv)
     if args.check:

@@ -254,6 +254,20 @@ class ProbeAggregates:
 # ---------------------------------------------------------------------------
 
 
+def iter_chunks(records):
+    """Yield *records* as successive lists (one chunk at a time).
+
+    Spilled and merged tables expose ``chunks()``; a plain in-memory list
+    is its own single chunk. The multi-sweep builders below fold over
+    this, so aggregating a spilled table never needs the whole table
+    resident — memory stays bounded by one chunk.
+    """
+    chunks = getattr(records, "chunks", None)
+    if chunks is not None:
+        return chunks()
+    return iter((records,))
+
+
 def _day_buckets(ts: list) -> dict:
     """Histogram of int day indices for one table's time column.
 
@@ -288,11 +302,30 @@ def _build_mta(records) -> MtaAggregates:
     # instead of every record. Record order survives because ``Counter``
     # and ``dict`` keep first-seen insertion order, so every derived dict
     # is keyed exactly as a naive per-record loop would key it.
-    by_day = _day_buckets(list(map(attrgetter("t"), records)))
-    total_bytes = sum(map(attrgetter("size"), records))
-    shapes = Counter(
-        map(attrgetter("company_id", "open_relay", "drop_reason"), records)
-    )
+    #
+    # The sweeps fold chunk-by-chunk (:func:`iter_chunks`): a spilled
+    # table aggregates with one chunk resident at a time, and a single
+    # in-memory list is just the one-chunk case of the same fold.
+    total = 0
+    total_bytes = 0
+    by_day: dict = {}
+    shapes: Counter = Counter()
+    # company_id -> relay flag of its latest record so far: dict() keeps
+    # the *last* pair per key within a chunk, later chunks override.
+    last_flags: dict = {}
+    for chunk in iter_chunks(records):
+        total += len(chunk)
+        total_bytes += sum(map(attrgetter("size"), chunk))
+        for day, count in _day_buckets(
+            list(map(attrgetter("t"), chunk))
+        ).items():
+            by_day[day] = by_day.get(day, 0) + count
+        shapes.update(
+            map(attrgetter("company_id", "open_relay", "drop_reason"), chunk)
+        )
+        last_flags.update(
+            map(attrgetter("company_id", "open_relay"), chunk)
+        )
 
     dropped = 0
     closed_total = closed_dropped = closed_accepted = 0
@@ -327,17 +360,12 @@ def _build_mta(records) -> MtaAggregates:
     # ``CompanyMta.open_relay`` is the flag of the company's *latest*
     # record. A company whose records all carry one flag (the norm — the
     # flag is per-company configuration) resolves from the fold; only a
-    # company seen with both flags needs a scan, from the tail.
+    # company seen with both flags reads the last-flag sweep.
     flags = {company_id: row[3] for company_id, row in rows.items()}
-    mixed = {cid for cid, row in rows.items() if row[3] and row[4]}
-    if mixed:
-        for record in reversed(records):
-            company_id = record.company_id
-            if company_id in mixed:
-                flags[company_id] = record.open_relay
-                mixed.discard(company_id)
-                if not mixed:
-                    break
+    for company_id in (
+        cid for cid, row in rows.items() if row[3] and row[4]
+    ):
+        flags[company_id] = last_flags[company_id]
     per_company = {
         company_id: CompanyMta(
             total=row[0],
@@ -348,7 +376,7 @@ def _build_mta(records) -> MtaAggregates:
         for company_id, row in rows.items()
     }
     return MtaAggregates(
-        total=len(records),
+        total=total,
         total_bytes=total_bytes,
         dropped=dropped,
         by_day=by_day,
@@ -370,25 +398,46 @@ def _build_dispatch(records) -> DispatchAggregates:
     # Only the quarantined-gray subset (Figs. 6/7/12 need the record
     # objects themselves) still walks records in Python, and that subset
     # is a small fraction of the table.
-    total_bytes = sum(map(attrgetter("size"), records))
-    shapes = Counter(
-        map(
-            attrgetter(
-                "company_id",
-                "open_relay",
-                "challenge_created",
-                "category",
-                "filter_drop",
-            ),
-            records,
-        )
+    # Like :func:`_build_mta`, the sweeps fold chunk-by-chunk so spilled
+    # tables aggregate under bounded memory; the quarantined-gray record
+    # subsets append per chunk in record order, unchanged.
+    total = 0
+    total_bytes = 0
+    shapes: Counter = Counter()
+    kind_days: Counter = Counter()
+    gray_senders: set = set()
+    by_subject: dict = {}
+    with_challenge: list = []
+    is_gray = Category.GRAY
+    shape_getter = attrgetter(
+        "company_id",
+        "open_relay",
+        "challenge_created",
+        "category",
+        "filter_drop",
     )
-    kind_days = Counter(
-        zip(
-            map(attrgetter("kind"), records),
-            map(floordiv, map(attrgetter("t"), records), repeat(DAY)),
+    for chunk in iter_chunks(records):
+        total += len(chunk)
+        total_bytes += sum(map(attrgetter("size"), chunk))
+        shapes.update(map(shape_getter, chunk))
+        kind_days.update(
+            zip(
+                map(attrgetter("kind"), chunk),
+                map(floordiv, map(attrgetter("t"), chunk), repeat(DAY)),
+            )
         )
-    )
+        for record in chunk:
+            if record.category is is_gray and record.filter_drop is None:
+                gray_senders.add(
+                    (record.company_id, record.user, record.env_from)
+                )
+                subject_rows = by_subject.get(record.subject)
+                if subject_rows is None:
+                    by_subject[record.subject] = [record]
+                else:
+                    subject_rows.append(record)
+                if record.challenge_id is not None:
+                    with_challenge.append(record)
 
     white = black = gray = 0
     filter_drops: Counter = Counter()
@@ -455,22 +504,6 @@ def _build_dispatch(records) -> DispatchAggregates:
         elif kind is MessageKind.SPAM:
             weekend_spam[weekend] += count
 
-    gray_senders: set = set()
-    by_subject: dict = {}
-    with_challenge: list = []
-    is_gray = Category.GRAY
-    for record in records:
-        if record.category is is_gray and record.filter_drop is None:
-            gray_senders.add(
-                (record.company_id, record.user, record.env_from)
-            )
-            subject_rows = by_subject.get(record.subject)
-            if subject_rows is None:
-                by_subject[record.subject] = [record]
-            else:
-                subject_rows.append(record)
-            if record.challenge_id is not None:
-                with_challenge.append(record)
     per_company = {
         company_id: CompanyDispatch(
             total=row[0],
@@ -483,7 +516,7 @@ def _build_dispatch(records) -> DispatchAggregates:
         for company_id, row in rows.items()
     }
     return DispatchAggregates(
-        total=len(records),
+        total=total,
         total_bytes=total_bytes,
         white=white,
         black=black,

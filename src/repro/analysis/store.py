@@ -13,9 +13,14 @@ aggregate is never served after any append.
 
 from __future__ import annotations
 
+import os
+import pickle
+import struct
+import sys
+from dataclasses import dataclass
 from dataclasses import fields as dataclass_fields
 from dataclasses import is_dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.analysis.index import AnalysisIndex
 from repro.analysis.records import (
@@ -94,22 +99,215 @@ def _unpack_rows(value: object) -> list:
     return value
 
 
-class LogStore:
-    """Typed, append-only collection of all measurement logs."""
+# ---------------------------------------------------------------------------
+# Spill-to-disk tables
+# ---------------------------------------------------------------------------
 
-    def __init__(self) -> None:
-        self.mta: list[MtaRecord] = []
-        self.dispatch: list[DispatchRecord] = []
-        self.challenges: list[ChallengeRecord] = []
-        self.challenge_outcomes: list[ChallengeOutcomeRecord] = []
-        self.web_access: list[WebAccessRecord] = []
-        self.releases: list[ReleaseRecord] = []
-        self.whitelist_changes: list[WhitelistChangeRecord] = []
-        self.digests: list[DigestRecord] = []
-        self.expiries: list[ExpiryRecord] = []
-        self.outbound: list[OutboundMailRecord] = []
-        self.probes: list[ProbeObservation] = []
-        self.crashes: list[CrashRecord] = []
+
+#: Default in-memory tail bound per table before a chunk spills to disk.
+SPILL_CHUNK_ROWS = 50_000
+
+
+@dataclass(frozen=True)
+class SpillConfig:
+    """Where and how eagerly a :class:`LogStore` spills to disk."""
+
+    directory: str
+    chunk_rows: int = SPILL_CHUNK_ROWS
+
+
+class SpillTable:
+    """An append-only record table with a bounded in-memory tail.
+
+    Rows accumulate in ``tail``; once it reaches ``chunk_rows`` they are
+    packed columnar (the same ``columnar-v1`` layout pickled checkpoints
+    use) and appended as one framed pickle to this table's chunk file.
+    Iteration replays spilled chunks from disk in order, one chunk in
+    memory at a time, then the live tail — so full-table consumers see
+    exactly the list a plain in-memory table would hold, while resident
+    memory is bounded by one chunk.
+
+    The chunk file is strictly append-only: a checkpoint snapshot carries
+    the chunk offsets valid at snapshot time, and a run resumed from it
+    simply appends new chunks after the file's current end. Bytes written
+    between the snapshot and the crash are never referenced again — dead
+    weight on disk, invisible to iteration, so resume stays byte-identical
+    without any truncation dance.
+    """
+
+    __slots__ = ("path", "chunk_rows", "tail", "_chunks", "_spilled_rows",
+                 "bytes_spilled")
+
+    def __init__(self, path: str, chunk_rows: int = SPILL_CHUNK_ROWS) -> None:
+        self.path = path
+        self.chunk_rows = chunk_rows
+        self.tail: list = []
+        #: (byte offset, row count) per spilled chunk, in append order.
+        self._chunks: list = []
+        self._spilled_rows = 0
+        self.bytes_spilled = 0
+
+    def append(self, record) -> None:
+        self.tail.append(record)
+        if len(self.tail) >= self.chunk_rows:
+            self.flush()
+
+    def flush(self) -> None:
+        """Spill the tail as one framed columnar chunk."""
+        if not self.tail:
+            return
+        payload = pickle.dumps(
+            _pack_rows(self.tail), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        with open(self.path, "ab") as handle:
+            offset = handle.tell()
+            handle.write(struct.pack("<Q", len(payload)))
+            handle.write(payload)
+        self._chunks.append((offset, len(self.tail)))
+        self._spilled_rows += len(self.tail)
+        self.bytes_spilled += len(payload) + 8
+        self.tail = []
+
+    def _load_chunk(self, offset: int) -> list:
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            (size,) = struct.unpack("<Q", handle.read(8))
+            return _unpack_rows(pickle.loads(handle.read(size)))
+
+    def chunks(self) -> Iterator[list]:
+        """Yield the table as successive record lists, in record order."""
+        for offset, _rows in self._chunks:
+            yield self._load_chunk(offset)
+        if self.tail:
+            yield self.tail
+
+    def __iter__(self):
+        for chunk in self.chunks():
+            yield from chunk
+
+    def __len__(self) -> int:
+        return self._spilled_rows + len(self.tail)
+
+    def __getitem__(self, index):
+        # Convenience for tests and small tables; O(chunks) on cold data.
+        if isinstance(index, slice):
+            return list(self)[index]
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(index)
+        seen = 0
+        for offset, rows in self._chunks:
+            if index < seen + rows:
+                return self._load_chunk(offset)[index - seen]
+            seen += rows
+        return self.tail[index - seen]
+
+    def __getstate__(self) -> dict:
+        # Ship chunk *references* plus the packed tail: a worker handing
+        # its store to the parent moves O(tail) bytes, not O(history) —
+        # the spilled chunks stay where they are on shared disk.
+        return {
+            "path": self.path,
+            "chunk_rows": self.chunk_rows,
+            "tail": _pack_rows(self.tail),
+            "chunks": self._chunks,
+            "spilled_rows": self._spilled_rows,
+            "bytes_spilled": self.bytes_spilled,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self.chunk_rows = state["chunk_rows"]
+        self.tail = _unpack_rows(state["tail"])
+        self._chunks = state["chunks"]
+        self._spilled_rows = state["spilled_rows"]
+        self.bytes_spilled = state["bytes_spilled"]
+
+
+class MergedTable:
+    """A lazy, ordered k-way merge view over per-shard tables.
+
+    Per-shard stores stay chunked on disk (or columnar in memory); this
+    view interleaves their record streams by a per-table sort key at
+    iteration time, reconstructing the exact record order a single
+    whole-world run would have logged. Nothing is copied record-by-record
+    into a new table — iteration holds at most one chunk per shard.
+    """
+
+    __slots__ = ("parts", "key")
+
+    def __init__(self, parts: list, key) -> None:
+        self.parts = parts
+        self.key = key
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self.parts)
+
+    def __iter__(self):
+        import heapq
+
+        key = self.key
+        return heapq.merge(*self.parts, key=key)
+
+    def chunks(self) -> Iterator[list]:
+        chunk: list = []
+        for record in self:
+            chunk.append(record)
+            if len(chunk) >= SPILL_CHUNK_ROWS:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self)[index]
+        if index < 0:
+            index += len(self)
+        from itertools import islice
+
+        for record in islice(self, index, index + 1):
+            return record
+        raise IndexError(index)
+
+
+class LogStore:
+    """Typed, append-only collection of all measurement logs.
+
+    With a :class:`SpillConfig` the record tables become
+    :class:`SpillTable`\\ s streaming history to columnar chunk files under
+    ``spill.directory``, keeping resident memory bounded by the live
+    tails; without one they are plain lists, exactly as before.
+    """
+
+    def __init__(self, spill: Optional[SpillConfig] = None) -> None:
+        self.spill = spill
+        if spill is not None:
+            os.makedirs(spill.directory, exist_ok=True)
+            for table in TABLES:
+                setattr(
+                    self,
+                    table,
+                    SpillTable(
+                        os.path.join(spill.directory, f"{table}.chunks"),
+                        spill.chunk_rows,
+                    ),
+                )
+        else:
+            self.mta: list[MtaRecord] = []
+            self.dispatch: list[DispatchRecord] = []
+            self.challenges: list[ChallengeRecord] = []
+            self.challenge_outcomes: list[ChallengeOutcomeRecord] = []
+            self.web_access: list[WebAccessRecord] = []
+            self.releases: list[ReleaseRecord] = []
+            self.whitelist_changes: list[WhitelistChangeRecord] = []
+            self.digests: list[DigestRecord] = []
+            self.expiries: list[ExpiryRecord] = []
+            self.outbound: list[OutboundMailRecord] = []
+            self.probes: list[ProbeObservation] = []
+            self.crashes: list[CrashRecord] = []
         self._versions: dict[str, int] = {table: 0 for table in TABLES}
         self._index: Optional[AnalysisIndex] = None
 
@@ -194,10 +392,18 @@ class LogStore:
         state = self.__dict__.copy()
         state["_index"] = None
         for table in TABLES:
-            state[table] = _pack_rows(state[table])
+            rows = state[table]
+            # Spilled tables carry their own chunk-reference pickling;
+            # merged views materialise (they only reach here when a cached
+            # RunSummary is written, an explicit choice to persist).
+            if isinstance(rows, list):
+                state[table] = _pack_rows(rows)
+            elif isinstance(rows, MergedTable):
+                state[table] = _pack_rows(list(rows))
         return state
 
     def __setstate__(self, state: dict) -> None:
+        state.setdefault("spill", None)
         for table in TABLES:
             state[table] = _unpack_rows(state[table])
         self.__dict__.update(state)
@@ -222,3 +428,44 @@ class LogStore:
     def summary_counts(self) -> dict[str, int]:
         """Record counts per log type (debugging / sanity checks)."""
         return {table: len(getattr(self, table)) for table in TABLES}
+
+    # -- spill management -------------------------------------------------
+
+    def flush(self) -> None:
+        """Spill every table's live tail (no-op for in-memory stores)."""
+        if self.spill is None:
+            return
+        for table in TABLES:
+            getattr(self, table).flush()
+
+    def live_rows(self) -> int:
+        """Records currently resident in memory (tails for spilled
+        stores, everything for in-memory ones)."""
+        total = 0
+        for table in TABLES:
+            rows = getattr(self, table)
+            total += len(rows.tail) if isinstance(rows, SpillTable) else len(rows)
+        return total
+
+    def live_bytes_estimate(self) -> int:
+        """Approximate resident bytes of the in-memory records.
+
+        Per-table: shallow object size of one sample record times the
+        live row count (slotted records are homogeneous, so one sample is
+        representative). An estimate — pointers into shared strings are
+        counted once per record — but it tracks growth faithfully, which
+        is what the flat-memory claim needs measured.
+        """
+        total = 0
+        for table in TABLES:
+            rows = getattr(self, table)
+            live = rows.tail if isinstance(rows, SpillTable) else rows
+            if live:
+                total += (sys.getsizeof(live[0]) + 64) * len(live)
+        return total
+
+    def spilled_bytes(self) -> int:
+        """Bytes written to spill chunk files so far (0 when in-memory)."""
+        if self.spill is None:
+            return 0
+        return sum(getattr(self, table).bytes_spilled for table in TABLES)

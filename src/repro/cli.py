@@ -185,6 +185,35 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "partition the companies across N worker processes "
+            "(digest-identical to the single-process run)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "concurrent shard workers (default: one per shard; 1 runs "
+            "the shards sequentially in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "stream full log chunks to columnar files under DIR, keeping "
+            "the store's resident memory bounded"
+        ),
+    )
+    parser.add_argument(
         "--load",
         metavar="PATH",
         help="analyse a previously saved run instead of simulating",
@@ -197,7 +226,14 @@ def _load_or_run(args: argparse.Namespace):
 
         return load_run(args.load)
     if getattr(args, "resume_from", None):
-        return run_simulation(resume_from=args.resume_from)
+        # For sharded runs --resume-from names the checkpoint *root*
+        # (each shard resumes from its own shard-<k>/ subdirectory).
+        return run_simulation(
+            resume_from=args.resume_from,
+            shards=getattr(args, "shards", None),
+            shard_jobs=getattr(args, "shard_jobs", None),
+            spill_dir=getattr(args, "spill_dir", None),
+        )
     checkpoint_every = getattr(args, "checkpoint_every", None)
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     if checkpoint_every is not None:
@@ -211,6 +247,9 @@ def _load_or_run(args: argparse.Namespace):
         crashes=getattr(args, "crashes", None),
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
+        shards=getattr(args, "shards", None),
+        shard_jobs=getattr(args, "shard_jobs", None),
+        spill_dir=getattr(args, "spill_dir", None),
     )
 
 
@@ -225,6 +264,23 @@ def _command_run(args: argparse.Namespace) -> int:
     )
     for name, value in counts.items():
         print(f"  {name:20s} {value:,}")
+    memory = getattr(result, "memory_stats", None)
+    if memory is not None:
+        print(
+            f"peak RSS {memory.max_rss_bytes / 1e6:,.0f} MB; store "
+            f"{memory.store_live_rows:,} rows live "
+            f"({memory.store_live_bytes / 1e6:,.1f} MB), "
+            f"{memory.store_spilled_bytes / 1e6:,.1f} MB spilled"
+        )
+    shard_stats = getattr(result, "shard_stats", None)
+    if shard_stats is not None and hasattr(shard_stats, "per_shard"):
+        for perf in shard_stats.per_shard:
+            print(
+                f"  shard {perf.index}: {perf.companies} companies, "
+                f"{perf.events_processed:,} events, "
+                f"{perf.wall_seconds:.1f}s, "
+                f"RSS {perf.max_rss_bytes / 1e6:,.0f} MB"
+            )
     if getattr(args, "save", None):
         from repro.analysis.persistence import save_run
 

@@ -55,7 +55,7 @@ from typing import Optional, Sequence, Union
 from repro._version import __version__
 from repro.analysis.context import DeploymentInfo
 from repro.analysis.persistence import encoded_records
-from repro.analysis.store import LogStore
+from repro.analysis.store import TABLES, LogStore
 from repro.core.config import CompanyConfig, FilterSettings
 from repro.core.recovery import latest_checkpoint
 from repro.experiments.runner import SimulationResult, run_simulation
@@ -99,6 +99,14 @@ class RunSpec:
     #: byte-identical: a request to write snapshots must actually execute
     #: and write them, not be satisfied from the cache.
     checkpoint_every: Optional[float] = None
+    #: Intra-run company shards (``None`` = the plain single-process
+    #: engine). Cached summaries are digest-identical either way, but a
+    #: request to exercise the sharded data plane must actually run it.
+    shards: Optional[int] = None
+    #: Run with the streaming spill store (a per-spec temporary
+    #: directory). Output is digest-identical to in-memory; in the cache
+    #: key for the same reason as ``audit``.
+    spill: bool = False
     #: Free-form display name (not part of the cache key).
     label: str = ""
 
@@ -117,20 +125,26 @@ class RunSpec:
         insertion order never changes the key.
         """
         overrides = sorted((self.config_overrides or {}).items())
-        canonical = repr(
-            (
-                __version__,
-                self.resolved_scale(),
-                self.seed,
-                self.calibration or DEFAULT_CALIBRATION,
-                self.filters_template,
-                overrides,
-                self.faults,
-                self.audit,
-                self.crashes,
-                self.checkpoint_every,
-            )
+        canonical_fields: tuple = (
+            __version__,
+            self.resolved_scale(),
+            self.seed,
+            self.calibration or DEFAULT_CALIBRATION,
+            self.filters_template,
+            overrides,
+            self.faults,
+            self.audit,
+            self.crashes,
+            self.checkpoint_every,
         )
+        # Default-folding for fields added after entries were cached: a
+        # spec that leaves them at their defaults hashes exactly as it
+        # did before the fields existed, so old cache entries stay valid.
+        if self.shards is not None:
+            canonical_fields += (("shards", self.shards),)
+        if self.spill:
+            canonical_fields += (("spill", True),)
+        canonical = repr(canonical_fields)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
@@ -222,18 +236,36 @@ def _execute_spec(
         snapshot = latest_checkpoint(directory)
         if snapshot is not None:
             return summarize_result(run_simulation(resume_from=snapshot))
-    result = run_simulation(
-        spec.preset,
-        seed=spec.seed,
-        calibration=spec.calibration,
-        filters_template=spec.filters_template,
-        config_overrides=spec.config_overrides,
-        faults=spec.faults,
-        audit=spec.audit,
-        crashes=spec.crashes,
-        checkpoint_every=spec.checkpoint_every,
-        checkpoint_dir=directory,
-    )
+    spill_dir = tempfile.mkdtemp(prefix="repro-spill-") if spec.spill else None
+    try:
+        result = run_simulation(
+            spec.preset,
+            seed=spec.seed,
+            calibration=spec.calibration,
+            filters_template=spec.filters_template,
+            config_overrides=spec.config_overrides,
+            faults=spec.faults,
+            audit=spec.audit,
+            crashes=spec.crashes,
+            checkpoint_every=spec.checkpoint_every,
+            checkpoint_dir=directory,
+            shards=spec.shards,
+            shard_jobs=1 if spec.shards else None,
+            spill_dir=spill_dir,
+        )
+        if spill_dir is not None:
+            # The spill directory dies with this call, so pull every
+            # table back into memory before the chunk files disappear.
+            store = result.store
+            for table in TABLES:
+                rows = getattr(store, table)
+                if not isinstance(rows, list):
+                    setattr(store, table, list(rows))
+    finally:
+        if spill_dir is not None:
+            import shutil
+
+            shutil.rmtree(spill_dir, ignore_errors=True)
     return summarize_result(result)
 
 

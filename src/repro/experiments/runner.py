@@ -12,12 +12,14 @@ pipeline needs.
 from __future__ import annotations
 
 import os
+import resource
+import sys
 import time
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 from repro.analysis.context import DeploymentInfo
-from repro.analysis.store import LogStore
+from repro.analysis.store import SPILL_CHUNK_ROWS, LogStore, SpillConfig
 from repro.blacklistd.monitor import BlacklistMonitor
 from repro.core.engine import CompanyInstallation
 from repro.core.ledger import LedgerError, LedgerSnapshot
@@ -29,6 +31,7 @@ from repro.core.recovery import (
     load_checkpoint,
 )
 from repro.net.crashes import CrashPlan, CrashSettings, get_crash_preset
+from repro.net.exchange import ShardContext, ShardExchange, ShardMap
 from repro.net.faults import FaultPlan, FaultSettings, get_fault_preset
 from repro.sim.engine import Simulator
 from repro.util.rng import RngStreams
@@ -311,6 +314,48 @@ class CrashStats:
         )
 
 
+@dataclass(frozen=True)
+class MemoryStats:
+    """Peak-memory accounting for one run (or one shard of a run).
+
+    ``max_rss_bytes`` is the process high-water mark — with spill enabled
+    it should stay roughly flat as the horizon grows, which is the whole
+    point of the streaming store. The ``store_*`` fields split the
+    measurement database between its bounded in-memory tails and what
+    already went to disk.
+    """
+
+    max_rss_bytes: int
+    store_live_rows: int
+    store_live_bytes: int
+    store_spilled_bytes: int
+
+    @classmethod
+    def collect(cls, store: LogStore) -> "MemoryStats":
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is kilobytes on Linux, bytes on macOS.
+        if sys.platform != "darwin":
+            rss *= 1024
+        return cls(
+            max_rss_bytes=rss,
+            store_live_rows=store.live_rows(),
+            store_live_bytes=store.live_bytes_estimate(),
+            store_spilled_bytes=store.spilled_bytes(),
+        )
+
+
+@dataclass(frozen=True)
+class ShardRunInfo:
+    """One shard's exchange-side residue, for the driver's reconciler."""
+
+    index: int
+    n_shards: int
+    #: ``(owner shard, epoch day) -> (row count, stream digest)``.
+    manifests: dict
+    local_rows: int
+    remote_rows: int
+
+
 def _unique_mtas(installations: dict[str, CompanyInstallation]) -> list:
     """Each installation's outbound MTAs, deduplicated — non-dual
     installations share one object between user and challenge mail."""
@@ -338,6 +383,14 @@ class SimulationResult:
     ledger_stats: Optional[LedgerStats] = None
     crash_stats: Optional[CrashStats] = None
     checkpoint_stats: Optional[CheckpointStats] = None
+    memory_stats: Optional[MemoryStats] = None
+    #: Engine event count (mirrors ``simulator.events_processed``; summed
+    #: across workers for sharded runs, where ``simulator`` is ``None``).
+    events_processed: int = 0
+    #: Per-shard :class:`ShardRunInfo` for a shard worker, an aggregate
+    #: :class:`repro.experiments.sharded.ShardStats` for a merged sharded
+    #: result, ``None`` for plain runs.
+    shard_stats: object = None
 
 
 def run_simulation(
@@ -354,6 +407,11 @@ def run_simulation(
     checkpoint_dir: Optional[str] = None,
     resume_from: Optional[str] = None,
     batch_delivery: bool = True,
+    shards: Optional[int] = None,
+    shard_jobs: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+    spill_chunk_rows: Optional[int] = None,
+    shard_of: Optional[tuple] = None,
 ) -> SimulationResult:
     """Simulate one deployment at the given scale preset and seed.
 
@@ -393,7 +451,39 @@ def run_simulation(
     heap entry instead of one EventBatch per day — same draws, same
     sort, same ids, so the measurement store must be bit-identical; the
     engine-batching property tests pin exactly that.
+
+    *shards* > 1 partitions the companies across that many worker
+    processes (DESIGN.md §12) and returns the deterministically merged
+    result — same store digest as ``shards=1``. *shard_jobs* bounds the
+    worker processes (default: one per shard; ``1`` runs the shards
+    sequentially in-process). *spill_dir* bounds the store's resident
+    memory by spilling full chunks of *spill_chunk_rows* records to
+    columnar files under that directory. *shard_of* ``(index, n_shards)``
+    is internal: it marks this invocation as one shard's worker.
     """
+    if shard_of is None and shards is not None and shards > 1:
+        from repro.experiments.sharded import run_sharded_simulation
+
+        return run_sharded_simulation(
+            preset,
+            seed=seed,
+            calibration=calibration,
+            filters_template=filters_template,
+            scenarios=scenarios,
+            config_overrides=config_overrides,
+            faults=faults,
+            audit=audit,
+            crashes=crashes,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
+            batch_delivery=batch_delivery,
+            shards=shards,
+            jobs=shard_jobs,
+            spill_dir=spill_dir,
+            spill_chunk_rows=spill_chunk_rows,
+        )
+
     started = time.perf_counter()
     if resume_from is not None:
         restore_started = time.perf_counter()
@@ -420,9 +510,24 @@ def run_simulation(
         scale, calibration, streams, filters_template, config_overrides
     )
     simulator = Simulator()
-    store = LogStore()
-    behavior = BehaviorModel(world, calibration, streams.stream("behavior"))
+    spill = None
+    if spill_dir is not None:
+        spill = SpillConfig(
+            directory=spill_dir,
+            chunk_rows=spill_chunk_rows or SPILL_CHUNK_ROWS,
+        )
+    store = LogStore(spill=spill)
+    behavior = BehaviorModel(world, calibration, streams)
     hooks = behavior.hooks()
+    shard_ctx = None
+    if shard_of is not None:
+        index, n_shards = shard_of
+        shard_map = ShardMap.from_world(world, n_shards)
+        shard_ctx = ShardContext(
+            shard_map=shard_map,
+            index=index,
+            exchange=ShardExchange(n_shards=n_shards, shard_index=index),
+        )
 
     horizon = scale.n_days * DAY
     fault_plan = None
@@ -433,6 +538,15 @@ def run_simulation(
         world.install_fault_plan(fault_plan)
     installations: dict[str, CompanyInstallation] = {}
     for company in world.companies:
+        # A shard worker instantiates only its own companies; remote
+        # companies' draws all come from per-company or replicated
+        # streams, so skipping their setup consumes nothing shared.
+        if (
+            shard_ctx is not None
+            and shard_ctx.shard_map.owner_of(company.company_id)
+            != shard_ctx.index
+        ):
+            continue
         installation = CompanyInstallation(
             config=company.config,
             simulator=simulator,
@@ -464,7 +578,7 @@ def run_simulation(
 
     generator = TraceGenerator(
         world, simulator, installations, streams,
-        batch_delivery=batch_delivery,
+        batch_delivery=batch_delivery, shard=shard_ctx,
     )
     generator.start(scale.n_days)
     for scenario in scenarios:
@@ -558,6 +672,17 @@ def _finish_run(
         checkpoint_stats = CheckpointStats(
             restored_from=restored_from, restore_seconds=restore_seconds
         )
+    shard_ctx = getattr(state.generator, "shard", None)
+    shard_stats = None
+    if shard_ctx is not None:
+        exchange = shard_ctx.exchange
+        shard_stats = ShardRunInfo(
+            index=shard_ctx.index,
+            n_shards=shard_ctx.n_shards,
+            manifests=dict(exchange.manifests),
+            local_rows=exchange.local_rows,
+            remote_rows=exchange.remote_rows,
+        )
     return SimulationResult(
         store=state.store,
         world=world,
@@ -572,6 +697,9 @@ def _finish_run(
         ledger_stats=ledger_stats,
         crash_stats=CrashStats.collect(state.crash_plan),
         checkpoint_stats=checkpoint_stats,
+        memory_stats=MemoryStats.collect(state.store),
+        events_processed=simulator.events_processed,
+        shard_stats=shard_stats,
     )
 
 
@@ -593,5 +721,11 @@ def _seed_newsletter_whitelists(installations, world, calibration, streams) -> N
     for source in world.newsletter_sources:
         for company_id, subscriber in source.subscribers:
             if rng.random() < calibration.newsletter_seed_prob:
-                installation = installations[company_id]
-                installation.seed_whitelist(subscriber, list(source.senders))
+                # .get, not []: a shard worker seeds only its own
+                # companies, but the draw above already happened — every
+                # shard consumes the identical stream.
+                installation = installations.get(company_id)
+                if installation is not None:
+                    installation.seed_whitelist(
+                        subscriber, list(source.senders)
+                    )

@@ -1,0 +1,198 @@
+"""The cross-shard SMTP exchange: partitioning and epoch manifests.
+
+A sharded run (§12 of DESIGN.md) splits the deployment's companies across
+N worker processes. Each worker replays the *whole* world's trace draws —
+the generator's RNG streams are consumed identically everywhere, so
+message ids and arrival times agree across shards by construction — but
+only materialises, prechecks, and delivers the messages owned by its own
+companies. What crosses shard boundaries is therefore not mail payloads
+(every shard can rebuild any message from the shared draw sequence) but
+*manifests*: per simulated-day epoch, each shard records the ``(time,
+msg_id)`` stream bound for every shard, batched per epoch and hashed in
+deterministic ``(time, msg_id)`` order regardless of worker scheduling.
+
+The driver reconciles the manifests at the end of the run: for every
+``(owner shard, epoch)`` cell, all N shards must have computed the same
+row count and digest. Any divergence — a worker whose replicated world
+drifted, a draw consumed out of order, a partition disagreement — is
+caught as an :class:`ExchangeDivergence` before the per-shard stores are
+merged, making the exchange a replica-consistency oracle for the whole
+sharded data plane.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.entities import World
+
+
+class ExchangeDivergence(RuntimeError):
+    """Two shards disagree about an epoch's cross-shard mail stream."""
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Deterministic assignment of companies to shards.
+
+    Built by greedy bin-packing on each company's *expected daily mail
+    volume* (largest first, ties broken by company order) — computed from
+    the replicated world, so every shard derives the identical map
+    locally with no coordination. User count alone is a poor weight: the
+    presets give every company the same headcount while per-company
+    spam/legit multipliers spread actual volume severalfold, and the
+    engine work a shard pays for is proportional to the rows it owns.
+    """
+
+    n_shards: int
+    #: company_id -> shard index.
+    owners: dict
+
+    @staticmethod
+    def _expected_volume(world: "World", company) -> float:
+        """Expected inbound messages/day, from the calibration rates the
+        generator itself draws from (arbitrary consistent units — only
+        ratios between companies matter for the packing)."""
+        cal = world.calibration
+        spam_mix = 1.0 + cal.spam_unknown_recipient_factor + cal.spam_foreign_factor
+        if company.config.open_relay:
+            spam_mix += cal.relay_spam_factor
+        per_user = (
+            cal.spam_valid_rate * company.spam_multiplier * spam_mix
+            + cal.white_rate * company.legit_multiplier
+            + cal.black_rate
+            + cal.newsletter_rate
+            + cal.dsn_rate
+        )
+        return company.n_users * per_user
+
+    @classmethod
+    def from_world(cls, world: "World", n_shards: int) -> "ShardMap":
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        # Stable sort: descending expected volume, original company order
+        # for equal weights. Every shard computes this identically.
+        weighted = sorted(
+            (
+                (cls._expected_volume(world, company), company)
+                for company in world.companies
+            ),
+            key=lambda pair: -pair[0],
+        )
+        loads = [0.0] * n_shards
+        owners: dict = {}
+        for weight, company in weighted:
+            shard = loads.index(min(loads))
+            owners[company.company_id] = shard
+            loads[shard] += weight
+        return cls(n_shards=n_shards, owners=owners)
+
+    def owner_of(self, company_id: str) -> int:
+        return self.owners[company_id]
+
+    def local_companies(self, shard_index: int) -> list:
+        return [
+            company_id
+            for company_id, owner in self.owners.items()
+            if owner == shard_index
+        ]
+
+
+@dataclass
+class ShardExchange:
+    """One worker's view of the exchange: per-epoch outbox manifests.
+
+    ``open_epoch``/``record``/``close_epoch`` bracket one planning day.
+    Rows arrive already sorted by ``(t, msg_id)`` (the day batch is
+    finalised time-sorted, ids ascend in generation order for equal
+    times). ``record`` only appends into per-owner time/id columns;
+    ``close_epoch`` packs each column pair once and hashes it in a
+    single sweep — per-row hasher updates cost real seconds at millions
+    of rows/day and this is the sharded hot loop. Columns are dropped at
+    close, so the finished manifest is a small picklable dict, safe to
+    checkpoint between planning days.
+    """
+
+    n_shards: int
+    shard_index: int
+    #: (owner shard, epoch day) -> (row count, stream digest hex).
+    manifests: dict = field(default_factory=dict)
+    local_rows: int = 0
+    remote_rows: int = 0
+    _open: Optional[tuple] = None
+
+    def open_epoch(self, day: int) -> None:
+        self._open = (
+            day,
+            [([], []) for _ in range(self.n_shards)],
+        )
+
+    def record(self, t: float, msg_id: int, owner: int) -> None:
+        ts, ids = self._open[1][owner]
+        ts.append(t)
+        ids.append(msg_id)
+
+    @property
+    def open_cells(self) -> list:
+        """Per-owner ``(times, ids)`` columns of the open epoch, for the
+        dispatch hot loop to append into directly (one attribute lookup
+        instead of millions of ``record`` calls)."""
+        return self._open[1]
+
+    def close_epoch(self) -> None:
+        day, cells = self._open
+        for owner, (ts, ids) in enumerate(cells):
+            n = len(ts)
+            if not n:
+                continue
+            digest = hashlib.sha256(
+                struct.pack(f"<{n}d", *ts) + struct.pack(f"<{n}q", *ids)
+            ).hexdigest()
+            self.manifests[(owner, day)] = (n, digest)
+            if owner == self.shard_index:
+                self.local_rows += n
+            else:
+                self.remote_rows += n
+        self._open = None
+
+
+def reconcile(per_shard_manifests: list) -> dict:
+    """Verify all shards computed identical manifests; return the merged
+    manifest (``(owner, epoch) -> (count, digest)``).
+
+    Raises :class:`ExchangeDivergence` naming the first disagreeing cell.
+    Every shard stages every row of the replicated trace, so each shard's
+    manifest covers the *whole* exchange — equality across shards is the
+    consistency proof.
+    """
+    reference = per_shard_manifests[0]
+    for shard, manifest in enumerate(per_shard_manifests[1:], start=1):
+        if manifest == reference:
+            continue
+        keys = set(reference) | set(manifest)
+        for key in sorted(keys):
+            if reference.get(key) != manifest.get(key):
+                owner, day = key
+                raise ExchangeDivergence(
+                    f"shard {shard} disagrees with shard 0 on epoch day "
+                    f"{day} for owner shard {owner}: "
+                    f"{manifest.get(key)} != {reference.get(key)}"
+                )
+    return dict(reference)
+
+
+@dataclass
+class ShardContext:
+    """Everything the trace generator needs to run shard-aware."""
+
+    shard_map: ShardMap
+    index: int
+    exchange: ShardExchange
+
+    @property
+    def n_shards(self) -> int:
+        return self.shard_map.n_shards

@@ -20,6 +20,7 @@ from repro.core.digest import DigestAction, DigestDecision
 from repro.core.engine import BehaviorHooks, CompanyInstallation
 from repro.core.message import MessageKind, SenderClass
 from repro.core.spools import GrayEntry
+from repro.util.rng import RngStreams
 from repro.util.simtime import DAY, HOUR, MINUTE
 from repro.workload.calibration import Calibration
 
@@ -28,13 +29,21 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class BehaviorModel:
-    """Implements both hooks of :class:`BehaviorHooks`."""
+    """Implements both hooks of :class:`BehaviorHooks`.
+
+    Draws come from one stream **per company** (``behavior/<company_id>``),
+    not a single shared stream consumed in global event order: a company's
+    human behaviour must depend only on that company's own events, so a
+    sharded run — where each worker only executes its own companies'
+    events — draws the identical sequence a whole-world run draws.
+    """
 
     def __init__(
-        self, world: "World", calibration: Calibration, rng: random.Random
+        self, world: "World", calibration: Calibration, streams: RngStreams
     ) -> None:
         self.calibration = calibration
-        self.rng = rng
+        self._streams = streams
+        self._rngs: dict[str, random.Random] = {}
         #: Digest entries the user has already decided on: users skim each
         #: quarantined message once — they do not re-evaluate yesterday's
         #: junk every morning.
@@ -56,6 +65,18 @@ class BehaviorModel:
             on_challenge_delivered=self.on_challenge_delivered,
             digest_review=self.digest_review,
         )
+
+    def _rng_for(self, installation: CompanyInstallation) -> random.Random:
+        """The company-local behaviour stream for *installation*."""
+        company_id = (
+            installation.config.company_id if installation is not None else ""
+        )
+        rng = self._rngs.get(company_id)
+        if rng is None:
+            rng = self._rngs[company_id] = self._streams.stream(
+                f"behavior/{company_id}"
+            )
+        return rng
 
     # -- challenge recipient behaviour -----------------------------------
 
@@ -79,12 +100,15 @@ class BehaviorModel:
         self, installation: CompanyInstallation, challenge: Challenge
     ) -> None:
         cal = self.calibration
-        roll = self.rng.random()
+        rng = self._rng_for(installation)
+        roll = rng.random()
         if roll < cal.legit_solve_prob:
-            self._schedule_solve(installation, challenge, self._solve_delay())
+            self._schedule_solve(
+                installation, challenge, self._solve_delay(rng)
+            )
         elif roll < cal.legit_solve_prob + cal.legit_abandon_prob:
             # Visited but never solved (0.25 % of delivered, §3.2).
-            delay = self._solve_delay()
+            delay = self._solve_delay(rng)
             self._schedule_open_only(installation, challenge, delay)
 
     def _newsletter_operator_reacts(
@@ -94,19 +118,21 @@ class BehaviorModel:
         origin,
     ) -> None:
         solve_prob = self._newsletter_solve_prob.get(origin.campaign_id, 0.0)
-        if self.rng.random() < solve_prob:
+        rng = self._rng_for(installation)
+        if rng.random() < solve_prob:
             # Operators answer during office hours, within the working day.
-            delay = self.rng.uniform(10 * MINUTE, 8 * HOUR)
+            delay = rng.uniform(10 * MINUTE, 8 * HOUR)
             self._schedule_solve(installation, challenge, delay)
 
     def _innocent_victim_reacts(
         self, installation: CompanyInstallation, challenge: Challenge
     ) -> None:
         cal = self.calibration
-        if self.rng.random() >= cal.innocent_open_prob:
+        rng = self._rng_for(installation)
+        if rng.random() >= cal.innocent_open_prob:
             return
-        delay = self.rng.uniform(10 * MINUTE, 2 * DAY)
-        if self.rng.random() < cal.innocent_solve_given_open:
+        delay = rng.uniform(10 * MINUTE, 2 * DAY)
+        if rng.random() < cal.innocent_solve_given_open:
             # The §4.1 mechanism: a victim solves a challenge for mail they
             # never sent, whitelisting the forged sender and releasing spam.
             self._schedule_solve(installation, challenge, delay)
@@ -121,7 +147,7 @@ class BehaviorModel:
         challenge: Challenge,
         delay: float,
     ) -> None:
-        attempts = self._sample_attempts()
+        attempts = self._sample_attempts(self._rng_for(installation))
         simulator = installation.simulator
         challenge_id = challenge.challenge_id
         open_at = simulator.now + delay
@@ -152,10 +178,10 @@ class BehaviorModel:
             partial(installation.record_web_open, challenge_id),
         )
 
-    def _sample_attempts(self) -> int:
+    def _sample_attempts(self, rng: random.Random) -> int:
         """How many CAPTCHA tries the solver needs (Fig. 4(b): at most 5)."""
         probs = self.calibration.captcha_attempts_probs
-        roll = self.rng.random()
+        roll = rng.random()
         cumulative = 0.0
         for i, p in enumerate(probs, start=1):
             cumulative += p
@@ -163,17 +189,17 @@ class BehaviorModel:
                 return i
         return len(probs)
 
-    def _solve_delay(self) -> float:
+    def _solve_delay(self, rng: random.Random) -> float:
         """Fig. 7/8 mixture: mostly minutes, a tail of hours-to-days."""
         cal = self.calibration
-        roll = self.rng.random()
+        roll = rng.random()
         if roll < cal.solve_fast_prob:
             return cal.solve_fast_median * math.exp(
-                self.rng.gauss(0.0, cal.solve_fast_sigma)
+                rng.gauss(0.0, cal.solve_fast_sigma)
             )
         if roll < cal.solve_fast_prob + cal.solve_medium_prob:
-            return self.rng.uniform(30 * MINUTE, 4 * HOUR)
-        return self.rng.uniform(4 * HOUR, 3 * DAY)
+            return rng.uniform(30 * MINUTE, 4 * HOUR)
+        return rng.uniform(4 * HOUR, 3 * DAY)
 
     # -- digest behaviour -------------------------------------------------------
 
@@ -186,7 +212,8 @@ class BehaviorModel:
     ) -> list[DigestDecision]:
         """One user's pass over their daily digest."""
         cal = self.calibration
-        if self.rng.random() >= cal.digest_review_prob:
+        rng = self._rng_for(installation)
+        if rng.random() >= cal.digest_review_prob:
             return []
         decisions = []
         for entry in entries:
@@ -196,7 +223,7 @@ class BehaviorModel:
             self._digest_decided.add(msg_id)
             kind = entry.message.kind
             campaign = entry.message.campaign_id or ""
-            roll = self.rng.random()
+            roll = rng.random()
             if not entry.message.env_from:
                 # Bounce notifications: skimmed and deleted half the time,
                 # never whitelisted (there is no sender to whitelist).
@@ -205,12 +232,12 @@ class BehaviorModel:
                         DigestDecision(
                             msg_id=msg_id,
                             action=DigestAction.DELETE,
-                            act_delay=self._act_delay(),
+                            act_delay=self._act_delay(rng),
                         )
                     )
             elif kind is MessageKind.LEGIT:
                 if roll < cal.digest_whitelist_prob_legit:
-                    decisions.append(self._whitelist_decision(entry))
+                    decisions.append(self._whitelist_decision(entry, rng))
             elif kind is MessageKind.NEWSLETTER:
                 # Solicited newsletters get rescued; unsolicited marketing
                 # blasts (mk-*) almost never do.
@@ -220,24 +247,26 @@ class BehaviorModel:
                     else cal.digest_whitelist_prob_newsletter
                 )
                 if roll < prob:
-                    decisions.append(self._whitelist_decision(entry))
+                    decisions.append(self._whitelist_decision(entry, rng))
             else:
                 if roll < cal.digest_delete_prob_spam:
                     decisions.append(
                         DigestDecision(
                             msg_id=entry.message.msg_id,
                             action=DigestAction.DELETE,
-                            act_delay=self._act_delay(),
+                            act_delay=self._act_delay(rng),
                         )
                     )
         return decisions
 
-    def _whitelist_decision(self, entry: GrayEntry) -> DigestDecision:
+    def _whitelist_decision(
+        self, entry: GrayEntry, rng: random.Random
+    ) -> DigestDecision:
         return DigestDecision(
             msg_id=entry.message.msg_id,
             action=DigestAction.WHITELIST,
-            act_delay=self._act_delay(),
+            act_delay=self._act_delay(rng),
         )
 
-    def _act_delay(self) -> float:
-        return self.rng.uniform(*self.calibration.digest_act_delay_range)
+    def _act_delay(self, rng: random.Random) -> float:
+        return rng.uniform(*self.calibration.digest_act_delay_range)

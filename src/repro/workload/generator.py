@@ -30,12 +30,17 @@ from functools import partial
 from itertools import accumulate
 from typing import Mapping
 
+from typing import Optional
+
 from repro.core.engine import CompanyInstallation
 from repro.core.message import (
+    EmailMessage,
     MessageBatch,
     MessageKind,
     SenderClass,
+    allocate_msg_id_block,
 )
+from repro.net.exchange import ShardContext
 from repro.sim.engine import Simulator
 from repro.util.rng import RngStreams, poisson
 from repro.util.simtime import DAY, HOUR, is_weekend
@@ -60,6 +65,7 @@ class TraceGenerator:
         installations: Mapping[str, CompanyInstallation],
         streams: RngStreams,
         batch_delivery: bool = True,
+        shard: Optional[ShardContext] = None,
     ) -> None:
         self.world = world
         self.calibration = world.calibration
@@ -72,6 +78,24 @@ class TraceGenerator:
             company_id: installation.handle_inbound
             for company_id, installation in self.installations.items()
         }
+        #: Sharded mode (DESIGN.md §12): *installations* covers only this
+        #: shard's companies, but every company's draws are still consumed
+        #: in the replicated order. ``_route`` maps each company to its
+        #: local handler or, for remote companies, to the owning shard's
+        #: index — staged rows carry that routing token instead of a
+        #: callable, and dispatch turns remote rows into exchange-manifest
+        #: entries rather than deliveries.
+        self.shard = shard
+        if shard is None:
+            self._route = self._inbound
+        else:
+            self._route = {
+                company.company_id: self._inbound.get(
+                    company.company_id,
+                    shard.shard_map.owner_of(company.company_id),
+                )
+                for company in world.companies
+            }
         #: False = stage and sort days exactly the same way, but schedule
         #: each message as its own heap entry. Exists so tests can pin
         #: batched ≡ unbatched behaviour; not a production mode.
@@ -154,7 +178,7 @@ class TraceGenerator:
         self._rows = batch.rows
         self._handlers = batch.handlers
         for company in self.world.companies:
-            installation = self.installations[company.company_id]
+            installation = self.installations.get(company.company_id)
             self._plan_user_mail(company, installation, day, legit_factor)
             self._plan_spam(company, day, spam_factor)
         self._plan_newsletters(day)
@@ -163,6 +187,9 @@ class TraceGenerator:
 
     def _dispatch_day(self, batch: MessageBatch, day: int) -> None:
         """Finalize the day's staged rows and hand them to the engine."""
+        if self.shard is not None:
+            self._dispatch_day_sharded(batch, day)
+            return
         times, handlers, messages = batch.finalize()
         self._rows = []
         self._handlers = []
@@ -171,6 +198,74 @@ class TraceGenerator:
         self.messages_generated += len(messages)
         # One DNS-independent MTA sweep per installation (handler identity
         # groups messages by company).
+        groups: dict = {}
+        groups_get = groups.get
+        for handler, message in zip(handlers, messages):
+            group = groups_get(handler)
+            if group is None:
+                group = groups[handler] = []
+            group.append(message)
+        for handler, group in groups.items():
+            handler.__self__.mta_in.precheck_batch(group)
+        if self.batch_delivery:
+            self.simulator.schedule_batch(
+                times, handlers, messages, label=f"day-{day}-mail"
+            )
+        else:
+            schedule = self.simulator.schedule
+            for t, handler, message in zip(times, handlers, messages):
+                schedule(t, partial(handler, message))
+
+    def _dispatch_day_sharded(self, batch: MessageBatch, day: int) -> None:
+        """Sharded finalize: replicate the id/sort bookkeeping of
+        :meth:`MessageBatch.finalize` exactly, but materialize only the
+        rows this shard owns. Every row — local or remote — is recorded in
+        the day's exchange-manifest epoch in the same ``(t, msg_id)``
+        order each peer shard computes, so the driver can prove the
+        replicated traces agreed before merging stores."""
+        shard = self.shard
+        exchange = shard.exchange
+        local_index = shard.index
+        rows = batch.rows
+        all_handlers = batch.handlers
+        self._rows = []
+        self._handlers = []
+        n = len(rows)
+        exchange.open_epoch(day)
+        if n == 0:
+            exchange.close_epoch()
+            return
+        # Ids are assigned by generation position before the sort — the
+        # block covers *all* companies' rows so local ids match the
+        # unsharded run's allocation bit-for-bit.
+        first = allocate_msg_id_block(n)
+        ts = [row[0] for row in rows]
+        order = sorted(range(n), key=ts.__getitem__)
+        # Append straight into the epoch's per-owner columns: this loop
+        # walks every row of the replicated trace, so even one method
+        # call per row is measurable at scale.
+        cells = exchange.open_cells
+        local_ts, local_ids = cells[local_index]
+        times: list = []
+        handlers: list = []
+        messages: list = []
+        for i in order:
+            handler = all_handlers[i]
+            t = ts[i]
+            if type(handler) is int:  # remote company: owner shard index
+                cell_ts, cell_ids = cells[handler]
+                cell_ts.append(t)
+                cell_ids.append(first + i)
+            else:
+                local_ts.append(t)
+                local_ids.append(first + i)
+                times.append(t)
+                handlers.append(handler)
+                messages.append(EmailMessage(first + i, *rows[i]))
+        exchange.close_epoch()
+        if not messages:
+            return
+        self.messages_generated += len(messages)
         groups: dict = {}
         groups_get = groups.get
         for handler, message in zip(handlers, messages):
@@ -202,7 +297,7 @@ class TraceGenerator:
         rng = self.rng
         size_model = self.size_model
         volume = self.world.scale.volume_scale
-        handler = self._inbound[company.company_id]
+        handler = self._route[company.company_id]
         white_rate = (
             cal.white_rate * company.legit_multiplier * volume * legit_factor
         )
@@ -268,11 +363,17 @@ class TraceGenerator:
                 rng, cal.sociality_manual_share * user.sociality * legit_factor
             )
             for _ in range(manual):
+                # Draws happen unconditionally (the replicated-trace
+                # invariant); only the local shard schedules the event.
                 address, _ip = self.world.create_new_contact(rng)
-                self.simulator.schedule(
-                    self._day_time(day, legit=True),
-                    partial(installation.manual_whitelist, user.address, address),
-                )
+                t = self._day_time(day, legit=True)
+                if installation is not None:
+                    self.simulator.schedule(
+                        t,
+                        partial(
+                            installation.manual_whitelist, user.address, address
+                        ),
+                    )
 
     def _stage_legit(
         self, handler, user, sender: str, day: int, size: int
@@ -340,15 +441,17 @@ class TraceGenerator:
     def _schedule_outbound(
         self, installation, user, rcpt: str, day: int
     ) -> None:
-        self.simulator.schedule(
-            self._day_time(day, legit=True),
-            partial(
-                installation.send_user_mail,
-                user.local,
-                rcpt,
-                self.size_model.legit(),
-            ),
-        )
+        # Draw order matches the historical inline call: arrival time from
+        # the trace stream first, then the size stream. Both draws happen
+        # even when the company lives on another shard (replicated-trace
+        # invariant); only the local shard schedules the delivery.
+        t = self._day_time(day, legit=True)
+        size = self.size_model.legit()
+        if installation is not None:
+            self.simulator.schedule(
+                t,
+                partial(installation.send_user_mail, user.local, rcpt, size),
+            )
 
     # -- newsletters ---------------------------------------------------------
 
@@ -365,13 +468,12 @@ class TraceGenerator:
             size = self.size_model.newsletter()
             volume = self.world.scale.volume_scale
             for company_id, subscriber in source.subscribers:
-                handler = self._inbound.get(company_id)
-                if handler is None:
-                    continue
                 # Newsletter volume scales with the preset like every other
-                # inbound stream.
+                # inbound stream. The roll precedes the routing lookup so
+                # remote subscribers consume the identical draws.
                 if self.rng.random() >= volume:
                     continue
+                handler = self._route[company_id]
                 t = self._day_time(day, legit=True)
                 self._rows.append((
                     t,
@@ -401,7 +503,7 @@ class TraceGenerator:
             sender = self.rng.choice(source.senders)
             size = self.size_model.newsletter()
             for company in self.world.companies:
-                handler = self._inbound[company.company_id]
+                handler = self._route[company.company_id]
                 expected = source.coverage * company.n_users * volume
                 count = poisson(self.rng, expected)
                 targets = self.rng.sample(
@@ -464,7 +566,7 @@ class TraceGenerator:
             groups.append(
                 ("relay", poisson(rng, base * cal.relay_spam_factor))
             )
-        handler = self._inbound[company.company_id]
+        handler = self._route[company.company_id]
 
         random_ = rng.random
         choice = rng.choice

@@ -85,12 +85,26 @@ def test_entry_schema(pr, path, data):
 
 def test_entries_agree_on_workload():
     """Same pinned preset+seed => every entry saw the identical workload
-    (the simulation is deterministic, so message/event counts must agree)."""
+    (the simulation is deterministic, so message/event counts must agree).
+
+    Message counts are invariant across all entries — the trace draws are
+    pinned by the preset and seed. Event counts may legitimately change
+    when a PR reorganises *scheduling* (e.g. PR 7's per-company behavior
+    RNG split altered reaction timing and hence event totals without
+    touching the message workload); such PRs bump ``workload_epoch`` and
+    the events-equality check applies within an epoch.
+    """
     entries = _entries()
     messages = {data["messages"] for _, _, data in entries}
-    events = {data["events"] for _, _, data in entries}
     assert len(messages) == 1, f"workload drifted between entries: {messages}"
-    assert len(events) == 1, f"event counts drifted between entries: {events}"
+    by_epoch: dict = {}
+    for _, path, data in entries:
+        epoch = data.get("workload_epoch", 1)
+        by_epoch.setdefault(epoch, set()).add(data["events"])
+    for epoch, events in by_epoch.items():
+        assert len(events) == 1, (
+            f"event counts drifted within workload epoch {epoch}: {events}"
+        )
 
 
 def test_pr6_speedup_vs_pr5():

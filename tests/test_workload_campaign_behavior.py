@@ -89,11 +89,12 @@ class TestCampaign:
 
 class TestBehaviorModel:
     def _model(self, world):
-        return BehaviorModel(world, DEFAULT_CALIBRATION, random.Random(7))
+        return BehaviorModel(world, DEFAULT_CALIBRATION, RngStreams(7))
 
     def test_solve_delay_distribution_shape(self, world):
         model = self._model(world)
-        delays = [model._solve_delay() for _ in range(5000)]
+        rng = random.Random(7)
+        delays = [model._solve_delay(rng) for _ in range(5000)]
         under_5min = sum(1 for d in delays if d < 300) / len(delays)
         under_30min = sum(1 for d in delays if d < 1800) / len(delays)
         assert 0.15 < under_5min < 0.5
@@ -102,7 +103,8 @@ class TestBehaviorModel:
 
     def test_attempts_capped_at_five(self, world):
         model = self._model(world)
-        attempts = [model._sample_attempts() for _ in range(5000)]
+        rng = random.Random(7)
+        attempts = [model._sample_attempts(rng) for _ in range(5000)]
         assert max(attempts) <= 5
         assert min(attempts) >= 1
         share_one = attempts.count(1) / len(attempts)
