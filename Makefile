@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-check bench-update experiments reports \
-	stability sweep goldens clean
+	stability sweep goldens scenarios clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -36,6 +36,10 @@ sweep:
 
 goldens:
 	$(PYTHON) scripts/update_goldens.py
+
+# Run the full declarative scenario pack (audited) and every verdict.
+scenarios:
+	$(PYTHON) scripts/scenario_smoke.py --preset tiny --seed 7
 
 reports: bench experiments
 

@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
 """Attacks the paper scoped out, evaluated end-to-end (§6 / Limitations).
 
-Two adversarial scenarios against one victim company:
+Two adversarial scenarios against one victim company, loaded from the
+declarative pack under ``scenarios/`` (the same specs ``repro run
+--scenario <name>`` uses):
 
-1. **Trap bombing** — the attacker forges spam whose envelope senders are
-   spam-trap addresses, so every reflected challenge hits a trap and the
-   victim's challenge server gets blacklisted ("an attacker could
+1. **trap-bombing** — the attacker forges spam whose envelope senders
+   are spam-trap addresses, so every reflected challenge hits a trap and
+   the victim's challenge server gets blacklisted ("an attacker could
    intentionally forge malicious messages with the goal of forcing the
    server to send back the challenge to spam trap addresses", §6).
-2. **Whitelist spoofing** — the attacker forges likely-whitelisted sender
-   addresses, walking spam straight into the inbox ("trying to spoof the
-   sender address using a likely-whitelisted address", §7/Limitations).
+2. **whitelist-spoofing** — the attacker forges likely-whitelisted
+   sender addresses, walking spam straight into the inbox ("trying to
+   spoof the sender address using a likely-whitelisted address",
+   §7/Limitations).
 
-For each attack the study compares a baseline run against an attacked run
-of the *same seed* and reports the damage.
+For each attack the study compares a baseline run against a scenario run
+of the *same seed*, reports the damage, and prints the scenario's own
+machine-checked verdict table.
 
 Usage::
 
@@ -22,12 +26,13 @@ Usage::
 
 import argparse
 
+from repro.analysis import verdicts
 from repro.core.message import MessageKind
 from repro.core.spools import Category
 from repro.experiments import run_simulation
+from repro.scenarios import load_scenario
 from repro.util.render import TextTable
 from repro.util.simtime import DAY
-from repro.workload.attacks import TrapBombingAttack, WhitelistSpoofingAttack
 
 VICTIM = "c01"
 
@@ -44,41 +49,24 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--preset", default="tiny")
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--rate", type=float, default=120.0,
-                        help="attack messages per day")
     args = parser.parse_args()
+
+    bombing = load_scenario("trap-bombing")
+    spoofing = load_scenario("whitelist-spoofing")
 
     print("Baseline run ...")
     baseline = run_simulation(args.preset, seed=args.seed)
 
     print("Trap-bombing run ...")
-    bombed = run_simulation(
-        args.preset,
-        seed=args.seed,
-        scenarios=[
-            TrapBombingAttack(
-                company_id=VICTIM, messages_per_day=args.rate,
-                start_day=1, duration_days=6,
-            )
-        ],
-    )
+    bombed = run_simulation(args.preset, seed=args.seed, scenario=bombing)
     print("Whitelist-spoofing run ...")
-    spoofed = run_simulation(
-        args.preset,
-        seed=args.seed,
-        scenarios=[
-            WhitelistSpoofingAttack(
-                company_id=VICTIM, messages_per_day=args.rate,
-                start_day=1, duration_days=6, guess_prob=0.5,
-            )
-        ],
-    )
+    spoofed = run_simulation(args.preset, seed=args.seed, scenario=spoofing)
 
     victim_ip = baseline.installations[VICTIM].challenge_mta.ip
 
     table = TextTable(
         headers=["quantity", "baseline", "attacked"],
-        title=f"Trap bombing vs {VICTIM} ({args.rate:.0f} msg/day for 6 days)",
+        title=f"Trap bombing vs {VICTIM} (scenario: {bombing.name})",
     )
     table.add_row(
         "victim challenge-IP listed-days",
@@ -98,6 +86,8 @@ def main() -> None:
     table.add_row("victim blacklist bounces", base_bl, bomb_bl)
     print()
     print(table.render())
+    print()
+    print(verdicts.render(verdicts.evaluate(bombed, bombing), bombing.description))
 
     # Whitelist spoofing damage: attack spam reaching the inbox.
     attack_records = [
@@ -108,7 +98,7 @@ def main() -> None:
     )
     table = TextTable(
         headers=["quantity", "value"],
-        title=f"Whitelist spoofing vs {VICTIM} (guess_prob=0.5)",
+        title=f"Whitelist spoofing vs {VICTIM} (scenario: {spoofing.name})",
     )
     table.add_row("attack messages accepted", len(attack_records))
     table.add_row("delivered straight to inbox (whitelisted)", delivered_white)
@@ -125,6 +115,8 @@ def main() -> None:
     table.add_row("(baseline whitelisted spam, whole fleet)", baseline_inbox_spam)
     print()
     print(table.render())
+    print()
+    print(verdicts.render(verdicts.evaluate(spoofed, spoofing), spoofing.description))
     print(
         "\nReading: CR systems are 'ineffective by design against targeted"
         "\nattacks' (Sec. 4.1) — sender knowledge converts directly into"

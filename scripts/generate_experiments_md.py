@@ -188,6 +188,25 @@ def main() -> None:
         parts.append(f"## {title}\n")
         parts.append(commentary + "\n")
         parts.append("```\n" + report + "\n```\n")
+
+    # The verdicts experiment needs an attacked run: overlay one pack
+    # scenario (tiny scale keeps the regeneration cheap) and render its
+    # machine-checked verdict table.
+    print("Running trap-bombing scenario (tiny, seed 7) ...")
+    attacked = run_simulation("tiny", seed=7, scenario="trap-bombing")
+    report = EXPERIMENTS["verdicts"](attacked)
+    (reports_dir / "verdicts.txt").write_text(report + "\n")
+    parts.append("## Scenario verdicts — the Sec. 6 attacks as data\n")
+    parts.append(
+        "The declarative pack under `scenarios/` turns the attacks the "
+        "paper could only discuss (trap bombing, whitelist spoofing and "
+        "poisoning, backscatter storms, CAPTCHA farms) plus two benign "
+        "stress cases into named, hashable specs with machine-checked "
+        "pass/fail verdicts. Shown here: the trap-bombing scenario at "
+        "the `tiny` preset; run any of them with "
+        "`repro run --scenario <name>` (see `repro scenarios`).\n"
+    )
+    parts.append("```\n" + report + "\n```\n")
     stability = reports_dir / "scale_stability.txt"
     if stability.exists():
         parts.append("## Appendix — scale stability\n")

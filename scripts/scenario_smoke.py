@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI smoke test for the declarative scenario pack.
+
+Runs **every** scenario in ``scenarios/`` at a small scale with the
+lifecycle auditor on and asserts the three properties CI cares about:
+
+* **every verdict check evaluates** — each check produces a clean
+  pass-or-fail observation; a check whose metric computation errors
+  (``CheckResult.error``) fails the job, whatever its verdict;
+* **the attack actually happened** — nonzero attack-campaign dispatch
+  records, so a scenario whose attack silently never fires fails the
+  job instead of passing vacuously;
+* **ledger conservation under attack** — the audited run's message
+  ledger still balances (every accepted message reached exactly one
+  terminal disposition) with adversarial traffic in the mix.
+
+Exits nonzero with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/scenario_smoke.py --preset tiny --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.analysis.verdicts import evaluate  # noqa: E402
+from repro.experiments import run_simulation  # noqa: E402
+from repro.scenarios import load_scenario, scenario_names  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--preset", default="tiny", help="scale preset (default: tiny)"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    names = scenario_names()
+    if not names:
+        print("FAIL: scenario pack is empty", file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in names:
+        spec = load_scenario(name)
+        result = run_simulation(
+            args.preset, seed=args.seed, scenario=spec, audit=True
+        )
+
+        attack_rows = sum(
+            1
+            for r in result.store.dispatch
+            if (r.campaign_id or "").startswith("attack-")
+        )
+        verdict = evaluate(result, spec)
+        n_passed = sum(1 for c in verdict.checks if c.passed)
+        ledger = result.ledger_stats
+        print(
+            f"{name}: {attack_rows} attack rows, "
+            f"{n_passed}/{len(verdict.checks)} checks passed, "
+            f"verdict {'PASS' if verdict.passed else 'FAIL'}, "
+            f"ledger {ledger.accepted} accepted"
+        )
+
+        if attack_rows == 0:
+            failures.append(f"{name}: attack never fired (0 dispatch rows)")
+        for check in verdict.checks:
+            if check.error is not None:
+                failures.append(
+                    f"{name}: check {check.name!r} errored instead of "
+                    f"evaluating: {check.error}"
+                )
+        if not (ledger.audit and ledger.conserved):
+            failures.append(f"{name}: ledger conservation violated")
+        if ledger.accepted != ledger.terminal_total:
+            failures.append(
+                f"{name}: {ledger.accepted} accepted != "
+                f"{ledger.terminal_total} terminal"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"scenario smoke OK ({len(names)} scenarios)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,12 @@ Commands:
 * ``sweep`` — re-simulate across several seeds in parallel (``--jobs``)
   and report cross-seed stability of the Fig. 5 correlations and the
   CR-vs-Bayes comparison;
-* ``list`` — list available experiments and scale presets.
+* ``scenarios`` — list the declarative attack-scenario pack;
+* ``list`` — list available experiments, scale presets and scenarios.
+
+``run``, ``experiment``, ``company`` and ``sweep`` all accept
+``--scenario <name>`` to overlay a declarative scenario (attacks, fault
+weather, filter overrides, verdict checks) from the ``scenarios/`` pack.
 """
 
 from __future__ import annotations
@@ -123,11 +128,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash-fault preset applied to every run in the sweep",
     )
     sweep_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help=(
+            "overlay a declarative attack scenario on every run in the "
+            "sweep (see `repro scenarios`)"
+        ),
+    )
+    sweep_parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache under .cache/runs/",
     )
 
+    subparsers.add_parser(
+        "scenarios", help="list the declarative attack-scenario pack"
+    )
     subparsers.add_parser("list", help="list experiments and presets")
     return parser
 
@@ -214,6 +231,16 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help=(
+            "overlay a declarative attack scenario from the scenarios/ "
+            "pack (see `repro scenarios`); also accepts a path to a "
+            ".yaml file"
+        ),
+    )
+    parser.add_argument(
         "--load",
         metavar="PATH",
         help="analyse a previously saved run instead of simulating",
@@ -250,6 +277,7 @@ def _load_or_run(args: argparse.Namespace):
         shards=getattr(args, "shards", None),
         shard_jobs=getattr(args, "shard_jobs", None),
         spill_dir=getattr(args, "spill_dir", None),
+        scenario=getattr(args, "scenario", None),
     )
 
 
@@ -281,6 +309,12 @@ def _command_run(args: argparse.Namespace) -> int:
                 f"{perf.wall_seconds:.1f}s, "
                 f"RSS {perf.max_rss_bytes / 1e6:,.0f} MB"
             )
+    scenario = getattr(result, "scenario", None)
+    if scenario is not None and scenario.verdicts:
+        from repro.analysis import verdicts
+
+        print()
+        print(verdicts.render(verdicts.evaluate(result, scenario), scenario.description))
     if getattr(args, "save", None):
         from repro.analysis.persistence import save_run
 
@@ -351,6 +385,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 faults=args.faults,
                 audit=args.audit,
                 crashes=args.crashes,
+                scenario=args.scenario,
             )
             for seed in seeds
         ]
@@ -379,28 +414,73 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_scenarios(_args: argparse.Namespace) -> int:
+    from repro.scenarios import load_scenario, scenario_dir, scenario_names
+
+    names = scenario_names()
+    if not names:
+        print(f"no scenarios found under {scenario_dir()}/", file=sys.stderr)
+        return 1
+    print(f"scenario pack ({scenario_dir()}/):")
+    for name in names:
+        spec = load_scenario(name)
+        print(f"  {name}")
+        if spec.description:
+            print(f"      {spec.description}")
+        attacks = ", ".join(
+            f"{a.kind}@{a.company_id} d{a.start_day}+{a.duration_days}"
+            for a in spec.attacks
+        )
+        extras = []
+        if spec.faults is not None:
+            extras.append(f"faults={spec.faults}")
+        if spec.crashes is not None:
+            extras.append(f"crashes={spec.crashes}")
+        if spec.filters:
+            extras.append("filter overrides")
+        detail = f"      attacks: {attacks or '(none)'}"
+        if extras:
+            detail += f"; {'; '.join(extras)}"
+        print(detail)
+        print(f"      verdict checks: {len(spec.verdicts)}")
+    return 0
+
+
 def _command_list(_args: argparse.Namespace) -> int:
+    from repro.scenarios import scenario_names
+
     print("experiments:")
     for exp_id in sorted(EXPERIMENTS):
         print(f"  {exp_id}")
     print("presets:")
     for preset in preset_names():
         print(f"  {preset}")
+    print("scenarios:")
+    for name in scenario_names():
+        print(f"  {name}")
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.scenarios import ScenarioError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "experiment":
-        return _command_experiment(args)
-    if args.command == "company":
-        return _command_company(args)
-    if args.command == "sweep":
-        return _command_sweep(args)
-    if args.command == "list":
-        return _command_list(args)
+    try:
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "experiment":
+            return _command_experiment(args)
+        if args.command == "company":
+            return _command_company(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
+        if args.command == "scenarios":
+            return _command_scenarios(args)
+        if args.command == "list":
+            return _command_list(args)
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
     parser.print_help()
     return 1

@@ -29,8 +29,9 @@ Three design points worth knowing:
   parent's hash seed) is only spun up for two or more uncached specs.
 
 * **The result cache.** Each spec hashes to a key covering the resolved
-  scale config, seed, calibration, filter template, config overrides, and
-  the package version; summaries are pickled under ``.cache/runs/<key>.pkl``
+  scale config, seed, calibration, filter template, config overrides,
+  declarative scenario, and the package version; summaries are pickled
+  under ``.cache/runs/<key>.pkl``
   (override with ``$REPRO_CACHE_DIR``). Re-running a benchmark or ablation
   sweep with an unchanged spec set performs zero simulations. The runner
   counts ``cache_hits`` and ``runs_executed`` so tests can assert exactly
@@ -74,8 +75,12 @@ DEFAULT_CHECKPOINT_ROOT = ".cache/checkpoints"
 class RunSpec:
     """One independent simulation job: everything ``run_simulation`` needs.
 
-    Deliberately excludes ``scenarios`` — attack scenarios hold arbitrary
-    callables and are not picklable; studies that need them run serially.
+    Attack scenarios ride along declaratively: ``scenario`` names a pack
+    entry (or holds a resolved, hashable
+    :class:`~repro.scenarios.ScenarioSpec`), so scenario sweeps cache
+    and parallelise like every other spec. Raw ``scenarios`` *instances*
+    (arbitrary live objects) still have no place here — express the
+    attack as a spec instead.
     """
 
     preset: Union[str, ScaleConfig] = "tiny"
@@ -107,6 +112,11 @@ class RunSpec:
     #: directory). Output is digest-identical to in-memory; in the cache
     #: key for the same reason as ``audit``.
     spill: bool = False
+    #: Declarative attack scenario: a pack name or a resolved
+    #: :class:`~repro.scenarios.ScenarioSpec` (``None`` = no scenario).
+    #: Folded into the cache key as the *resolved* spec, so editing a
+    #: scenario's YAML invalidates its cached runs.
+    scenario: object = None
     #: Free-form display name (not part of the cache key).
     label: str = ""
 
@@ -144,6 +154,12 @@ class RunSpec:
             canonical_fields += (("shards", self.shards),)
         if self.spill:
             canonical_fields += (("spill", True),)
+        if self.scenario is not None:
+            from repro.scenarios import resolve_scenario
+
+            canonical_fields += (
+                ("scenario", resolve_scenario(self.scenario)),
+            )
         canonical = repr(canonical_fields)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -169,6 +185,10 @@ class RunSummary:
     #: SHA-256 over the canonical JSON encoding of every record, in codec
     #: order — two runs with equal digests produced identical logs.
     digest: str = ""
+    #: The run's resolved :class:`~repro.scenarios.ScenarioSpec`
+    #: (``None`` for scenario-free runs); read with ``getattr`` — cache
+    #: entries pickled before the field existed restore without it.
+    scenario: object = None
     #: Traceback text when the spec ultimately failed (after its retry);
     #: ``None`` for a successful run. A failed summary carries an empty
     #: store and is never written to the cache.
@@ -206,6 +226,7 @@ def summarize_result(result: SimulationResult) -> RunSummary:
         seed=result.seed,
         wall_seconds=result.wall_seconds,
         digest=store_digest(result.store),
+        scenario=getattr(result, "scenario", None),
     )
 
 
@@ -252,6 +273,7 @@ def _execute_spec(
             shards=spec.shards,
             shard_jobs=1 if spec.shards else None,
             spill_dir=spill_dir,
+            scenario=spec.scenario,
         )
         if spill_dir is not None:
             # The spill directory dies with this call, so pull every

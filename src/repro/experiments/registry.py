@@ -27,6 +27,7 @@ from repro.analysis import (
     spf_study,
     timeseries,
     variability,
+    verdicts,
 )
 from repro.experiments.runner import SimulationResult
 
@@ -64,6 +65,9 @@ EXPERIMENTS: Dict[str, Callable[[SimulationResult], str]] = {
     # Same shape again: crash counters and checkpoint overhead live on
     # result.crash_stats / result.checkpoint_stats.
     "recovery": lambda r: recovery.render_result(r),
+    # Scenario pass/fail verdicts evaluate result.scenario's declared
+    # checks against the store (a fixed notice for scenario-free runs).
+    "verdicts": lambda r: verdicts.render_result(r),
 }
 
 
@@ -98,6 +102,7 @@ CANONICAL_ORDER = (
     "faults",
     "audit",
     "recovery",
+    "verdicts",
 )
 
 

@@ -391,6 +391,10 @@ class SimulationResult:
     #: :class:`repro.experiments.sharded.ShardStats` for a merged sharded
     #: result, ``None`` for plain runs.
     shard_stats: object = None
+    #: The resolved :class:`repro.scenarios.ScenarioSpec` this run
+    #: executed, ``None`` for scenario-free runs. The ``verdicts``
+    #: experiment evaluates its checks against the store.
+    scenario: object = None
 
 
 def run_simulation(
@@ -412,6 +416,7 @@ def run_simulation(
     spill_dir: Optional[str] = None,
     spill_chunk_rows: Optional[int] = None,
     shard_of: Optional[tuple] = None,
+    scenario=None,
 ) -> SimulationResult:
     """Simulate one deployment at the given scale preset and seed.
 
@@ -422,6 +427,13 @@ def run_simulation(
     *scenarios* are extra traffic sources — typically
     :class:`repro.workload.attacks.AttackScenario` instances — installed
     alongside the regular trace generator.
+
+    *scenario* names a declarative scenario from the YAML pack (or
+    passes a resolved :class:`repro.scenarios.ScenarioSpec` directly):
+    its attacks are built and installed, and its fault/crash/filter
+    settings apply wherever the corresponding explicit argument was left
+    at its default (explicit arguments win). The resolved spec rides on
+    ``SimulationResult.scenario`` for the ``verdicts`` experiment.
 
     *faults* enables network-weather injection: a fault preset name
     (``"mild"``, ``"stormy"`` — see
@@ -482,6 +494,7 @@ def run_simulation(
             jobs=shard_jobs,
             spill_dir=spill_dir,
             spill_chunk_rows=spill_chunk_rows,
+            scenario=scenario,
         )
 
     started = time.perf_counter()
@@ -501,6 +514,21 @@ def run_simulation(
     audit = audit or os.environ.get("REPRO_AUDIT", "") not in ("", "0")
     scale = get_preset(preset) if isinstance(preset, str) else preset
     calibration = calibration or DEFAULT_CALIBRATION
+    scenario_spec = None
+    scenarios = list(scenarios)
+    if scenario is not None:
+        from repro.scenarios import resolve_scenario
+
+        scenario_spec = resolve_scenario(scenario)
+        # Scenario-declared weather and filters apply only where the
+        # caller left the explicit argument at its default.
+        if faults is None:
+            faults = scenario_spec.faults
+        if crashes is None:
+            crashes = scenario_spec.crashes
+        if filters_template is None:
+            filters_template = scenario_spec.filters_template()
+        scenarios.extend(scenario_spec.build_attacks())
     fault_settings = get_fault_preset(faults) if isinstance(faults, str) else faults
     crash_settings = get_crash_preset(crashes) if isinstance(crashes, str) else crashes
     reset_msg_ids()
@@ -581,8 +609,11 @@ def run_simulation(
         batch_delivery=batch_delivery, shard=shard_ctx,
     )
     generator.start(scale.n_days)
-    for scenario in scenarios:
-        scenario.install(world, simulator, installations, streams)
+    for attack in scenarios:
+        attack.install(
+            world, simulator, installations, streams,
+            shard=shard_ctx, behavior=behavior,
+        )
 
     crash_plan = None
     if crash_settings is not None and crash_settings.enabled:
@@ -603,6 +634,7 @@ def run_simulation(
         behavior=behavior,
         fault_plan=fault_plan,
         crash_plan=crash_plan,
+        scenario=scenario_spec,
     )
     if checkpoint_every is not None:
         if checkpoint_dir is None:
@@ -700,6 +732,9 @@ def _finish_run(
         memory_stats=MemoryStats.collect(state.store),
         events_processed=simulator.events_processed,
         shard_stats=shard_stats,
+        # getattr: snapshots written before the field existed restore
+        # without it.
+        scenario=getattr(state, "scenario", None),
     )
 
 

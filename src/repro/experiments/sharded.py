@@ -350,6 +350,15 @@ def _pool_context():
     return ctx()
 
 
+def _resolved_scenario(scenario):
+    """The merged result carries the resolved spec, like a plain run's."""
+    if scenario is None:
+        return None
+    from repro.scenarios import resolve_scenario
+
+    return resolve_scenario(scenario)
+
+
 def run_sharded_simulation(
     preset: Union[str, ScaleConfig] = "tiny",
     seed: int = 7,
@@ -368,6 +377,7 @@ def run_sharded_simulation(
     jobs: Optional[int] = None,
     spill_dir: Optional[str] = None,
     spill_chunk_rows: Optional[int] = None,
+    scenario=None,
 ) -> SimulationResult:
     """One deployment simulated across *shards* workers, merged back.
 
@@ -378,16 +388,15 @@ def run_sharded_simulation(
     subdirectories; *resume_from* takes the checkpoint *root* and each
     worker resumes from the newest snapshot in its own subdirectory.
 
-    Attack scenarios hold arbitrary callables with no shard-ownership
-    story, so they are refused rather than silently mis-simulated.
+    Attack scenarios (*scenarios* instances and the declarative
+    *scenario* spec alike) ship to every worker: each replica replays
+    the identical attack planning draws — the replicated-trace invariant
+    — while only the victim company's owner shard materialises and
+    delivers the forged mail, so the merged store still matches
+    ``shards=1`` byte-for-byte.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
-    if scenarios:
-        raise ValueError(
-            "attack scenarios are not supported in sharded runs; use "
-            "shards=1 for scenario studies"
-        )
     started = time.perf_counter()
     jobs = jobs or shards
 
@@ -404,6 +413,8 @@ def run_sharded_simulation(
             crashes=crashes,
             checkpoint_every=checkpoint_every,
             batch_delivery=batch_delivery,
+            scenarios=tuple(scenarios),
+            scenario=scenario,
         )
         if checkpoint_dir is not None:
             kwargs["checkpoint_dir"] = os.path.join(
@@ -498,4 +509,5 @@ def run_sharded_simulation(
         memory_stats=_sum_memory(outcomes),
         events_processed=sum(o.events_processed for o in outcomes),
         shard_stats=shard_stats,
+        scenario=_resolved_scenario(scenario),
     )

@@ -59,6 +59,25 @@ class BehaviorModel:
                 for source in world.marketing_sources
             }
         )
+        #: Attack campaigns whose operator answers challenges (a CAPTCHA
+        #: farm, a whitelist poisoner): campaign_id -> (solve_prob,
+        #: delay_min, delay_max). Registered by
+        #: :meth:`repro.workload.attacks.AttackScenario.install`; empty —
+        #: and consulted without consuming any RNG — in scenario-free
+        #: runs, so their goldens stay byte-identical.
+        self._campaign_solvers: dict = {}
+
+    def register_campaign_solver(
+        self,
+        campaign_id: str,
+        solve_prob: float,
+        delay_min: float,
+        delay_max: float,
+    ) -> None:
+        """Arm an attacker-operated challenge solver for *campaign_id*."""
+        self._campaign_solvers[campaign_id] = (
+            solve_prob, delay_min, delay_max
+        )
 
     def hooks(self) -> BehaviorHooks:
         return BehaviorHooks(
@@ -86,6 +105,14 @@ class BehaviorModel:
         """Decide how the mailbox that received this challenge reacts."""
         origin = challenge.origin
         if origin is None:
+            return
+        solver = (
+            self._campaign_solvers.get(origin.campaign_id)
+            if origin.campaign_id
+            else None
+        )
+        if solver is not None:
+            self._attacker_reacts(installation, challenge, solver)
             return
         if origin.kind is MessageKind.LEGIT:
             self._legit_sender_reacts(installation, challenge)
@@ -122,6 +149,21 @@ class BehaviorModel:
         if rng.random() < solve_prob:
             # Operators answer during office hours, within the working day.
             delay = rng.uniform(10 * MINUTE, 8 * HOUR)
+            self._schedule_solve(installation, challenge, delay)
+
+    def _attacker_reacts(
+        self,
+        installation: CompanyInstallation,
+        challenge: Challenge,
+        solver: tuple,
+    ) -> None:
+        """An attack operator (CAPTCHA farm, poisoner) answering its own
+        challenges. Draws come from the victim company's behaviour stream
+        so sharded runs replay them identically."""
+        solve_prob, delay_min, delay_max = solver
+        rng = self._rng_for(installation)
+        if rng.random() < solve_prob:
+            delay = rng.uniform(delay_min, delay_max)
             self._schedule_solve(installation, challenge, delay)
 
     def _innocent_victim_reacts(

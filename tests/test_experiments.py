@@ -82,7 +82,7 @@ class TestRegistry:
             "fig4a", "fig4b", "sec31", "sec32", "sec33", "fig5", "fig6",
             "sec41", "fig7", "fig8", "sec42", "fig9", "sec43", "fig10",
             "fig11", "sec51", "fig12", "sec6", "faults", "audit",
-            "recovery",
+            "recovery", "verdicts",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -104,4 +104,5 @@ class TestRegistry:
             or "fault" in out
             or "conservation" in out
             or "crash" in out
+            or "scenario" in out
         )

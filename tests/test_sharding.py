@@ -52,9 +52,14 @@ def test_sharded_pool_digest_matches_sequential():
     assert pooled == sequential
 
 
-def test_sharded_run_refuses_scenarios():
-    with pytest.raises(ValueError, match="scenarios"):
-        run_simulation("tiny", seed=7, shards=2, scenarios=[object()])
+@pytest.mark.parametrize("seed", [3, 11])
+def test_sharded_scenario_digest_matches_unsharded(seed):
+    """Scenario runs shard too: attack planning replays identically on
+    every replica, only the victim's owner shard delivers, and the merged
+    store still matches shards=1 byte-for-byte."""
+    base = _digest(seed=seed, scenario="captcha-farm")
+    sharded = _digest(seed=seed, scenario="captcha-farm", shards=4, shard_jobs=1)
+    assert sharded == base
 
 
 # -- the exchange ------------------------------------------------------------

@@ -140,3 +140,55 @@ class TestWhitelistSpoofing:
                     WhitelistSpoofingAttack(company_id="c99")
                 ],
             )
+
+
+class TestInstallHardening:
+    def test_reused_attack_instance_is_deterministic(self):
+        """Regression: a TrapBombingAttack reused across runs must behave
+        as a fresh instance — per-run state (the forged sender IP pool)
+        is allocated in install(), not lazily on first forge."""
+        from repro.experiments.parallel import store_digest
+
+        reused = TrapBombingAttack(company_id=VICTIM, duration_days=3)
+        first = run_simulation("tiny", seed=17, scenarios=[reused])
+        second = run_simulation("tiny", seed=17, scenarios=[reused])
+        fresh = run_simulation(
+            "tiny",
+            seed=17,
+            scenarios=[TrapBombingAttack(company_id=VICTIM, duration_days=3)],
+        )
+        assert store_digest(second.store) == store_digest(first.store)
+        assert store_digest(second.store) == store_digest(fresh.store)
+
+    def test_attack_window_past_horizon_raises(self):
+        # Tiny horizon is 10 days; days 8..12 would silently never fire.
+        with pytest.raises(ValueError, match="horizon"):
+            run_simulation(
+                "tiny",
+                seed=17,
+                scenarios=[
+                    TrapBombingAttack(
+                        company_id=VICTIM, start_day=8, duration_days=5
+                    )
+                ],
+            )
+
+    def test_negative_start_day_raises(self):
+        with pytest.raises(ValueError):
+            run_simulation(
+                "tiny",
+                seed=17,
+                scenarios=[
+                    TrapBombingAttack(company_id=VICTIM, start_day=-1)
+                ],
+            )
+
+    def test_zero_duration_raises(self):
+        with pytest.raises(ValueError):
+            run_simulation(
+                "tiny",
+                seed=17,
+                scenarios=[
+                    TrapBombingAttack(company_id=VICTIM, duration_days=0)
+                ],
+            )
