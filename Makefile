@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-check bench-update experiments reports \
-	stability sweep goldens scenarios clean
+	stability sweep goldens scenarios frontier clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -40,6 +40,11 @@ goldens:
 # Run the full declarative scenario pack (audited) and every verdict.
 scenarios:
 	$(PYTHON) scripts/scenario_smoke.py --preset tiny --seed 7
+
+# Reduced FP/FN frontier (clean row + one attack, every chain) with the
+# non-degeneracy gate; `python -m repro experiment frontier` is the full one.
+frontier:
+	$(PYTHON) scripts/frontier_smoke.py --preset tiny
 
 reports: bench experiments
 

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""CI smoke test for the FP/FN frontier experiment.
+
+Runs a reduced frontier — the clean row plus one attack scenario, every
+chain column, the full default seed set — and asserts the machine-checked
+non-degeneracy gate :func:`repro.analysis.frontier.check_frontier` holds:
+
+* **every cell evaluates** — each (scenario, chain) cell observed both
+  mail classes and none of its seed runs failed;
+* **the paper's §1 ordering is measured, not cited** — on the clean row,
+  pure CR's end-to-end false-positive rate is strictly below the online
+  naive-Bayes chain's.
+
+The seed set must stay the full :data:`FRONTIER_SEEDS` — the FP ordering
+is a statistical claim and holds over the set, not per seed.
+
+Exits nonzero with the failing check strings on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/frontier_smoke.py --preset tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.analysis.frontier import (  # noqa: E402
+    FRONTIER_SEEDS,
+    check_frontier,
+    render,
+    run_frontier,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--preset", default="tiny", help="scale preset (default: tiny)"
+    )
+    parser.add_argument(
+        "--scenario",
+        default="trap-bombing",
+        help="attack scenario for the second row (default: trap-bombing)",
+    )
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    result = run_frontier(
+        preset=args.preset,
+        seeds=FRONTIER_SEEDS,
+        scenarios=(None, args.scenario),
+        jobs=args.jobs,
+    )
+    print(render(result))
+
+    failures = check_frontier(result)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    cells = len(result.scenarios) * len(result.chains)
+    print(
+        f"frontier smoke OK ({cells} cells, seeds "
+        f"{', '.join(str(s) for s in result.seeds)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -191,7 +191,7 @@ class SpillTable:
     def __getitem__(self, index):
         # Convenience for tests and small tables; O(chunks) on cold data.
         if isinstance(index, slice):
-            return list(self)[index]
+            return _stream_slice(self, index)
         n = len(self)
         if index < 0:
             index += n
@@ -224,6 +224,22 @@ class SpillTable:
         self._chunks = state["chunks"]
         self._spilled_rows = state["spilled_rows"]
         self.bytes_spilled = state["bytes_spilled"]
+
+
+def _stream_slice(table, index: slice) -> list:
+    """Slice a streaming table without materialising the whole of it.
+
+    A contiguous forward slice (step 1) walks the record stream once and
+    keeps only the requested range — peak memory is the *result*, not the
+    table. Other steps fall back to a full copy; no streaming caller
+    needs them.
+    """
+    from itertools import islice
+
+    start, stop, step = index.indices(len(table))
+    if step == 1:
+        return list(islice(iter(table), start, stop))
+    return list(table)[index]
 
 
 class MergedTable:
@@ -263,7 +279,7 @@ class MergedTable:
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return list(self)[index]
+            return _stream_slice(self, index)
         if index < 0:
             index += len(self)
         from itertools import islice

@@ -1,128 +1,31 @@
-"""A naive-Bayes content filter (the SpamAssassin-style baseline).
+"""Offline scoring helpers around the naive-Bayes content filter.
 
-Multinomial naive Bayes with Laplace smoothing over:
-
-* subject tokens (the only "content" the measurement pipeline retains —
-  like the paper, we never see message bodies), and
-* two header-derived boolean features real content filters also score:
-  whether the client IP has a reverse mapping, and whether the envelope
-  sender's domain matches a previously seen legitimate domain.
-
-Trained on labelled history (in practice: user feedback / honeypot
-corpora), then applied to new messages with a configurable spam-odds
-decision threshold.
+The classifier itself (multinomial NB with Laplace smoothing over
+subject tokens) lives in :mod:`repro.core.filters.content` since PR 9,
+where it doubles as a live chain member; this module keeps the offline
+evaluation machinery (confusion counting over logged dispatch records)
+and re-exports the classifier for backwards compatibility.
 """
 
 from __future__ import annotations
 
-import math
-from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.analysis.records import DispatchRecord
+from repro.core.filters.content import (  # noqa: F401  (re-export)
+    NaiveBayesFilter,
+    TrainingSummary,
+    _tokenize,
+)
 from repro.core.message import MessageKind
 
-
-@dataclass(frozen=True)
-class TrainingSummary:
-    """What the filter was fitted on."""
-
-    spam_messages: int
-    ham_messages: int
-    vocabulary_size: int
-
-
-def _tokenize(subject: str) -> list[str]:
-    return [token for token in subject.lower().split() if token]
-
-
-class NaiveBayesFilter:
-    """Multinomial naive Bayes over subject tokens.
-
-    >>> nb = NaiveBayesFilter()
-    >>> nb.train([("cheap meds online", True), ("meeting notes", False)])
-    TrainingSummary(spam_messages=1, ham_messages=1, vocabulary_size=5)
-    >>> nb.classify("cheap cheap meds")
-    True
-    """
-
-    def __init__(self, threshold: float = 0.0, smoothing: float = 1.0) -> None:
-        if smoothing <= 0:
-            raise ValueError("smoothing must be positive")
-        #: Decision threshold on the log-odds (0.0 = maximum likelihood).
-        self.threshold = threshold
-        self.smoothing = smoothing
-        self._spam_tokens: Counter = Counter()
-        self._ham_tokens: Counter = Counter()
-        self._spam_docs = 0
-        self._ham_docs = 0
-
-    # -- training ---------------------------------------------------------
-
-    def train(
-        self, labelled_subjects: Iterable[tuple[str, bool]]
-    ) -> TrainingSummary:
-        """Fit on ``(subject, is_spam)`` pairs (incremental: can be called
-        repeatedly)."""
-        for subject, is_spam in labelled_subjects:
-            tokens = _tokenize(subject)
-            if is_spam:
-                self._spam_docs += 1
-                self._spam_tokens.update(tokens)
-            else:
-                self._ham_docs += 1
-                self._ham_tokens.update(tokens)
-        return TrainingSummary(
-            spam_messages=self._spam_docs,
-            ham_messages=self._ham_docs,
-            vocabulary_size=len(self.vocabulary()),
-        )
-
-    def train_from_records(
-        self, records: Iterable[DispatchRecord]
-    ) -> TrainingSummary:
-        """Fit on dispatch records using ground-truth labels (the corpus a
-        real operator would assemble from user feedback)."""
-        return self.train(
-            (record.subject, record.kind is MessageKind.SPAM)
-            for record in records
-        )
-
-    def vocabulary(self) -> set:
-        return set(self._spam_tokens) | set(self._ham_tokens)
-
-    @property
-    def trained(self) -> bool:
-        return self._spam_docs > 0 and self._ham_docs > 0
-
-    # -- scoring ----------------------------------------------------------
-
-    def spam_log_odds(self, subject: str) -> float:
-        """log P(spam | subject) - log P(ham | subject), up to a shared
-        constant. Positive means spam-leaning."""
-        if not self.trained:
-            raise RuntimeError("classifier has not been trained on both classes")
-        spam_total = sum(self._spam_tokens.values())
-        ham_total = sum(self._ham_tokens.values())
-        vocab = len(self.vocabulary()) or 1
-        log_odds = math.log(self._spam_docs) - math.log(self._ham_docs)
-        for token in _tokenize(subject):
-            p_spam = (self._spam_tokens.get(token, 0) + self.smoothing) / (
-                spam_total + self.smoothing * vocab
-            )
-            p_ham = (self._ham_tokens.get(token, 0) + self.smoothing) / (
-                ham_total + self.smoothing * vocab
-            )
-            log_odds += math.log(p_spam) - math.log(p_ham)
-        return log_odds
-
-    def classify(self, subject: str) -> bool:
-        """True when the filter calls *subject* spam."""
-        return self.spam_log_odds(subject) > self.threshold
-
-    def classify_record(self, record: DispatchRecord) -> bool:
-        return self.classify(record.subject)
+__all__ = [
+    "NaiveBayesFilter",
+    "TrainingSummary",
+    "ClassifierScore",
+    "score_classifier",
+]
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,7 @@ from repro.experiments.registry import (
     EXPERIMENTS,
     run_experiment,
 )
+from repro.core.config import chain_preset_names
 from repro.net.crashes import crash_preset_names
 from repro.net.faults import fault_preset_names
 from repro.util.simtime import DAY
@@ -126,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=crash_preset_names(),
         help="crash-fault preset applied to every run in the sweep",
+    )
+    sweep_parser.add_argument(
+        "--filters",
+        default=None,
+        metavar="CHAIN",
+        help=(
+            "filter-chain composition applied to every run in the sweep "
+            f"(preset: {', '.join(chain_preset_names())}; or comma list)"
+        ),
     )
     sweep_parser.add_argument(
         "--scenario",
@@ -231,6 +241,16 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--filters",
+        default=None,
+        metavar="CHAIN",
+        help=(
+            "auxiliary filter-chain composition: a preset "
+            f"({', '.join(chain_preset_names())}) or a comma list of "
+            "members, e.g. antivirus,content (default: the product chain)"
+        ),
+    )
+    parser.add_argument(
         "--scenario",
         default=None,
         metavar="NAME",
@@ -278,6 +298,7 @@ def _load_or_run(args: argparse.Namespace):
         shard_jobs=getattr(args, "shard_jobs", None),
         spill_dir=getattr(args, "spill_dir", None),
         scenario=getattr(args, "scenario", None),
+        chain=getattr(args, "filters", None),
     )
 
 
@@ -386,6 +407,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 audit=args.audit,
                 crashes=args.crashes,
                 scenario=args.scenario,
+                chain=args.filters,
             )
             for seed in seeds
         ]

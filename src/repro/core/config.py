@@ -8,7 +8,7 @@ scale preset, filter settings, network weather — reads from one place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 from repro.net.faults import (  # noqa: F401  (re-export)
     FAULT_PRESETS,
@@ -33,6 +33,107 @@ class FilterSettings:
     spf: bool = False
     antivirus_detection_rate: float = 0.98
     rbl_provider: str = "spamhaus-zen"
+
+
+#: Every filter the chain builder knows how to instantiate, in the
+#: order the default product ran them (content/reputation are the PR 9
+#: baselines from the related work; spf stayed offline in the paper).
+FILTER_MEMBERS = (
+    "antivirus", "reverse_dns", "rbl", "spf", "content", "reputation",
+)
+
+#: The legacy product chain — what :class:`FilterSettings` defaults build.
+DEFAULT_CHAIN_MEMBERS = ("antivirus", "reverse_dns", "rbl")
+
+#: Named chain compositions the CLI / frontier experiment accept.
+CHAIN_PRESETS = {
+    "default": DEFAULT_CHAIN_MEMBERS,
+    # No auxiliary filters at all: every gray message is challenged. The
+    # frontier's pure-CR reference point — its FPs are exactly the
+    # unsolved-challenge losses, with no filter false drops mixed in.
+    "cr-only": (),
+    # The related-work baselines run *alone* so their FP/FN frontier is
+    # attributable to the baseline itself, not the product chain.
+    "naive-bayes": ("content",),
+    "reputation": ("reputation",),
+    # The product chain plus both baselines behind it.
+    "hybrid": ("antivirus", "reverse_dns", "rbl", "content", "reputation"),
+}
+
+
+@dataclass(frozen=True)
+class FilterChainSpec:
+    """Declarative composition of the auxiliary filter chain.
+
+    Frozen and hashable (tuples + scalars only) so a spec folds into the
+    sweep cache key, ships to shard workers, and round-trips through
+    scenario YAML with a deterministic repr. ``members`` are instantiated
+    in order — the chain short-circuits on the first drop, so order is
+    part of the configuration. Per-member knobs (thresholds, windows)
+    live here rather than on the filters so one spec fully determines
+    the chain.
+
+    ``None`` everywhere a chain is accepted means "the legacy
+    :class:`FilterSettings`-gated build" — byte-identical to the
+    pre-spec behaviour, which is what keeps the scenario-free goldens
+    pinned.
+    """
+
+    members: Tuple[str, ...] = DEFAULT_CHAIN_MEMBERS
+    #: Online naive-Bayes log-odds decision threshold (0.0 = maximum
+    #: likelihood; raise it to trade false positives for false negatives).
+    content_threshold: float = 0.0
+    #: Days of in-run training before the content filter may drop at all.
+    content_warmup_days: float = 3.0
+    #: Sliding history window of the sender-reputation filter.
+    reputation_window_days: float = 14.0
+    #: Spam share of a key's window at which reputation drops.
+    reputation_threshold: float = 0.9
+    #: Minimum combined (domain + /24) observations before judging.
+    reputation_min_observations: int = 12
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.members, tuple):
+            object.__setattr__(self, "members", tuple(self.members))
+        unknown = [m for m in self.members if m not in FILTER_MEMBERS]
+        if unknown:
+            raise ValueError(
+                f"unknown filter member(s) {', '.join(unknown)}; "
+                f"known: {', '.join(FILTER_MEMBERS)}"
+            )
+        if not 0.0 < self.reputation_threshold <= 1.0:
+            raise ValueError(
+                f"reputation_threshold must be in (0, 1]: "
+                f"{self.reputation_threshold}"
+            )
+
+    @classmethod
+    def parse(cls, value) -> "Optional[FilterChainSpec]":
+        """Coerce the accepted chain notations into a spec.
+
+        ``None`` passes through (legacy build); specs pass through; a
+        string is either a preset name (``"hybrid"``) or a comma list of
+        members (``"antivirus,content"``).
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            name = value.strip()
+            if name in CHAIN_PRESETS:
+                return cls(members=CHAIN_PRESETS[name])
+            members = tuple(m.strip() for m in name.split(",") if m.strip())
+            if not members:
+                raise ValueError(f"empty filter chain spec: {value!r}")
+            return cls(members=members)
+        raise TypeError(
+            f"chain must be a FilterChainSpec, a preset/comma string, or "
+            f"None; got {type(value).__name__}"
+        )
+
+
+def chain_preset_names() -> list:
+    """Registry listing for the CLI's ``--filters`` help text."""
+    return sorted(CHAIN_PRESETS)
 
 
 @dataclass(frozen=True)

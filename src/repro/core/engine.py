@@ -33,12 +33,14 @@ from repro.analysis.records import (
 from repro.analysis.store import LogStore
 from repro.blacklistd.service import DnsblService
 from repro.core.challenge import Challenge, ChallengeManager, WebAction
-from repro.core.config import CompanyConfig
+from repro.core.config import CompanyConfig, FilterChainSpec
 from repro.core.digest import DigestAction, DigestCounters, DigestDecision
 from repro.core.dispatcher import Dispatcher
 from repro.core.filters.antivirus import AntivirusFilter
 from repro.core.filters.base import FilterChain, SpamFilter
+from repro.core.filters.content import OnlineNaiveBayesFilter
 from repro.core.filters.rbl import RblFilter
+from repro.core.filters.reputation import SenderReputationFilter
 from repro.core.filters.reverse_dns import ReverseDnsFilter
 from repro.core.filters.spf import SpfEvaluator, SpfFilter, SpfResult
 from repro.core.ledger import MessageLedger
@@ -99,6 +101,7 @@ class CompanyInstallation:
         hooks: Optional[BehaviorHooks] = None,
         challenge_size: int = DEFAULT_CHALLENGE_SIZE,
         audit: bool = False,
+        chain: Optional[FilterChainSpec] = None,
     ) -> None:
         self.config = config
         self.simulator = simulator
@@ -114,7 +117,7 @@ class CompanyInstallation:
         self.gray_spool = GraySpool(ledger=self.ledger)
         self.challenge_manager = ChallengeManager(config.company_id)
         self.spf_evaluator = SpfEvaluator(resolver)
-        self.filter_chain = self._build_filter_chain(dnsbl_services, rng)
+        self.filter_chain = self._build_filter_chain(dnsbl_services, rng, chain)
         self.dispatcher = Dispatcher(
             whitelists=self.whitelists,
             filter_chain=self.filter_chain,
@@ -145,27 +148,58 @@ class CompanyInstallation:
         self.crash_plan = None
 
     def _build_filter_chain(
-        self, dnsbl_services: Mapping[str, DnsblService], rng: random.Random
+        self,
+        dnsbl_services: Mapping[str, DnsblService],
+        rng: random.Random,
+        chain: Optional[FilterChainSpec] = None,
     ) -> FilterChain:
         settings = self.config.filters
-        filters: list[SpamFilter] = []
-        if settings.antivirus:
-            filters.append(
-                AntivirusFilter(settings.antivirus_detection_rate, rng)
-            )
-        if settings.reverse_dns:
-            filters.append(ReverseDnsFilter(self.resolver))
-        if settings.rbl:
-            service = dnsbl_services.get(settings.rbl_provider)
-            if service is None:
-                raise ValueError(
-                    f"unknown RBL provider {settings.rbl_provider!r} for "
-                    f"{self.config.company_id}"
+        if chain is None:
+            # Legacy build: FilterSettings toggles, fixed product order.
+            filters: list[SpamFilter] = []
+            if settings.antivirus:
+                filters.append(
+                    AntivirusFilter(settings.antivirus_detection_rate, rng)
                 )
-            filters.append(RblFilter(service))
-        if settings.spf:
-            filters.append(SpfFilter(self.spf_evaluator))
-        return FilterChain(filters)
+            if settings.reverse_dns:
+                filters.append(ReverseDnsFilter(self.resolver))
+            if settings.rbl:
+                filters.append(self._rbl_filter(dnsbl_services, settings))
+            if settings.spf:
+                filters.append(SpfFilter(self.spf_evaluator))
+            return FilterChain(filters)
+
+        # Declarative build: the spec names members in chain order; the
+        # per-company FilterSettings still supply antivirus/RBL tuning.
+        builders = {
+            "antivirus": lambda: AntivirusFilter(
+                settings.antivirus_detection_rate, rng
+            ),
+            "reverse_dns": lambda: ReverseDnsFilter(self.resolver),
+            "rbl": lambda: self._rbl_filter(dnsbl_services, settings),
+            "spf": lambda: SpfFilter(self.spf_evaluator),
+            "content": lambda: OnlineNaiveBayesFilter(
+                threshold=chain.content_threshold,
+                warmup_days=chain.content_warmup_days,
+            ),
+            "reputation": lambda: SenderReputationFilter(
+                window_days=chain.reputation_window_days,
+                threshold=chain.reputation_threshold,
+                min_observations=chain.reputation_min_observations,
+            ),
+        }
+        return FilterChain([builders[member]() for member in chain.members])
+
+    def _rbl_filter(
+        self, dnsbl_services: Mapping[str, DnsblService], settings
+    ) -> RblFilter:
+        service = dnsbl_services.get(settings.rbl_provider)
+        if service is None:
+            raise ValueError(
+                f"unknown RBL provider {settings.rbl_provider!r} for "
+                f"{self.config.company_id}"
+            )
+        return RblFilter(service)
 
     # -- lifecycle -------------------------------------------------------
 

@@ -4,12 +4,17 @@ The commercial product combined three filters — antivirus, reverse-DNS, and
 a SpamHaus-style IP blacklist — to cut the number of useless challenges
 (they drop a large majority of gray mail, Fig. 3). SPF is implemented too,
 but kept out of the default chain because the paper evaluated it only
-offline (Fig. 12).
+offline (Fig. 12). The related-work baselines — an online naive-Bayes
+content filter and an aggregated-historical sender-reputation filter —
+are chain members as well, composed via
+:class:`~repro.core.config.FilterChainSpec`.
 """
 
 from repro.core.filters.antivirus import AntivirusFilter
 from repro.core.filters.base import FilterChain, SpamFilter
+from repro.core.filters.content import NaiveBayesFilter, OnlineNaiveBayesFilter
 from repro.core.filters.rbl import RblFilter
+from repro.core.filters.reputation import SenderReputationFilter
 from repro.core.filters.reverse_dns import ReverseDnsFilter
 from repro.core.filters.spf import SpfEvaluator, SpfFilter, SpfResult
 
@@ -19,6 +24,9 @@ __all__ = [
     "AntivirusFilter",
     "ReverseDnsFilter",
     "RblFilter",
+    "NaiveBayesFilter",
+    "OnlineNaiveBayesFilter",
+    "SenderReputationFilter",
     "SpfEvaluator",
     "SpfFilter",
     "SpfResult",

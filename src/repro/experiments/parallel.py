@@ -57,7 +57,7 @@ from repro._version import __version__
 from repro.analysis.context import DeploymentInfo
 from repro.analysis.persistence import encoded_records
 from repro.analysis.store import TABLES, LogStore
-from repro.core.config import CompanyConfig, FilterSettings
+from repro.core.config import CompanyConfig, FilterChainSpec, FilterSettings
 from repro.core.recovery import latest_checkpoint
 from repro.experiments.runner import SimulationResult, run_simulation
 from repro.workload.calibration import Calibration, DEFAULT_CALIBRATION
@@ -117,6 +117,10 @@ class RunSpec:
     #: Folded into the cache key as the *resolved* spec, so editing a
     #: scenario's YAML invalidates its cached runs.
     scenario: object = None
+    #: Filter-chain composition: a preset name, comma list, or resolved
+    #: :class:`~repro.core.config.FilterChainSpec` (``None`` = the legacy
+    #: product chain). Folded into the cache key as the resolved spec.
+    chain: object = None
     #: Free-form display name (not part of the cache key).
     label: str = ""
 
@@ -159,6 +163,10 @@ class RunSpec:
 
             canonical_fields += (
                 ("scenario", resolve_scenario(self.scenario)),
+            )
+        if self.chain is not None:
+            canonical_fields += (
+                ("chain", FilterChainSpec.parse(self.chain)),
             )
         canonical = repr(canonical_fields)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -274,6 +282,7 @@ def _execute_spec(
             shard_jobs=1 if spec.shards else None,
             spill_dir=spill_dir,
             scenario=spec.scenario,
+            chain=spec.chain,
         )
         if spill_dir is not None:
             # The spill directory dies with this call, so pull every

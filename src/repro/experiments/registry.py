@@ -19,6 +19,7 @@ from repro.analysis import (
     engine_breakdown,
     faults,
     flow,
+    frontier,
     general_stats,
     ledger,
     mta_breakdown,
@@ -68,6 +69,10 @@ EXPERIMENTS: Dict[str, Callable[[SimulationResult], str]] = {
     # Scenario pass/fail verdicts evaluate result.scenario's declared
     # checks against the store (a fixed notice for scenario-free runs).
     "verdicts": lambda r: verdicts.render_result(r),
+    # The FP/FN frontier is a cross-run sweep (chains x scenarios x
+    # seeds); it re-simulates through the result cache rather than
+    # analysing the passed run. Not in CANONICAL_ORDER for that reason.
+    "frontier": lambda r: frontier.render_result(r),
 }
 
 

@@ -21,6 +21,7 @@ from typing import Optional, Sequence, Union
 from repro.analysis.context import DeploymentInfo
 from repro.analysis.store import SPILL_CHUNK_ROWS, LogStore, SpillConfig
 from repro.blacklistd.monitor import BlacklistMonitor
+from repro.core.config import FilterChainSpec
 from repro.core.engine import CompanyInstallation
 from repro.core.ledger import LedgerError, LedgerSnapshot
 from repro.core.message import reset_msg_ids
@@ -417,6 +418,7 @@ def run_simulation(
     spill_chunk_rows: Optional[int] = None,
     shard_of: Optional[tuple] = None,
     scenario=None,
+    chain=None,
 ) -> SimulationResult:
     """Simulate one deployment at the given scale preset and seed.
 
@@ -472,7 +474,16 @@ def run_simulation(
     memory by spilling full chunks of *spill_chunk_rows* records to
     columnar files under that directory. *shard_of* ``(index, n_shards)``
     is internal: it marks this invocation as one shard's worker.
+
+    *chain* selects the auxiliary filter-chain composition: a
+    :class:`~repro.core.config.FilterChainSpec`, a preset name
+    (``"hybrid"``), a comma list of members (``"antivirus,content"``),
+    or ``None`` (default) for the legacy :class:`FilterSettings`-gated
+    product chain — which is byte-identical to pre-spec behaviour. A
+    scenario's declared chain applies only when this argument is
+    ``None``.
     """
+    chain = FilterChainSpec.parse(chain)
     if shard_of is None and shards is not None and shards > 1:
         from repro.experiments.sharded import run_sharded_simulation
 
@@ -495,6 +506,7 @@ def run_simulation(
             spill_dir=spill_dir,
             spill_chunk_rows=spill_chunk_rows,
             scenario=scenario,
+            chain=chain,
         )
 
     started = time.perf_counter()
@@ -528,6 +540,8 @@ def run_simulation(
             crashes = scenario_spec.crashes
         if filters_template is None:
             filters_template = scenario_spec.filters_template()
+        if chain is None:
+            chain = scenario_spec.chain_spec()
         scenarios.extend(scenario_spec.build_attacks())
     fault_settings = get_fault_preset(faults) if isinstance(faults, str) else faults
     crash_settings = get_crash_preset(crashes) if isinstance(crashes, str) else crashes
@@ -586,6 +600,7 @@ def run_simulation(
             hooks=hooks,
             challenge_size=calibration.challenge_size,
             audit=audit,
+            chain=chain,
         )
         _seed_user_lists(installation, company, calibration)
         installation.start(until=horizon)

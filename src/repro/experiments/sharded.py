@@ -378,6 +378,7 @@ def run_sharded_simulation(
     spill_dir: Optional[str] = None,
     spill_chunk_rows: Optional[int] = None,
     scenario=None,
+    chain=None,
 ) -> SimulationResult:
     """One deployment simulated across *shards* workers, merged back.
 
@@ -415,6 +416,7 @@ def run_sharded_simulation(
             batch_delivery=batch_delivery,
             scenarios=tuple(scenarios),
             scenario=scenario,
+            chain=chain,
         )
         if checkpoint_dir is not None:
             kwargs["checkpoint_dir"] = os.path.join(

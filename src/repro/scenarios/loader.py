@@ -18,6 +18,8 @@ A scenario file is a YAML mapping::
     crashes: flaky             # optional crash preset
     filters:                   # optional fleet-wide FilterSettings fields
       dnsbl_enabled: false
+    chain: hybrid              # optional FilterChainSpec: preset name,
+                               # comma list, or mapping of spec fields
     verdicts:                  # machine-checked pass/fail assertions
       - name: challenges-reflected
         metric: attack_challenges
@@ -58,7 +60,7 @@ _CORE_ATTACK_FIELDS = (
 )
 _SCENARIO_KEYS = (
     "_base", "description", "attacks", "faults", "crashes", "filters",
-    "verdicts",
+    "chain", "verdicts",
 )
 _VERDICT_KEYS = ("name", "metric", "op", "value", "campaign", "company_id")
 
@@ -241,10 +243,46 @@ def _spec_from_dict(name: str, data: dict, path: str) -> ScenarioSpec:
         faults=data.get("faults"),
         crashes=data.get("crashes"),
         filters=tuple(sorted(filters.items())),
+        chain=_chain_pairs(data.get("chain"), path),
         verdicts=tuple(verdicts),
     )
     _validate(spec, path)
     return spec
+
+
+def _chain_pairs(chain, path: str) -> tuple:
+    """Canonicalise the optional ``chain:`` key into sorted field pairs.
+
+    Accepts a preset/comma string (``chain: hybrid``) or a mapping of
+    :class:`~repro.core.config.FilterChainSpec` fields whose ``members``
+    is a list or comma string. Pairs, not a spec object, keep
+    :class:`ScenarioSpec` reprs stable and scalar-only.
+    """
+    if chain is None:
+        return ()
+    if isinstance(chain, str):
+        from repro.core.config import FilterChainSpec
+
+        try:
+            parsed = FilterChainSpec.parse(chain)
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(str(exc), path)
+        return (("members", parsed.members),)
+    if isinstance(chain, dict):
+        entries = dict(chain)
+        members = entries.get("members")
+        if isinstance(members, str):
+            entries["members"] = tuple(
+                m.strip() for m in members.split(",") if m.strip()
+            )
+        elif isinstance(members, list):
+            entries["members"] = tuple(str(m) for m in members)
+        return tuple(sorted(entries.items()))
+    raise ScenarioError(
+        f"chain must be a preset/comma string or a mapping of "
+        f"FilterChainSpec fields; got {chain!r}",
+        path,
+    )
 
 
 def _validate(spec: ScenarioSpec, path: str) -> None:
@@ -268,6 +306,12 @@ def _validate(spec: ScenarioSpec, path: str) -> None:
                 f"known: {', '.join(sorted(settings_fields))}",
                 path,
             )
+    # Build the chain spec once here so unknown fields/members fail at
+    # load time with the file path attached, not mid-run.
+    try:
+        spec.chain_spec()
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError(f"invalid chain: {exc}", path)
     for check in spec.verdicts:
         if check.metric not in METRICS:
             raise ScenarioError(
@@ -299,10 +343,11 @@ def _mini_parse(text: str, path: str = "") -> dict:
 
     Supports: a top-level mapping; nested flat mappings; lists whose
     items are scalars or flat mappings (``- key: value`` with
-    continuation keys two spaces deeper); int/float/bool/null/quoted
-    scalars; full-line ``#`` comments. That is the whole grammar the
-    pack files use — anything else should be authored with PyYAML
-    available so the equivalence test can vouch for it.
+    continuation keys two spaces deeper); flow-style scalar lists
+    (``[a, b]``); int/float/bool/null/quoted scalars; full-line ``#``
+    comments. That is the whole grammar the pack files use — anything
+    else should be authored with PyYAML available so the equivalence
+    test can vouch for it.
     """
     lines = []
     for raw in text.splitlines():
@@ -386,6 +431,12 @@ def _parse_list(lines: list, index: int, indent: int, path: str):
 def _scalar(token: str):
     if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
         return token[1:-1]
+    if token.startswith("[") and token.endswith("]"):
+        # Flow-style list of scalars: [a, b, c]. No nesting.
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [_scalar(item.strip()) for item in inner.split(",")]
     lowered = token.lower()
     if lowered in ("null", "~"):
         return None

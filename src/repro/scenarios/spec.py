@@ -73,6 +73,12 @@ class ScenarioSpec:
     #: Fleet-wide :class:`~repro.core.config.FilterSettings` field
     #: overrides, as sorted ``(field, value)`` pairs.
     filters: tuple = ()
+    #: Filter-chain composition as sorted
+    #: :class:`~repro.core.config.FilterChainSpec` ``(field, value)``
+    #: pairs (``members`` value itself a tuple); empty = the scenario
+    #: leaves the chain alone. Same override rule as ``filters``: an
+    #: explicit ``run_simulation(chain=...)`` argument wins.
+    chain: tuple = ()
     verdicts: tuple = ()
 
     def build_attacks(self) -> list:
@@ -89,6 +95,15 @@ class ScenarioSpec:
         from repro.core.config import FilterSettings
 
         return FilterSettings(**dict(self.filters))
+
+    def chain_spec(self):
+        """The composed ``FilterChainSpec``, or ``None`` when the scenario
+        leaves the chain composition alone."""
+        if not self.chain:
+            return None
+        from repro.core.config import FilterChainSpec
+
+        return FilterChainSpec(**dict(self.chain))
 
 
 @dataclass

@@ -1,0 +1,194 @@
+"""The FP/FN frontier experiment: accounting, aggregation, gating."""
+
+from __future__ import annotations
+
+from repro.analysis.frontier import (
+    CLEAN,
+    FrontierCell,
+    FrontierResult,
+    check_frontier,
+    delivery_counts,
+    render,
+    run_frontier,
+)
+from repro.analysis.store import LogStore
+from repro.core.spools import Category
+from repro.experiments.parallel import RunSummary
+from repro.experiments.runner import DeploymentInfo
+from repro.core.message import MessageKind
+
+from tests.recordfactory import dispatch, release
+
+
+# -- delivery_counts ---------------------------------------------------------
+
+
+def test_delivery_counts_inbox_truth():
+    store = LogStore()
+    # Spam delivered two ways: whitelist hit, and a spurious release.
+    dispatch(store, category=Category.WHITE, kind=MessageKind.SPAM)
+    released_spam = dispatch(store, category=Category.GRAY, kind=MessageKind.SPAM)
+    release(store, msg_id=released_spam)
+    # Spam stopped two ways: filter drop, and an unanswered challenge.
+    dispatch(store, category=Category.GRAY, filter_drop="rbl",
+             kind=MessageKind.SPAM)
+    dispatch(store, category=Category.GRAY, kind=MessageKind.SPAM)
+    # Legit lost two ways: filter false drop, and an unsolved challenge.
+    dispatch(store, category=Category.GRAY, filter_drop="content",
+             kind=MessageKind.LEGIT)
+    dispatch(store, category=Category.GRAY, kind=MessageKind.LEGIT)
+    # Legit delivered: whitelisted, and a solved challenge (release).
+    dispatch(store, category=Category.WHITE, kind=MessageKind.LEGIT)
+    released_legit = dispatch(store, category=Category.GRAY,
+                              kind=MessageKind.LEGIT)
+    release(store, msg_id=released_legit)
+    # Excluded from the legit denominator: newsletters and null senders.
+    dispatch(store, category=Category.WHITE, kind=MessageKind.NEWSLETTER)
+    dispatch(store, category=Category.GRAY, env_from="",
+             kind=MessageKind.LEGIT)
+
+    spam_total, spam_delivered, legit_total, legit_lost = delivery_counts(store)
+    assert (spam_total, spam_delivered) == (4, 2)
+    assert (legit_total, legit_lost) == (4, 2)
+
+
+# -- aggregation through a stubbed runner -----------------------------------
+
+
+def _info():
+    return DeploymentInfo(
+        n_companies=0,
+        n_open_relays=0,
+        users_per_company={},
+        horizon_days=0.0,
+        min_cluster_size=1,
+    )
+
+
+def _store(spam_delivered, spam_stopped, legit_lost, legit_ok):
+    store = LogStore()
+    for _ in range(spam_delivered):
+        dispatch(store, category=Category.WHITE, kind=MessageKind.SPAM)
+    for _ in range(spam_stopped):
+        dispatch(store, category=Category.GRAY, filter_drop="rbl",
+                 kind=MessageKind.SPAM)
+    for _ in range(legit_lost):
+        dispatch(store, category=Category.GRAY, kind=MessageKind.LEGIT)
+    for _ in range(legit_ok):
+        dispatch(store, category=Category.WHITE, kind=MessageKind.LEGIT)
+    return store
+
+
+class _StubRunner:
+    """Deterministic per-(chain, seed) synthetic outcomes, no simulation."""
+
+    def __init__(self, fail_labels=()):
+        self.fail_labels = set(fail_labels)
+        self.specs_seen = []
+
+    def run(self, specs):
+        summaries = []
+        for spec in specs:
+            self.specs_seen.append(spec)
+            if spec.label in self.fail_labels:
+                summaries.append(
+                    RunSummary(store=LogStore(), info=_info(),
+                               seed=spec.seed, error="boom")
+                )
+                continue
+            # cr-only loses 1 legit per run; every other chain loses 2 —
+            # keeps the clean-row FP ordering check satisfiable.
+            lost = 1 if spec.chain == "cr-only" else 2
+            summaries.append(
+                RunSummary(
+                    store=_store(
+                        spam_delivered=spec.seed,  # varies per seed
+                        spam_stopped=10,
+                        legit_lost=lost,
+                        legit_ok=20,
+                    ),
+                    info=_info(),
+                    seed=spec.seed,
+                )
+            )
+        return summaries
+
+
+CHAINS = (("cr-only", "cr-only"), ("naive-bayes", "naive-bayes"))
+
+
+def test_run_frontier_aggregates_across_seeds():
+    runner = _StubRunner()
+    result = run_frontier(
+        preset="tiny", seeds=(3, 5), scenarios=(None,), chains=CHAINS,
+        runner=runner,
+    )
+    # 1 scenario x 2 chains x 2 seeds = 4 specs, one runner call.
+    assert len(runner.specs_seen) == 4
+    assert result.scenarios == (CLEAN,)
+    cr = result.cell(CLEAN, "cr-only")
+    # Counts summed over seeds: spam_delivered = 3 + 5.
+    assert cr.spam_delivered == 8
+    assert cr.spam_total == 8 + 20          # + 10 stopped per run
+    assert cr.legit_lost == 2               # 1 per seed
+    assert cr.legit_total == 2 + 40
+    nb = result.cell(CLEAN, "naive-bayes")
+    assert nb.legit_lost == 4
+    assert check_frontier(result) == []
+    assert "checks: all cells evaluated" in render(result)
+
+
+def test_failed_runs_make_the_cell_degenerate():
+    runner = _StubRunner(fail_labels={f"{CLEAN}/naive-bayes/5"})
+    result = run_frontier(
+        preset="tiny", seeds=(3, 5), scenarios=(None,), chains=CHAINS,
+        runner=runner,
+    )
+    nb = result.cell(CLEAN, "naive-bayes")
+    assert nb.failed_runs == 1 and not nb.evaluated
+    failures = check_frontier(result)
+    assert any("degenerate cell" in failure for failure in failures)
+    assert "DEGENERATE:" in render(result)
+
+
+def test_check_frontier_missing_cell_and_fp_ordering():
+    def cell(chain, legit_lost):
+        return FrontierCell(
+            scenario=CLEAN, chain=chain, seeds=(3,),
+            spam_total=10, spam_delivered=1,
+            legit_total=100, legit_lost=legit_lost,
+        )
+
+    # naive-Bayes loses *less* legit mail than CR: ordering violated.
+    inverted = FrontierResult(
+        preset="tiny", seeds=(3,), scenarios=(CLEAN,),
+        chains=("cr-only", "naive-bayes"),
+        cells=(cell("cr-only", 5), cell("naive-bayes", 2)),
+    )
+    failures = check_frontier(inverted)
+    assert any("FP ordering violated" in failure for failure in failures)
+
+    # A chain column with no cell at all is reported as missing.
+    sparse = FrontierResult(
+        preset="tiny", seeds=(3,), scenarios=(CLEAN,),
+        chains=("cr-only", "naive-bayes"),
+        cells=(cell("cr-only", 1),),
+    )
+    failures = check_frontier(sparse)
+    assert any("missing cell" in failure for failure in failures)
+
+
+def test_cell_rates_and_evaluated_flag():
+    cell = FrontierCell(
+        scenario=CLEAN, chain="hybrid", seeds=(3,),
+        spam_total=200, spam_delivered=1, legit_total=50, legit_lost=2,
+    )
+    assert cell.false_negative_rate == 1 / 200
+    assert cell.false_positive_rate == 2 / 50
+    assert cell.evaluated
+    empty = FrontierCell(
+        scenario=CLEAN, chain="hybrid", seeds=(3,),
+        spam_total=0, spam_delivered=0, legit_total=0, legit_lost=0,
+    )
+    assert not empty.evaluated
+    assert empty.false_negative_rate == 0.0
