@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-check bench-update experiments reports \
-	stability sweep goldens scenarios frontier clean
+	stability sweep goldens scenarios frontier serve-smoke clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -45,6 +45,13 @@ scenarios:
 # non-degeneracy gate; `python -m repro experiment frontier` is the full one.
 frontier:
 	$(PYTHON) scripts/frontier_smoke.py --preset tiny
+
+# Live-service chaos gate: boot the real server subprocess, drive open-loop
+# SMTP load, SIGKILL it mid-burst 20 times, and assert zero accepted-message
+# loss via WAL replay + ledger reconciliation on every restart.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py --kills 20 \
+		--artifact serve_smoke_report.json
 
 reports: bench experiments
 

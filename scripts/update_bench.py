@@ -23,7 +23,14 @@ Modes
 
 ``--write`` (default)
     Measure this tree and write ``BENCH_PR<pr>.json`` at the repo root.
-    With ``--baseline-src`` also records ``speedup_vs_baseline``.
+    With ``--baseline-src`` also records ``speedup_vs_baseline``. When
+    neither ``--baseline-src`` nor ``--baseline-commit`` is given, the
+    baseline defaults to the **latest committed bench entry** (resolved
+    to the commit that last touched its file), *not* to ``pr - 1``: the
+    trajectory is legitimately non-contiguous (a PR that ships no
+    perf-relevant change writes no entry — PR 8 is such a gap), so the
+    predecessor in the trajectory is "the newest entry", never an
+    assumed adjacent PR number. Gaps are logged, not errors.
 
 ``--check``
     CI regression gate. Reads the newest committed ``BENCH_PR*.json``,
@@ -270,9 +277,83 @@ def committed_entries() -> list:
     return sorted(entries)
 
 
+def trajectory_gaps(prs: list) -> list:
+    """PR numbers absent from a sorted trajectory.
+
+    A gap is a PR that shipped no bench entry (PR 8 shipped no
+    perf-relevant change). Gaps are legal; they are surfaced so a
+    *deleted* entry is noticed rather than silently skipped over.
+    """
+    gaps = []
+    for prev, cur in zip(prs, prs[1:]):
+        gaps.extend(range(prev + 1, cur))
+    return gaps
+
+
+def describe_trajectory(entries: list) -> str:
+    """One log line stating the committed PRs and any numbering gaps."""
+    prs = [pr for pr, _, _ in entries]
+    line = f"trajectory: PRs {prs}"
+    gaps = trajectory_gaps(prs)
+    if gaps:
+        line += (
+            f"; no bench entry for PR(s) {gaps} — tolerated, the "
+            f"baseline is the latest committed entry, not PR-minus-1"
+        )
+    return line
+
+
+def entry_commit(path: pathlib.Path) -> str:
+    """The commit that last touched a committed bench entry.
+
+    That commit's tree produced the entry's numbers, which makes it the
+    natural default baseline for the *next* entry. Returns "" outside a
+    git checkout or for an uncommitted file.
+    """
+    proc = subprocess.run(
+        ["git", "log", "-n", "1", "--format=%h", "--", path.name],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    return proc.stdout.strip() if proc.returncode == 0 else ""
+
+
+def resolve_default_baseline(args: argparse.Namespace) -> None:
+    """Fill in --baseline-commit/--baseline-pr from the trajectory.
+
+    Only runs when the caller gave no baseline at all. Picks the latest
+    committed entry with a PR number below the one being written — which
+    may be several numbers back when intervening PRs shipped no entry —
+    and resolves it to the commit that last touched its file.
+    """
+    entries = committed_entries()
+    if entries:
+        print(describe_trajectory(entries))
+    prior = [e for e in entries if e[0] < args.pr]
+    if not prior:
+        print("no prior committed entry: writing a baseline-less entry")
+        return
+    base_pr, base_path, _ = prior[-1]
+    commit = entry_commit(base_path)
+    if not commit:
+        print(f"cannot resolve the commit of {base_path.name}: "
+              "writing a baseline-less entry")
+        return
+    args.baseline_commit = commit
+    if args.baseline_pr is None:
+        args.baseline_pr = base_pr
+    print(
+        f"baseline defaulted to the latest committed entry: "
+        f"PR {base_pr} at {commit}"
+    )
+
+
 def cmd_write(args: argparse.Namespace) -> int:
     baseline_src = None
     worktree = None
+    if args.baseline_src is None and args.baseline_commit is None:
+        resolve_default_baseline(args)
     try:
         if args.baseline_src:
             baseline_src = pathlib.Path(args.baseline_src) / "src"
@@ -336,6 +417,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         print("FAIL: no committed BENCH_PR*.json — the bench trajectory "
               "gate requires at least one committed entry.")
         return 1
+    print(describe_trajectory(entries))
     pr, path, data = entries[-1]
     committed_ratio = data.get("speedup_vs_baseline")
     baseline_commit = data.get("baseline_commit")

@@ -7,6 +7,9 @@ Commands:
 * ``sweep`` — re-simulate across several seeds in parallel (``--jobs``)
   and report cross-seed stability of the Fig. 5 correlations and the
   CR-vs-Bayes comparison;
+* ``serve`` — run the live asyncio SMTP/HTTP frontend over a simulated
+  deployment (WAL-durable, backpressured; see DESIGN.md §15);
+* ``sstress`` — open-loop load generator against a running ``serve``;
 * ``scenarios`` — list the declarative attack-scenario pack;
 * ``list`` — list available experiments, scale presets and scenarios.
 
@@ -150,6 +153,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache under .cache/runs/",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the live SMTP/HTTP frontend over a simulated deployment",
+    )
+    serve_parser.add_argument(
+        "--preset",
+        default="tiny",
+        choices=preset_names(),
+        help="scale preset for the backing deployment (default: tiny)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=7)
+    serve_parser.add_argument(
+        "--wal",
+        default="serve.wal",
+        metavar="PATH",
+        help="write-ahead log path (replayed on start; default: serve.wal)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--smtp-port", type=int, default=0, help="0 = OS-assigned (default)"
+    )
+    serve_parser.add_argument(
+        "--web-port", type=int, default=0, help="0 = OS-assigned (default)"
+    )
+    serve_parser.add_argument(
+        "--endpoints-file",
+        default=None,
+        metavar="PATH",
+        help="announce bound ports and pid as JSON at PATH",
+    )
+    serve_parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="simulated seconds per wall second (default: 1.0)",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=256, help="admission queue bound"
+    )
+    serve_parser.add_argument(
+        "--batch-max", type=int, default=64, help="WAL group-commit batch cap"
+    )
+    serve_parser.add_argument(
+        "--engine-delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="artificial per-message engine cost (overload experiments)",
+    )
+
+    stress_parser = subparsers.add_parser(
+        "sstress", help="open-loop load generator against a live server"
+    )
+    stress_parser.add_argument(
+        "--smtp-port", type=int, required=True, help="server SMTP port"
+    )
+    stress_parser.add_argument(
+        "--web-port",
+        type=int,
+        default=None,
+        help="server web port (used to discover targets via /directory)",
+    )
+    stress_parser.add_argument("--host", default="127.0.0.1")
+    stress_parser.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        metavar="MSGS_PER_SEC",
+        help="offered load (open-loop schedule; default: 200)",
+    )
+    stress_parser.add_argument("--messages", type=int, default=500)
+    stress_parser.add_argument("--connections", type=int, default=8)
+    stress_parser.add_argument("--seed", type=int, default=1)
+    stress_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="replay a pack scenario's attack volume through the server",
+    )
+    stress_parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH",
     )
 
     subparsers.add_parser(
@@ -436,6 +526,56 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.daemon import serve_forever
+
+    return asyncio.run(
+        serve_forever(
+            args.preset,
+            args.seed,
+            args.wal,
+            host=args.host,
+            smtp_port=args.smtp_port,
+            web_port=args.web_port,
+            endpoints_file=args.endpoints_file,
+            time_scale=args.time_scale,
+            queue_size=args.queue_size,
+            batch_max=args.batch_max,
+            engine_delay=args.engine_delay,
+        )
+    )
+
+
+def _command_sstress(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.sstress import StressConfig, run_stress
+
+    report = asyncio.run(
+        run_stress(
+            StressConfig(
+                smtp_port=args.smtp_port,
+                host=args.host,
+                web_port=args.web_port,
+                rate=args.rate,
+                messages=args.messages,
+                connections=args.connections,
+                seed=args.seed,
+                scenario=args.scenario,
+            )
+        )
+    )
+    rendered = json.dumps(report, indent=2)
+    print(rendered)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(rendered + "\n")
+    return 0
+
+
 def _command_scenarios(_args: argparse.Namespace) -> int:
     from repro.scenarios import load_scenario, scenario_dir, scenario_names
 
@@ -497,6 +637,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_company(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "sstress":
+            return _command_sstress(args)
         if args.command == "scenarios":
             return _command_scenarios(args)
         if args.command == "list":

@@ -124,6 +124,11 @@ class ChallengeManager:
     def get(self, challenge_id: int) -> Challenge:
         return self._challenges[challenge_id]
 
+    def get_or_none(self, challenge_id: int) -> Optional[Challenge]:
+        """Lookup tolerant of unknown ids — the live web frontend receives
+        attacker-controlled ids and must 404, not crash."""
+        return self._challenges.get(challenge_id)
+
     def record_delivery(self, challenge_id: int, result: DeliveryResult) -> None:
         self._challenges[challenge_id].delivery = result
 

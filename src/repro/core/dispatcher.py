@@ -58,6 +58,19 @@ class Dispatcher:
         self.white_count = 0
         self.black_count = 0
         self.gray_count = 0
+        #: Overload-shedding state, driven by the live frontend's
+        #: degradation ladder; the simulation never touches it, so the
+        #: defaults keep simulated dispatch byte-identical.
+        #: Level 0: full configured chain. Level 1: run ``shed_chain``
+        #: (the chain minus auxiliary members) instead. Level >= 2:
+        #: quarantine-by-default — skip the chain *and* challenge
+        #: issuance entirely; messages still land in the gray spool with
+        #: a ledger transition, never dropped silently.
+        self.shed_level = 0
+        self.shed_chain: Optional[FilterChain] = None
+        #: Messages quarantined without chain/challenge because the
+        #: dispatcher was at shed level >= 2 when they arrived.
+        self.shed_quarantined = 0
 
     def _record(self, message: EmailMessage, state: LifecycleState) -> None:
         if self.ledger is not None:
@@ -83,7 +96,25 @@ class Dispatcher:
             return DispatchDecision(Category.BLACK, None, None, False)
 
         self.gray_count += 1
-        dropping_filter = self.filter_chain.first_drop(message, now)
+        if self.shed_level >= 2:
+            # Deep overload: quarantine-by-default. No chain, no challenge
+            # email — but the message is spooled and ledger-accounted, so
+            # nothing is lost; it surfaces in the next digest.
+            self.shed_quarantined += 1
+            self.gray_spool.add(
+                message,
+                user_key,
+                now,
+                expires_at=now + self.quarantine_seconds,
+                challenge_id=None,
+            )
+            return DispatchDecision(Category.GRAY, None, None, False)
+        chain = (
+            self.shed_chain
+            if self.shed_level >= 1 and self.shed_chain is not None
+            else self.filter_chain
+        )
+        dropping_filter = chain.first_drop(message, now)
         if dropping_filter is not None:
             self._record(message, LifecycleState.FILTER_DROPPED)
             return DispatchDecision(Category.GRAY, dropping_filter, None, False)

@@ -102,6 +102,9 @@ class CompanyInstallation:
         challenge_size: int = DEFAULT_CHALLENGE_SIZE,
         audit: bool = False,
         chain: Optional[FilterChainSpec] = None,
+        outbound_factory: Optional[
+            Callable[[str, str, Simulator, Internet], OutboundMta]
+        ] = None,
     ) -> None:
         self.config = config
         self.simulator = simulator
@@ -129,11 +132,14 @@ class CompanyInstallation:
             ledger=self.ledger,
         )
 
-        self.user_mta = OutboundMta(
+        # The live frontend injects a backoff-with-jitter OutboundMta
+        # subclass here; the simulation always uses the stock class.
+        build_mta = outbound_factory or OutboundMta
+        self.user_mta = build_mta(
             f"{config.company_id}-mta-out", config.mta_out_ip, simulator, internet
         )
         if config.dual_outbound:
-            self.challenge_mta = OutboundMta(
+            self.challenge_mta = build_mta(
                 f"{config.company_id}-mta-challenge",
                 config.challenge_ip,
                 simulator,
@@ -219,8 +225,13 @@ class CompanyInstallation:
 
     # -- inbound path ----------------------------------------------------
 
-    def handle_inbound(self, message: EmailMessage) -> None:
-        """Process one incoming message end-to-end at the current sim time."""
+    def handle_inbound(self, message: EmailMessage):
+        """Process one incoming message end-to-end at the current sim time.
+
+        Returns the MTA-IN :class:`~repro.core.mta_in.DropReason` when the
+        message was refused at the door, ``None`` when it was accepted
+        into the lifecycle (the live frontend maps this to its SMTP
+        reply; the simulation ignores the return value)."""
         now = self.simulator.now
         if self.crash_plan is not None and self.crash_plan.down(
             self.config.company_id, "dispatcher", now
@@ -239,7 +250,7 @@ class CompanyInstallation:
                     partial(self.handle_inbound, message),
                     label=f"crash-defer:{self.config.company_id}",
                 )
-            return
+            return None
         config = self.config
         company_id = config.company_id
         open_relay = config.open_relay
@@ -261,7 +272,7 @@ class CompanyInstallation:
             MtaRecord(company_id, now, msg_id, drop_reason, open_relay, size)
         )
         if drop_reason is not None:
-            return
+            return drop_reason
 
         self.ledger.accept(msg_id)
         user_key = env_to
@@ -303,6 +314,7 @@ class CompanyInstallation:
             self.inbox_delivered += 1
         if decision.challenge_created and challenge is not None:
             self._send_challenge(challenge)
+        return None
 
     # -- challenge path ---------------------------------------------------
 
@@ -443,6 +455,56 @@ class CompanyInstallation:
             # slot leaked and the sender's next message never triggered a
             # fresh challenge (found by the lifecycle auditor).
             self._clear_challenge_slot(entry)
+
+    # -- live digest web UI -------------------------------------------------
+
+    def release_via_web(self, user: str, msg_id: int) -> bool:
+        """Digest web page "release": same semantics as the WHITELIST
+        digest action, but driven synchronously by the live HTTP frontend
+        instead of the behaviour hook. Returns ``False`` when the entry is
+        already gone (released / expired meanwhile) — a legal stale click.
+        """
+        entry = self.gray_spool.get(msg_id)
+        if entry is None or entry.user != user:
+            self.digest_counters.stale_actions += 1
+            return False
+        sender = entry.message.env_from
+        self.digest_counters.whitelist_actions += 1
+        if sender:
+            self._whitelist(user, sender, WhitelistSource.DIGEST)
+            self._release_from_sender(user, sender, ReleaseMechanism.DIGEST)
+            self._clear_challenge_slot(entry)
+            return True
+        # Null-sender (bounce/DSN) entries have no sender to whitelist:
+        # release just this message.
+        released = self.gray_spool.release(msg_id)
+        if released is None:
+            return False
+        self.inbox_delivered += 1
+        self.store.add_release(
+            ReleaseRecord(
+                company_id=self.config.company_id,
+                user=user,
+                msg_id=msg_id,
+                t_arrival=entry.message.t,
+                t_release=self.simulator.now,
+                mechanism=ReleaseMechanism.DIGEST,
+                kind=entry.message.kind,
+            )
+        )
+        return True
+
+    def delete_via_web(self, user: str, msg_id: int) -> bool:
+        """Digest web page "delete": same semantics as the DELETE digest
+        action. Returns ``False`` on a stale click."""
+        entry = self.gray_spool.get(msg_id)
+        if entry is None or entry.user != user:
+            self.digest_counters.stale_actions += 1
+            return False
+        self.digest_counters.delete_actions += 1
+        self.gray_spool.delete(msg_id)
+        self._clear_challenge_slot(entry)
+        return True
 
     # -- quarantine expiry ---------------------------------------------------
 

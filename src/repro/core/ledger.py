@@ -149,6 +149,21 @@ class LedgerSnapshot:
             and not self.stranded
         )
 
+    @property
+    def live_conserved(self) -> bool:
+        """Mid-run conservation: every accepted message is either in a
+        terminal bucket or currently waiting in quarantine.
+
+        This is the invariant a *running* service satisfies (quarantine is
+        legitimately non-empty between digests); :attr:`conserved` is the
+        end-of-run form after the drain. Used by the live frontend's
+        WAL-replay reconciliation and its ``/stats`` endpoint.
+        """
+        return (
+            self.in_quarantine >= 0
+            and self.accepted == self.terminal_total + self.in_quarantine
+        )
+
 
 class MessageLedger:
     """Lifecycle accounting for one company's accepted messages.

@@ -16,9 +16,18 @@ from dataclasses import dataclass
 #: Characters allowed in an (unquoted) local-part atom, per RFC 5321 atext.
 _ATEXT = r"A-Za-z0-9!#$%&'*+/=?^_`{|}~-"
 
-_LOCAL_RE = re.compile(rf"^[{_ATEXT}]+(?:\.[{_ATEXT}]+)*$")
-_LABEL_RE = re.compile(r"^[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?$")
-_TLD_RE = re.compile(r"^[A-Za-z]{2,}$")
+# NOTE: these anchor with ``\Z``, not ``$`` — ``$`` matches *before* a
+# trailing newline, which would let ``"a@b.com\n"`` through. Harmless for
+# simulator-generated addresses, an injection hole for live SMTP traffic
+# (CRLF smuggling through the envelope).
+_LOCAL_RE = re.compile(rf"^[{_ATEXT}]+(?:\.[{_ATEXT}]+)*\Z")
+_LABEL_RE = re.compile(r"^[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?\Z")
+_TLD_RE = re.compile(r"^[A-Za-z]{2,}\Z")
+
+#: Bytes that must never appear in an envelope address regardless of where
+#: the grammar would otherwise stall: NUL and the CR/LF pair (header/command
+#: injection), plus the rest of C0 and DEL for good measure.
+_CONTROL_RE = re.compile(r"[\x00-\x1f\x7f]")
 
 #: One-shot acceptance regex: local dot-atom, one ``@``, LDH labels, alpha
 #: TLD — the whole grammar in a single C-level match. Length limits
@@ -27,7 +36,7 @@ _TLD_RE = re.compile(r"^[A-Za-z]{2,}$")
 #: language :func:`parse_address` accepts (pinned by a fuzz test).
 _FULL_RE = re.compile(
     rf"^[{_ATEXT}]+(?:\.[{_ATEXT}]+)*"
-    r"@(?:[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?\.)+[A-Za-z]{2,}$"
+    r"@(?:[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?\.)+[A-Za-z]{2,}\Z"
 )
 
 MAX_LOCAL_LENGTH = 64
@@ -64,6 +73,8 @@ def parse_address(raw: str) -> Address:
         raise AddressError(f"not a string: {raw!r}")
     if len(raw) > MAX_ADDRESS_LENGTH:
         raise AddressError("address too long")
+    if _CONTROL_RE.search(raw):
+        raise AddressError("control character in address")
     if raw.count("@") != 1:
         raise AddressError(f"address must contain exactly one '@': {raw!r}")
     local, domain = raw.split("@")

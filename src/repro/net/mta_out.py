@@ -171,8 +171,8 @@ class OutboundMta:
             self._finalize(token, FinalStatus.BOUNCED, reason, now)
             return
         # Transient failure: retry per schedule, else expire.
-        if entry.attempts <= len(self.retry_delays):
-            delay = self.retry_delays[entry.attempts - 1]
+        delay = self._retry_delay(entry.attempts, token)
+        if delay is not None:
             self.retries_scheduled += 1
             entry.retry_event = self.simulator.schedule_after(
                 delay,
@@ -181,6 +181,18 @@ class OutboundMta:
             )
             return
         self._finalize(token, FinalStatus.EXPIRED, None, now)
+
+    def _retry_delay(self, attempts: int, token: int) -> Optional[float]:
+        """Delay before retry number *attempts*, or ``None`` to expire.
+
+        The default is the fixed sendmail-style table; subclasses (the live
+        frontend's exponential-backoff-with-jitter policy) override this
+        single choke point so the queueing, conservation, and crash
+        machinery stay shared.
+        """
+        if attempts <= len(self.retry_delays):
+            return self.retry_delays[attempts - 1]
+        return None
 
     def _finalize(
         self,

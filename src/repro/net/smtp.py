@@ -20,6 +20,15 @@ class Reply:
     BLACKLISTED = 554  # rejected: sending IP is on a DNSBL the host uses
     CONTENT_REJECTED = 552
 
+    # Session-management codes only the live asyncio frontend emits — the
+    # simulation models per-message verdicts, not the session state machine.
+    SERVICE_READY = 220
+    CLOSING = 221
+    START_MAIL_INPUT = 354
+    SYNTAX_ERROR = 500
+    PARAM_SYNTAX = 501
+    BAD_SEQUENCE = 503
+
 
 @dataclass(frozen=True)
 class SmtpResponse:

@@ -1,0 +1,19 @@
+"""Live service mode: an asyncio SMTP/HTTP frontend over the CR engine.
+
+The simulation proves the *mechanism*; this package serves it. A real
+RFC-5321 listener (:mod:`.smtp_server`) and a CAPTCHA/digest web app
+(:mod:`.web`) feed the same :class:`repro.core.engine.CompanyInstallation`
+choke points the ledger instruments, with three robustness layers on top:
+
+* bounded admission with 421-tempfail backpressure and a graceful
+  degradation ladder (:mod:`.admission`),
+* exponential backoff + jitter on the outbound challenge path
+  (:mod:`.retry`),
+* a length-framed write-ahead log fsynced *before* the 250 goes out
+  (:mod:`.wal`), replayed on startup and reconciled against the
+  :class:`~repro.core.ledger.MessageLedger` — ``kill -9`` at any instant
+  loses zero accepted messages.
+
+:mod:`.sstress` is the open-loop load generator and chaos driver that
+proves those claims from outside the process.
+"""

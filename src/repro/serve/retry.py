@@ -1,0 +1,81 @@
+"""Exponential backoff with deterministic jitter for the live outbound path.
+
+The simulation's :class:`~repro.net.mta_out.OutboundMta` retries on the
+fixed sendmail table — fine for a deterministic workload, but a live
+deployment retrying a down destination wants exponential spacing, and a
+*fleet* of challenges created in the same overload burst must not retry in
+lockstep (the thundering-herd the jitter spreads). The jitter is derived
+from the queue token with crc32, not a PRNG, so WAL replay reproduces the
+exact same retry timeline.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.internet import Internet
+from repro.net.mta_out import OutboundMta
+from repro.sim.engine import Simulator
+from repro.util.simtime import DAY, MINUTE
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: ``base * factor**(attempt-1)`` capped at
+    *max_delay*, up to *max_retries* retries, each delay spread by
+    ``±jitter`` (a fraction) deterministically per (token, attempt)."""
+
+    base: float = 15 * MINUTE
+    factor: float = 2.0
+    max_delay: float = 2 * DAY
+    max_retries: int = 6
+    jitter: float = 0.1
+
+    def delay_for(self, attempts: int, token: int) -> Optional[float]:
+        """Delay before retry number *attempts*, ``None`` when exhausted."""
+        if attempts > self.max_retries:
+            return None
+        delay = min(self.base * self.factor ** (attempts - 1), self.max_delay)
+        if not self.jitter:
+            return delay
+        # crc32 as a hash: stable across processes and Python versions
+        # (builtin hash() is salted per process — replay would diverge).
+        frac = zlib.crc32(f"{token}:{attempts}".encode()) / 0xFFFFFFFF
+        return delay * (1.0 + self.jitter * (2.0 * frac - 1.0))
+
+
+class BackoffOutboundMta(OutboundMta):
+    """The stock outbound MTA with the retry schedule swapped for
+    :class:`RetryPolicy`. Queueing, conservation accounting, drain, and
+    crash redrive are all inherited untouched."""
+
+    def __init__(
+        self,
+        name: str,
+        ip: str,
+        simulator: Simulator,
+        internet: Internet,
+        policy: RetryPolicy = RetryPolicy(),
+    ) -> None:
+        super().__init__(name, ip, simulator, internet)
+        self.policy = policy
+
+    def _retry_delay(self, attempts: int, token: int) -> Optional[float]:
+        return self.policy.delay_for(attempts, token)
+
+
+def backoff_factory(policy: RetryPolicy):
+    """An ``outbound_factory`` for :class:`CompanyInstallation` that builds
+    :class:`BackoffOutboundMta` instances sharing *policy*."""
+
+    def build(
+        name: str, ip: str, simulator: Simulator, internet: Internet
+    ) -> BackoffOutboundMta:
+        return BackoffOutboundMta(name, ip, simulator, internet, policy=policy)
+
+    return build
+
+
+__all__ = ["BackoffOutboundMta", "RetryPolicy", "backoff_factory"]

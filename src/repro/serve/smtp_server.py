@@ -1,0 +1,310 @@
+"""The asyncio SMTP listener: live RFC-5321 sessions into the engine.
+
+One coroutine per connection runs the EHLO/MAIL/RCPT/DATA state machine,
+CRLF-strict (a bare LF in a command line is a 500, exactly the kind of
+input the simulator never generates), with three defensive budgets:
+
+* per-phase read deadlines (a stalled client gets a 421 and the socket
+  closed, so slowloris cannot pin worker state),
+* a per-connection session budget,
+* a maximum message size enforced *while* reading DATA (an oversized
+  message is drained and refused with 552, not buffered).
+
+Envelope addresses are validated with the same
+:func:`repro.net.addresses.is_well_formed` the simulated MTA uses — the
+live and simulated parsers cannot drift apart because they are the same
+function. The DATA acknowledgement comes from
+:meth:`~repro.serve.service.LiveCrService.try_submit`: 421 when the
+admission queue refuses, otherwise whatever the engine decided *after*
+the record hit the fsynced WAL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.net.addresses import is_well_formed
+from repro.net.smtp import Reply
+from repro.serve.service import LiveCrService
+
+#: RFC 5321 allows 512-byte command lines; we are a little generous.
+MAX_COMMAND_LINE = 1024
+#: Upper bound on one message's payload.
+DEFAULT_MAX_MESSAGE_BYTES = 1 * 1024 * 1024
+#: Too many consecutive garbage commands → drop the session.
+MAX_SYNTAX_ERRORS = 10
+#: SMTP "too many recipients" — session-only, so not part of ``Reply``.
+TOO_MANY_RCPTS = 452
+
+_TEXT = {
+    Reply.SERVICE_READY: "repro-cr ESMTP service ready",
+    Reply.OK: "ok",
+    Reply.CLOSING: "bye",
+    Reply.START_MAIL_INPUT: "end data with <CRLF>.<CRLF>",
+    Reply.SERVICE_UNAVAILABLE: "service unavailable, try again later",
+    Reply.SYNTAX_ERROR: "syntax error",
+    Reply.PARAM_SYNTAX: "syntax error in parameters",
+    Reply.BAD_SEQUENCE: "bad sequence of commands",
+    Reply.MAILBOX_UNAVAILABLE: "mailbox unavailable",
+    Reply.RELAY_DENIED: "relaying denied",
+    Reply.BLACKLISTED: "rejected",
+    Reply.CONTENT_REJECTED: "message exceeds maximum size",
+    Reply.DNS_TEMPFAIL: "sender domain lookup deferred",
+    TOO_MANY_RCPTS: "too many recipients",
+}
+
+
+class SmtpFrontend:
+    """Owns the listening socket and the per-session protocol loops."""
+
+    def __init__(
+        self,
+        service: LiveCrService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_message_bytes: int = DEFAULT_MAX_MESSAGE_BYTES,
+        command_deadline: float = 30.0,
+        data_deadline: float = 60.0,
+        session_deadline: float = 600.0,
+        reply_deadline: float = 15.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_message_bytes = max_message_bytes
+        self.command_deadline = command_deadline
+        self.data_deadline = data_deadline
+        self.session_deadline = session_deadline
+        #: How long DATA waits for the engine's verdict before tempfailing.
+        self.reply_deadline = reply_deadline
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_COMMAND_LINE * 4
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- session ------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        stats = self.service.stats
+        stats.sessions += 1
+        stats.sessions_open += 1
+        try:
+            await asyncio.wait_for(
+                self._session(reader, writer), self.session_deadline
+            )
+        except (asyncio.TimeoutError, ConnectionError, asyncio.IncompleteReadError):
+            # Session budget exhausted or the peer vanished; one best-effort
+            # 421 and the socket goes away.
+            try:
+                self._reply(writer, Reply.SERVICE_UNAVAILABLE)
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            stats.sessions_open -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        client_ip = peer[0] if peer else ""
+        self._reply(writer, Reply.SERVICE_READY)
+        await writer.drain()
+
+        greeted = False
+        mail_from: Optional[str] = None
+        rcpt_to: Optional[str] = None
+        syntax_errors = 0
+
+        while True:
+            line = await self._read_line(reader, self.command_deadline)
+            if line is None:
+                return  # peer closed or CRLF violation already answered
+            if isinstance(line, int):
+                self._reply(writer, line)
+                await writer.drain()
+                syntax_errors += 1
+                if syntax_errors > MAX_SYNTAX_ERRORS:
+                    return
+                continue
+            verb, _, argument = line.partition(" ")
+            verb = verb.upper()
+            argument = argument.strip()
+
+            if verb in ("EHLO", "HELO"):
+                greeted = True
+                mail_from = rcpt_to = None
+                self._reply(writer, Reply.OK, "repro-cr at your service")
+            elif verb == "NOOP":
+                self._reply(writer, Reply.OK)
+            elif verb == "RSET":
+                mail_from = rcpt_to = None
+                self._reply(writer, Reply.OK)
+            elif verb == "QUIT":
+                self._reply(writer, Reply.CLOSING)
+                await writer.drain()
+                return
+            elif verb == "MAIL":
+                if not greeted or mail_from is not None:
+                    self._reply(writer, Reply.BAD_SEQUENCE)
+                else:
+                    address = _parse_path(argument, "FROM")
+                    if address is None:
+                        self.service.stats.malformed += 1
+                        self._reply(writer, Reply.PARAM_SYNTAX)
+                    elif address != "" and not is_well_formed(address):
+                        self.service.stats.malformed += 1
+                        self._reply(writer, Reply.PARAM_SYNTAX)
+                    else:
+                        mail_from = address
+                        self._reply(writer, Reply.OK)
+            elif verb == "RCPT":
+                if mail_from is None:
+                    self._reply(writer, Reply.BAD_SEQUENCE)
+                elif rcpt_to is not None:
+                    self._reply(writer, TOO_MANY_RCPTS)
+                else:
+                    address = _parse_path(argument, "TO")
+                    if address is None or not is_well_formed(address):
+                        self.service.stats.malformed += 1
+                        self._reply(writer, Reply.PARAM_SYNTAX)
+                    elif self.service.route(address) is None:
+                        self.service.stats.unrouted_rcpts += 1
+                        self._reply(writer, Reply.MAILBOX_UNAVAILABLE)
+                    else:
+                        rcpt_to = address
+                        self._reply(writer, Reply.OK)
+            elif verb == "DATA":
+                if mail_from is None or rcpt_to is None:
+                    self._reply(writer, Reply.BAD_SEQUENCE)
+                else:
+                    code = await self._data(
+                        reader, writer, mail_from, rcpt_to, client_ip
+                    )
+                    self._reply(writer, code)
+                    mail_from = rcpt_to = None
+            else:
+                syntax_errors += 1
+                self._reply(writer, Reply.SYNTAX_ERROR)
+                if syntax_errors > MAX_SYNTAX_ERRORS:
+                    await writer.drain()
+                    return
+            await writer.drain()
+
+    async def _data(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        mail_from: str,
+        rcpt_to: str,
+        client_ip: str,
+    ) -> int:
+        self._reply(writer, Reply.START_MAIL_INPUT)
+        await writer.drain()
+        size = 0
+        subject = ""
+        in_headers = True
+        oversized = False
+        while True:
+            raw = await asyncio.wait_for(
+                reader.readuntil(b"\n"), self.data_deadline
+            )
+            if raw == b".\r\n":
+                break
+            if raw.startswith(b".."):
+                raw = raw[1:]  # dot-unstuffing
+            size += len(raw)
+            if size > self.max_message_bytes:
+                oversized = True  # keep draining to the terminating dot
+            if in_headers and not oversized:
+                stripped = raw.rstrip(b"\r\n")
+                if not stripped:
+                    in_headers = False
+                elif stripped.lower().startswith(b"subject:"):
+                    subject = stripped[8:].strip().decode("utf-8", "replace")[:200]
+        if oversized:
+            return Reply.CONTENT_REJECTED
+        record = {
+            "kind": "mail",
+            "mail_from": mail_from,
+            "rcpt_to": rcpt_to,
+            "size": size,
+            "client_ip": client_ip,
+            "subject": subject,
+        }
+        future = self.service.try_submit(record)
+        if future is None:
+            return Reply.SERVICE_UNAVAILABLE
+        try:
+            return await asyncio.wait_for(future, self.reply_deadline)
+        except asyncio.TimeoutError:
+            # The record may still land (it is queued); the client retries
+            # against the at-least-once contract.
+            self.service.stats.refused_deadline += 1
+            return Reply.SERVICE_UNAVAILABLE
+
+    async def _read_line(self, reader: asyncio.StreamReader, deadline: float):
+        """One CRLF-terminated command line, decoded.
+
+        Returns the string without its CRLF, an ``int`` reply code for a
+        protocol violation the caller should send (bare LF, overlong
+        line), or ``None`` when the connection ended."""
+        try:
+            raw = await asyncio.wait_for(reader.readuntil(b"\n"), deadline)
+        except asyncio.IncompleteReadError:
+            return None
+        except asyncio.LimitOverrunError:
+            return Reply.SYNTAX_ERROR
+        if not raw.endswith(b"\r\n"):
+            return Reply.SYNTAX_ERROR  # bare LF: CRLF-strict
+        if len(raw) > MAX_COMMAND_LINE:
+            return Reply.SYNTAX_ERROR
+        try:
+            return raw[:-2].decode("ascii")
+        except UnicodeDecodeError:
+            return Reply.SYNTAX_ERROR
+
+    def _reply(
+        self, writer: asyncio.StreamWriter, code: int, text: Optional[str] = None
+    ) -> None:
+        message = text if text is not None else _TEXT.get(code, "")
+        writer.write(f"{code} {message}\r\n".encode("ascii"))
+
+
+def _parse_path(argument: str, keyword: str) -> Optional[str]:
+    """Extract the address from ``FROM:<a@b>`` / ``TO:<a@b>`` syntax.
+
+    Returns the address (``""`` for the null reverse-path ``<>``), or
+    ``None`` on syntax we refuse. ESMTP parameters after the path are
+    tolerated and ignored."""
+    prefix = keyword + ":"
+    if not argument.upper().startswith(prefix):
+        return None
+    rest = argument[len(prefix):].strip()
+    if not rest.startswith("<"):
+        return None
+    end = rest.find(">")
+    if end < 0:
+        return None
+    return rest[1:end]
+
+
+__all__ = ["SmtpFrontend", "DEFAULT_MAX_MESSAGE_BYTES", "MAX_COMMAND_LINE"]

@@ -1,0 +1,182 @@
+"""Length-framed append-only write-ahead log with group-commit fsync.
+
+The zero-loss contract of the live frontend rests on one ordering: a
+message's WAL record is appended **and fsynced** before the SMTP ``250``
+leaves the socket. Whatever the kernel, the process, or ``kill -9`` does
+after that instant, every acknowledged message is on disk; startup replay
+re-drives the engine from the log and the
+:class:`~repro.core.ledger.MessageLedger` re-derives the exact same
+accounting. (The converse is *at-least-once*: a record can reach disk and
+the client still never see its 250 — the client retries, which is the
+normal SMTP contract.)
+
+Frame format, little-endian::
+
+    [u32 payload_len][payload bytes][u32 crc32(payload)]
+
+Payloads are UTF-8 JSON objects; the log itself never interprets them.
+A torn tail — a frame cut anywhere by a crash, or a CRC mismatch in the
+final frame — is detected on open and truncated away: those bytes were
+never acknowledged, so dropping them loses nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Iterator, List, Optional, Tuple
+
+_U32 = struct.Struct("<I")
+_FRAME_OVERHEAD = 8  # length prefix + crc suffix
+
+#: Sanity bound on a single payload: anything larger is treated as
+#: corruption (a garbage length prefix), not a legitimate record.
+MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
+
+
+class WalCorruption(RuntimeError):
+    """A non-tail frame failed to decode — the log is damaged beyond the
+    torn-tail case that crash recovery legally produces."""
+
+
+def _scan_frames(data: bytes) -> Tuple[List[bytes], int]:
+    """Split *data* into full valid frames.
+
+    Returns ``(payloads, good_end)`` where *good_end* is the byte offset
+    just past the last intact frame. Any trailing bytes past *good_end*
+    are a torn tail: an incomplete header, an incomplete payload/crc, or
+    a crc mismatch in the final frame. A crc mismatch with *more* frames
+    after it is not a torn write — that is mid-file corruption and raises
+    :class:`WalCorruption`.
+    """
+    payloads: List[bytes] = []
+    offset = 0
+    end = len(data)
+    while True:
+        if offset + _U32.size > end:
+            break  # torn (or clean EOF): header incomplete
+        (length,) = _U32.unpack_from(data, offset)
+        if length > MAX_PAYLOAD_BYTES:
+            break  # garbage length prefix — treat as torn tail
+        frame_end = offset + _U32.size + length + _U32.size
+        if frame_end > end:
+            break  # payload/crc incomplete
+        payload = data[offset + _U32.size : offset + _U32.size + length]
+        (crc,) = _U32.unpack_from(data, frame_end - _U32.size)
+        if crc != zlib.crc32(payload):
+            if frame_end < end:
+                raise WalCorruption(
+                    f"crc mismatch at offset {offset} with "
+                    f"{end - frame_end} bytes following — mid-log damage, "
+                    f"not a torn tail"
+                )
+            break  # torn tail: crash landed mid-crc or mid-payload
+        payloads.append(payload)
+        offset = frame_end
+    return payloads, offset
+
+
+def scan_payloads(path: str) -> Tuple[List[dict], bool]:
+    """Read-only scan of the log at *path* (no truncation, no lock).
+
+    Returns ``(records, torn)``. Used by tests and the external chaos
+    harness to count durable records while (or after) a server owns the
+    file; :meth:`WriteAheadLog.open` is the mutating form the server uses.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return [], False
+    payloads, good_end = _scan_frames(data)
+    return [json.loads(p) for p in payloads], good_end != len(data)
+
+
+class WriteAheadLog:
+    """One append-only log file plus its replay/truncate logic.
+
+    Appends are buffered; :meth:`flush` pushes them through the OS down to
+    the platter (``fsync``) and advances :attr:`flushed_seq`. Sequence
+    numbers are 1-based and count records ever written to this file, so
+    after replaying N records the next append is seq N+1 — the live
+    engine uses the seq as the message id, which is what makes replay
+    deterministic.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[object] = None
+        #: Seq of the last record appended (buffered, not necessarily durable).
+        self.appended_seq = 0
+        #: Seq of the last record known fsynced.
+        self.flushed_seq = 0
+        #: Bytes discarded from a torn tail at open time (0 = clean).
+        self.torn_tail_bytes = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def open(self) -> List[dict]:
+        """Replay existing records, truncate any torn tail, open for append.
+
+        Returns the decoded records in append order. After this call the
+        replayed records count as flushed (they survived at least one
+        crash, so they are durable by construction).
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            data = b""
+        payloads, good_end = _scan_frames(data)
+        self.torn_tail_bytes = len(data) - good_end
+        self._fh = open(self.path, "ab")
+        if self.torn_tail_bytes:
+            self._fh.truncate(good_end)
+            self._fh.seek(good_end)
+        self.appended_seq = self.flushed_seq = len(payloads)
+        return [json.loads(p) for p in payloads]
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
+
+    # -- writes -----------------------------------------------------------
+
+    def append(self, record: dict) -> int:
+        """Buffer one record; returns its seq. Not durable until a
+        :meth:`flush` covers it."""
+        assert self._fh is not None, "WAL not open"
+        payload = json.dumps(record, separators=(",", ":")).encode()
+        self._fh.write(
+            _U32.pack(len(payload)) + payload + _U32.pack(zlib.crc32(payload))
+        )
+        self.appended_seq += 1
+        return self.appended_seq
+
+    def flush(self) -> int:
+        """Flush + fsync everything appended so far; returns the covered
+        seq. One call durably commits the whole buffered batch — this is
+        the group in group commit."""
+        assert self._fh is not None, "WAL not open"
+        target = self.appended_seq
+        if target > self.flushed_seq:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self.flushed_seq = target
+        return self.flushed_seq
+
+    def iter_records(self) -> Iterator[dict]:  # pragma: no cover - debug aid
+        records, _ = scan_payloads(self.path)
+        return iter(records)
+
+
+__all__ = [
+    "MAX_PAYLOAD_BYTES",
+    "WalCorruption",
+    "WriteAheadLog",
+    "scan_payloads",
+]

@@ -12,6 +12,7 @@ fast and host-independent.
 
 from __future__ import annotations
 
+import importlib.util
 import json
 import pathlib
 import re
@@ -19,6 +20,16 @@ import re
 import pytest
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _update_bench():
+    """Import scripts/update_bench.py (not a package) for its helpers."""
+    spec = importlib.util.spec_from_file_location(
+        "update_bench", REPO_ROOT / "scripts" / "update_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 #: Every committed entry must carry these keys (schema version 1).
 REQUIRED_KEYS = {
@@ -124,7 +135,12 @@ def test_pr6_speedup_vs_pr5():
 
 
 def test_no_regression_between_consecutive_entries():
-    """Each committed entry keeps >= 80% of its predecessor's msgs/sec."""
+    """Each committed entry keeps >= 80% of its predecessor's msgs/sec.
+
+    "Predecessor" means the previous *committed entry*, not ``pr - 1``:
+    the trajectory is non-contiguous (PR 8 shipped no bench entry), so
+    PR 9 is held against PR 7 and PR 10 against PR 9.
+    """
     entries = _entries()
     for (prev_pr, _, prev), (cur_pr, _, cur) in zip(entries, entries[1:]):
         floor = prev["msgs_per_sec"] * (1.0 - MAX_REGRESSION)
@@ -133,3 +149,66 @@ def test_no_regression_between_consecutive_entries():
             f">{MAX_REGRESSION:.0%} regression from PR {prev_pr}'s "
             f"{prev['msgs_per_sec']}"
         )
+
+
+class TestNonContiguousTrajectory:
+    """The trajectory skips PR numbers (PR 8 shipped no perf change);
+    gap handling in ``scripts/update_bench.py`` must treat that as
+    normal — log it, select the latest entry, never assume ``pr - 1``.
+    """
+
+    def test_gap_computation(self):
+        ub = _update_bench()
+        assert ub.trajectory_gaps([5, 6, 7, 9]) == [8]
+        assert ub.trajectory_gaps([5, 9, 12]) == [6, 7, 8, 10, 11]
+        assert ub.trajectory_gaps([5, 6, 7]) == []
+        assert ub.trajectory_gaps([7]) == []
+        assert ub.trajectory_gaps([]) == []
+
+    def test_committed_trajectory_has_the_pr8_gap(self):
+        """The real committed trajectory is non-contiguous, and the
+        describe line says so instead of failing."""
+        ub = _update_bench()
+        entries = ub.committed_entries()
+        prs = [pr for pr, _, _ in entries]
+        assert 8 not in prs, "PR 8 intentionally shipped no bench entry"
+        line = ub.describe_trajectory(entries)
+        assert "[8]" in line and "tolerated" in line
+
+    def test_check_target_is_latest_entry_despite_gaps(self):
+        """--check gates on the newest committed entry even when the PR
+        numbering has holes before it."""
+        ub = _update_bench()
+        entries = ub.committed_entries()
+        assert entries, "trajectory must not be empty"
+        assert entries[-1][0] == max(pr for pr, _, _ in entries)
+
+    def test_baselines_point_at_committed_entries(self):
+        """Every recorded baseline_pr is an earlier *committed* entry —
+        across the PR 8 gap, PR 9's baseline is PR 7, not PR 8."""
+        by_pr = {pr: data for pr, _, data in _entries()}
+        for pr, data in by_pr.items():
+            baseline_pr = data.get("baseline_pr")
+            if baseline_pr is None:
+                continue
+            assert baseline_pr in by_pr, (
+                f"PR {pr} records baseline_pr={baseline_pr}, which has "
+                f"no committed bench entry"
+            )
+            assert baseline_pr < pr
+        if 9 in by_pr:
+            assert by_pr[9]["baseline_pr"] == 7
+
+    def test_default_baseline_resolves_across_gap(self):
+        """resolve_default_baseline picks the latest committed entry
+        below the PR being written — skipping the hole — and resolves
+        it to a real commit."""
+        import argparse
+
+        ub = _update_bench()
+        args = argparse.Namespace(
+            pr=9, baseline_src=None, baseline_commit=None, baseline_pr=None
+        )
+        ub.resolve_default_baseline(args)
+        assert args.baseline_pr == 7
+        assert args.baseline_commit, "must resolve a commit for PR 7"

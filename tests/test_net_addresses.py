@@ -192,6 +192,73 @@ class TestFastPathPin:
         assert self._verdict(raw) == _parser_accepts(raw)
 
 
+class TestLiveTrafficHardening:
+    """Inputs live SMTP traffic produces that the simulator never does.
+
+    A real client can hand the envelope parser CRLF pairs (command
+    injection), bare LFs, NUL bytes, and other C0 controls. Both paths —
+    the single-regex fast path and the slow parser — must reject every one
+    of these identically; in particular ``$``-anchored regexes would accept
+    a trailing ``\\n`` (``$`` matches before a final newline), which is why
+    the grammar anchors with ``\\Z``.
+    """
+
+    INJECTIONS = [
+        "a@b.com\n",                       # the classic $-anchor hole
+        "a@b.com\r\n",
+        "a@b.com\r",
+        "a\n@b.com",
+        "a@b.com\nRCPT TO:<evil@x.com>",   # smuggled pipelined command
+        "a@b.com\r\nDATA",
+        "victim@example.com\rMAIL FROM:<x@y.co>",
+        "a\x00@b.com",                     # NUL truncation probe
+        "a@b.com\x00",
+        "\x00a@b.com",
+        "a@b\x7f.com",                     # DEL
+        "a\t@b.com",                       # HT is not atext
+        "a@b.com\x0b",                     # VT
+        "\na@b.com",
+    ]
+
+    @pytest.mark.parametrize("raw", INJECTIONS)
+    def test_injection_rejected_by_parser(self, raw):
+        with pytest.raises(AddressError):
+            parse_address(raw)
+
+    @pytest.mark.parametrize("raw", INJECTIONS)
+    def test_injection_rejected_identically_by_fast_path(self, raw):
+        from repro.net.addresses import _WELL_FORMED_CACHE
+
+        _WELL_FORMED_CACHE.clear()
+        assert not is_well_formed(raw)
+        assert is_well_formed(raw) == _parser_accepts(raw)
+
+    def test_overlong_local_part_rejected_with_valid_tail(self):
+        # 64 is the limit; a valid-looking 200-char local must not slip
+        # through either path.
+        raw = "a" * 200 + "@example.com"
+        assert not is_well_formed(raw)
+        with pytest.raises(AddressError):
+            parse_address(raw)
+
+    @given(
+        st.from_regex(r"[A-Za-z0-9.]{1,20}@[a-z0-9.]{1,20}\.[a-z]{2,4}",
+                      fullmatch=True),
+        st.sampled_from(["\r", "\n", "\r\n", "\x00", "\x01", "\x7f"]),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_fuzzed_control_injection_never_accepted(self, base, ctrl, pos):
+        from repro.net.addresses import _WELL_FORMED_CACHE
+
+        # Splice a control sequence into an otherwise plausible address at
+        # an arbitrary position; both paths must reject.
+        cut = min(pos, len(base))
+        raw = base[:cut] + ctrl + base[cut:]
+        _WELL_FORMED_CACHE.clear()
+        assert not is_well_formed(raw)
+        assert not _parser_accepts(raw)
+
+
 class TestSplitAddress:
     """``split_address`` is a plain textual split used after validation."""
 

@@ -1,0 +1,237 @@
+"""WAL framing and crash-edge tests (the satellite of DESIGN.md §15).
+
+The bottom half exercises the raw frame scanner: torn tails at every
+byte offset, final-frame CRC damage (legal: truncated), mid-log CRC
+damage (illegal: raises). The top half replays damaged logs through a
+full :class:`LiveCrService` and asserts the *ledger reconciliation*,
+because "the WAL parses" is a much weaker claim than "the engine that
+re-drove it conserves every message".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import zlib
+
+import pytest
+
+from repro.serve.service import LiveCrService
+from repro.serve.wal import (
+    MAX_PAYLOAD_BYTES,
+    WalCorruption,
+    WriteAheadLog,
+    scan_payloads,
+)
+from tests.serve_harness import live_stack, pick_targets
+
+
+def _write_records(path, records):
+    wal = WriteAheadLog(str(path))
+    wal.open()
+    for record in records:
+        wal.append(record)
+    wal.flush()
+    wal.close()
+
+
+def _frame(record_bytes: bytes) -> bytes:
+    return (
+        struct.pack("<I", len(record_bytes))
+        + record_bytes
+        + struct.pack("<I", zlib.crc32(record_bytes))
+    )
+
+
+class TestFraming:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "wal"
+        records = [{"i": i, "payload": "x" * i} for i in range(20)]
+        _write_records(path, records)
+        read_back, torn = scan_payloads(str(path))
+        assert read_back == records
+        assert torn is False
+
+    def test_sequence_numbers_continue_across_reopen(self, tmp_path):
+        path = tmp_path / "wal"
+        wal = WriteAheadLog(str(path))
+        wal.open()
+        assert wal.append({"i": 1}) == 1
+        assert wal.append({"i": 2}) == 2
+        wal.close()
+        wal = WriteAheadLog(str(path))
+        assert len(wal.open()) == 2
+        assert wal.append({"i": 3}) == 3
+        wal.close()
+
+    def test_missing_file_is_empty_not_error(self, tmp_path):
+        records, torn = scan_payloads(str(tmp_path / "nope"))
+        assert records == [] and torn is False
+
+    @pytest.mark.parametrize("cut", [1, 2, 3, 4, 5, 7, 8, 11])
+    def test_torn_tail_truncated_at_any_offset(self, tmp_path, cut):
+        """Chop *cut* bytes off the final frame: every prefix length must
+        recover exactly the complete records and repair the file."""
+        path = tmp_path / "wal"
+        records = [{"i": i} for i in range(5)]
+        _write_records(path, records)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) - cut])
+
+        wal = WriteAheadLog(str(path))
+        recovered = wal.open()
+        assert recovered == records[:4]
+        assert wal.torn_tail_bytes > 0
+        assert wal.appended_seq == 4
+        # The torn bytes are gone: appends land where the tail was.
+        wal.append({"i": "new"})
+        wal.flush()
+        wal.close()
+        read_back, torn = scan_payloads(str(path))
+        assert read_back == records[:4] + [{"i": "new"}]
+        assert torn is False
+
+    def test_final_frame_crc_damage_is_a_torn_tail(self, tmp_path):
+        path = tmp_path / "wal"
+        _write_records(path, [{"i": 0}, {"i": 1}])
+        data = bytearray(path.read_bytes())
+        data[-6] ^= 0xFF  # flip a bit inside the last frame's crc zone
+        path.write_bytes(bytes(data))
+        wal = WriteAheadLog(str(path))
+        assert wal.open() == [{"i": 0}]
+        assert wal.torn_tail_bytes > 0
+        wal.close()
+
+    def test_mid_log_crc_damage_raises(self, tmp_path):
+        path = tmp_path / "wal"
+        first = b'{"i": 0}'
+        second = b'{"i": 1}'
+        damaged = bytearray(_frame(first))
+        damaged[5] ^= 0xFF  # corrupt the first frame's payload
+        path.write_bytes(bytes(damaged) + _frame(second))
+        with pytest.raises(WalCorruption):
+            scan_payloads(str(path))
+        with pytest.raises(WalCorruption):
+            WriteAheadLog(str(path)).open()
+
+    def test_garbage_length_prefix_is_a_torn_tail(self, tmp_path):
+        path = tmp_path / "wal"
+        _write_records(path, [{"i": 0}])
+        with open(path, "ab") as fh:
+            fh.write(struct.pack("<I", MAX_PAYLOAD_BYTES + 1) + b"junk")
+        wal = WriteAheadLog(str(path))
+        assert wal.open() == [{"i": 0}]
+        assert wal.torn_tail_bytes == 8
+        wal.close()
+
+    def test_flush_is_idempotent_and_monotonic(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"))
+        wal.open()
+        wal.append({"i": 0})
+        assert wal.flush() == 1
+        assert wal.flush() == 1  # nothing new: no second fsync needed
+        wal.append({"i": 1})
+        wal.append({"i": 2})
+        assert wal.flush() == 3  # one flush covers the whole batch
+        wal.close()
+
+
+def _drive_service(tmp_path, n_messages, batch_max=8):
+    """Accept *n_messages* through a live stack; returns (wal_path, acked)."""
+
+    async def scenario():
+        async with live_stack(tmp_path, batch_max=batch_max) as (service, smtp, web):
+            from tests.serve_harness import ehlo_client
+
+            sender, users = pick_targets(service)
+            client = await ehlo_client(smtp.port)
+            acked = 0
+            for i in range(n_messages):
+                code = await client.send_message(
+                    sender, users[i % len(users)], subject=f"SPAM: blast {i}"
+                )
+                if code == 250:
+                    acked += 1
+            await client.quit()
+            return acked, service.wal.path
+
+    return asyncio.run(scenario())
+
+
+def _replay(wal_path) -> dict:
+    """Boot a fresh service over *wal_path* and return its recovery
+    reconciliation (the service is never started: replay only)."""
+    service = LiveCrService(wal_path=str(wal_path))
+    service.recover()
+    report = service.last_reconciliation
+    service.wal.close()
+    return report
+
+
+class TestReplayViaLedger:
+    def test_replay_idempotence_twice_equals_once(self, tmp_path):
+        """Replaying the same WAL in two fresh processes reconciles both
+        times with identical ledger totals — replay has no side effects
+        on the log and is deterministic."""
+        acked, wal_path = _drive_service(tmp_path, 12)
+        first = _replay(wal_path)
+        second = _replay(wal_path)
+        assert first["reconciled"] and second["reconciled"]
+        assert first["accepted"] == second["accepted"] == acked
+        assert first["per_company"] == second["per_company"]
+
+    def test_torn_tail_replay_reconciles(self, tmp_path):
+        """Cut the final record mid-frame (what kill -9 during a batch
+        write leaves behind): replay drops exactly that record and the
+        ledger still conserves every complete one."""
+        acked, wal_path = _drive_service(tmp_path, 10)
+        whole_records, _ = scan_payloads(str(wal_path))
+        with open(wal_path, "ab") as fh:
+            # a record the crash cut off: header + half a payload
+            fh.write(struct.pack("<I", 64) + b'{"kind":"mail","mail_')
+        report = _replay(wal_path)
+        assert report["reconciled"]
+        assert report["torn_tail_bytes"] > 0
+        assert report["wal_records"] == len(whole_records)
+        assert report["accepted"] == acked
+
+    def test_fsync_batch_boundary_kill(self, tmp_path):
+        """Truncate the WAL to each frame boundary of the final group
+        commit — the states a kill lands in when it strikes between
+        append and fsync. Every prefix must replay to a reconciled
+        ledger with exactly the surviving records accepted."""
+        acked, wal_path = _drive_service(tmp_path, 9, batch_max=3)
+        assert acked == 9
+        data = open(wal_path, "rb").read()
+        all_records, _ = scan_payloads(str(wal_path))
+        # boundaries[i] = byte offset just past frame i (so keeping
+        # data[:boundaries[i]] keeps i+1 whole records).
+        boundaries = []
+        offset = 0
+        while offset < len(data):
+            (length,) = struct.unpack_from("<I", data, offset)
+            offset += 4 + length + 4
+            boundaries.append(offset)
+        assert len(boundaries) == 9
+        for kept, boundary in list(enumerate(boundaries, start=1))[-4:]:
+            trial = tmp_path / f"wal.cut{kept}"
+            trial.write_bytes(data[:boundary])
+            report = _replay(trial)
+            assert report["reconciled"], report
+            assert report["wal_records"] == kept
+            assert report["accepted"] <= kept
+            survivors, torn = scan_payloads(str(trial))
+            assert not torn
+            assert survivors == all_records[:kept]
+
+    def test_acked_messages_survive_simulated_crash(self, tmp_path):
+        """The headline invariant, in-process: everything 250-acked is in
+        the WAL on disk at all times (we never reply before fsync), so a
+        copy of the file taken at *any* moment replays to >= acked."""
+        acked, wal_path = _drive_service(tmp_path, 15)
+        records, torn = scan_payloads(str(wal_path))
+        assert not torn
+        assert len(records) >= acked
+        report = _replay(wal_path)
+        assert report["reconciled"]
+        assert report["accepted"] >= acked
